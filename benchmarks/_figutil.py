@@ -1,0 +1,16 @@
+"""Reporting helpers shared by the figure benchmarks."""
+
+from __future__ import annotations
+
+from repro.viz import render_table
+
+
+def show(title: str, body: str) -> None:
+    """Print a figure block (visible with ``pytest -s``)."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def paper_vs(rows) -> str:
+    """Render [(quantity, paper value, measured value)] rows."""
+    return render_table(rows, headers=["quantity", "paper", "measured"])

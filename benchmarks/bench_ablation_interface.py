@@ -1,0 +1,53 @@
+"""Ablation: NoC->MP interface provisioning and the network wall.
+
+Implication 5 says the interface bandwidth must be provisioned above the
+memory bandwidth or the NoC walls off DRAM.  We rebuild the V100 with
+progressively weaker NoC->MP interfaces and measure where the achieved
+memory bandwidth starts tracking the NoC instead of DRAM — reproducing
+the "network wall" inside our own device model.
+"""
+
+import dataclasses
+
+from _figutil import show
+
+from repro.core.bandwidth_bench import aggregate_memory_bandwidth
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import V100
+from repro.viz import render_table
+
+
+def bench_interface_provisioning(benchmark):
+    def run():
+        rows = []
+        # per-MP DRAM is 900/4*0.87 ~ 196 GB/s; sweep mp_input around it
+        for mp_input in (120.0, 200.0, 400.0, 700.0):
+            spec = dataclasses.replace(V100, name=f"V100-mp{int(mp_input)}",
+                                       mp_input_gbps=mp_input)
+            gpu = SimulatedGPU(spec)
+            mem = aggregate_memory_bandwidth(gpu)
+            dram_limit = spec.mem_bandwidth_gbps * spec.dram_efficiency
+            rows.append({
+                "NoC->MP iface (GB/s)": mp_input,
+                "iface total": mp_input * spec.num_mps,
+                "DRAM achievable": round(dram_limit, 0),
+                "measured mem BW": round(mem, 0),
+                "bottleneck": ("noc interface"
+                               if mp_input * spec.num_mps < dram_limit * 0.99
+                               else "memory"),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show("Ablation: memory bandwidth vs NoC->MP interface provisioning",
+         render_table(rows))
+    walled = [r for r in rows if r["bottleneck"] == "noc interface"]
+    healthy = [r for r in rows if r["bottleneck"] == "memory"]
+    assert walled and healthy
+    # below the wall, measured memory bandwidth tracks the interface
+    for r in walled:
+        assert r["measured mem BW"] <= r["iface total"] * 1.02
+    # above the wall, it saturates at DRAM regardless of extra interface
+    tops = [r["measured mem BW"] for r in healthy]
+    assert max(tops) - min(tops) < 0.05 * max(tops)
+    assert max(tops) >= 0.95 * healthy[0]["DRAM achievable"]

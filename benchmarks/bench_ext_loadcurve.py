@@ -1,0 +1,42 @@
+"""Extension: load-latency curve of the mesh baseline.
+
+Standard NoC methodology applied to the paper's Section VI mesh: sweep
+injection rate, find the saturation knee, and compare against the
+offered load a memory-intensive GPU kernel would present (far beyond
+the mesh's capacity — the quantitative version of the "network wall").
+"""
+
+from _figutil import show
+
+from repro.noc.mesh.loadcurve import sweep_load
+from repro.viz import render_table
+
+_RATES = (0.03, 0.08, 0.13, 0.18, 0.25, 0.4)
+
+
+def bench_load_latency_curve(benchmark):
+    def run():
+        return {arb: sweep_load(_RATES, arbiter=arb, cycles=6000,
+                                warmup=1500) for arb in ("rr", "age")}
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for arb, curve in curves.items():
+        for p in curve.points:
+            rows.append({"arbiter": arb, "offered": p.offered_rate,
+                         "accepted": round(p.accepted_rate, 3),
+                         "avg latency": round(p.avg_latency, 1),
+                         "saturated": p.saturated})
+    show("Load-latency curve: 6x6 mesh, many-to-few traffic",
+         render_table(rows))
+
+    for arb, curve in curves.items():
+        # ejection capacity is 6/30 = 0.2 pkts/cycle/node: the knee must
+        # appear at or below that
+        assert curve.saturation_rate() <= 0.25
+        lat = [p.avg_latency for p in curve.points]
+        assert lat[0] < lat[-1]      # latency explodes past the knee
+    # aggregate accepted throughput at overload is arbitration-neutral
+    rr_top = curves["rr"].points[-1].accepted_rate
+    age_top = curves["age"].points[-1].accepted_rate
+    assert abs(rr_top - age_top) < 0.2 * max(rr_top, age_top)

@@ -1,0 +1,43 @@
+"""Extension: warp-level occupancy curve (Fig 14 inside one SM).
+
+Within a single SM, each resident warp contributes one outstanding cache
+line, so streaming bandwidth scales linearly with occupancy (Little's
+law at warp granularity) until the per-flow sector throughput — the same
+hard limit behind Fig 9(b)'s 34 GB/s — clips it.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.occupancy import occupancy_sweep, warps_to_saturate
+from repro.viz import render_table
+
+_WARPS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def bench_occupancy_curve(benchmark):
+    def run():
+        gpu = SimulatedGPU("V100", seed=47)
+        points = occupancy_sweep(gpu, sm=0, slice_id=0, warp_counts=_WARPS)
+        return gpu, points
+
+    gpu, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"warps": p.warps, "MLP GB/s": round(p.unclipped_gbps, 1),
+             "achieved GB/s": round(p.achieved_gbps, 1),
+             "regime": p.regime} for p in points]
+    show("Occupancy curve: one V100 SM streaming to one slice",
+         render_table(rows))
+    knee = warps_to_saturate(gpu, sm=0, slice_id=0)
+    show("Occupancy summary", paper_vs([
+        ("scaling while latency-bound", "linear (Little's law)",
+         f"{points[1].unclipped_gbps / points[0].unclipped_gbps:.2f}x "
+         "per warp doubling"),
+        ("hard ceiling", "flow sector throughput (Fig 9b)",
+         f"{points[-1].achieved_gbps:.1f} GB/s"),
+        ("warps at the knee", "device-dependent", knee),
+    ]))
+    assert points[0].regime == "latency-bound"
+    assert points[-1].regime != "latency-bound"
+    assert points[-1].achieved_gbps <= gpu.spec.flow_cap_gbps + 1e-9
+    achieved = [p.achieved_gbps for p in points]
+    assert achieved == sorted(achieved)

@@ -1,0 +1,33 @@
+"""Extension: one physical network + virtual channels vs the Fig 21 setup.
+
+The paper's simulator baseline uses separate request/reply meshes.  The
+alternative — one physical mesh with class-separated virtual channels —
+is evaluated here: with a single VC, multi-flit replies head-of-line
+block the request class across the protocol cycle and memory service
+crawls; giving each class its own VC restores throughput.  Same moral
+as Fig 21: the reply path needs its own resources.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.noc.mesh.vc import run_shared_network_experiment
+
+
+def bench_shared_network_vcs(benchmark):
+    def run():
+        return {vcs: run_shared_network_experiment(vcs, cycles=6000)
+                for vcs in (1, 2)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    one, two = results[1], results[2]
+    show("Shared request/reply mesh: 1 VC vs 2 class-separated VCs",
+         paper_vs([
+             ("service rate, 1 VC (req/cycle)", "collapses",
+              round(one.service_rate, 3)),
+             ("service rate, 2 VCs (req/cycle)", "healthy",
+              round(two.service_rate, 3)),
+             ("improvement", "separate reply resources required",
+              f"{two.service_rate / one.service_rate:.2f}x"),
+         ]))
+    assert two.service_rate > 1.5 * one.service_rate
+    assert two.service_rate > 0.5

@@ -1,0 +1,59 @@
+"""Extension: cycle-level crossbar sim vs analytical flow solver.
+
+Cross-validation of the two independent bandwidth models.  They agree
+tightly wherever a *hard* resource binds (per-flow sector throughput,
+slice ingress, MSHR budgets, near/far Little's-law limits).  They
+intentionally diverge when a *concentrator* saturates: plain FIFO
+queueing drives the GPC port to ~100% utilisation, while the analytic
+model is calibrated to the paper's measured partial GPC_l speedups —
+i.e. real GPU concentrators lose throughput that idealised queueing
+does not predict, which is exactly the class of simulator/hardware gap
+the paper warns about (Implication 4).
+"""
+
+from _figutil import show
+
+from repro.gpu.device import SimulatedGPU
+from repro.noc.xbarsim import simulate_bandwidth
+from repro.viz import render_table
+
+
+def bench_xbarsim_vs_solver(benchmark):
+    def run():
+        v100 = SimulatedGPU("V100", seed=0)
+        a100 = SimulatedGPU("A100", seed=0)
+        sm_far = a100.hier.sms_in_partition(0)[0]
+        far_slice = a100.hier.slices_in_partition(1)[0]
+        cases = [
+            ("V100 1 SM -> 1 slice", v100, {0: [0]}, True),
+            ("V100 1 GPC -> 1 slice", v100,
+             {sm: [0] for sm in v100.hier.sms_in_gpc(0)}, True),
+            ("V100 1 SM -> all slices", v100,
+             {0: v100.hier.all_slices}, True),
+            ("A100 near flow", a100, {sm_far: [0]}, True),
+            ("A100 far flow", a100, {sm_far: [far_slice]}, True),
+            ("V100 GPC_l (concentrator)", v100,
+             {v100.hier.sm_id(0, t, 0): v100.hier.all_slices
+              for t in range(7)}, False),
+        ]
+        rows = []
+        for name, gpu, traffic, expect_match in cases:
+            sim = sum(simulate_bandwidth(gpu, traffic, cycles=14000,
+                                         warmup=3500).values())
+            solver = gpu.topology.solve(traffic).total_gbps
+            rows.append({"pattern": name, "cycle sim": round(sim, 1),
+                         "solver": round(solver, 1),
+                         "ratio": round(sim / solver, 2),
+                         "regime": ("hard-bound" if expect_match
+                                    else "concentrator")})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show("Model cross-validation: cycle sim vs max-min solver",
+         render_table(rows))
+    for row in rows:
+        if row["regime"] == "hard-bound":
+            assert 0.85 <= row["ratio"] <= 1.15, row
+        else:
+            # FIFO queueing exceeds the calibrated concentrator throttle
+            assert row["ratio"] > 1.1, row

@@ -1,0 +1,46 @@
+"""Fig 1: non-uniform L2 access latency on V100.
+
+(a) one SM (SM 24) to all 32 L2 slices; (b) per-GPC average latency and
+within-GPC variation.  Paper values: min ~175, max ~248, mean ~212; GPC
+averages similar, spreads differ (up to 71 cycles within GPC4, ~33%).
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.core.latency_bench import latency_profile
+from repro.viz import bar_chart, render_table
+
+
+def bench_fig1a_sm24_profile(benchmark, v100):
+    profile = benchmark.pedantic(lambda: latency_profile(v100, sm=24),
+                                 rounds=1, iterations=1)
+    show("Fig 1(a): SM24 -> all L2 slices (V100)",
+         bar_chart([f"slice {s}" for s in range(len(profile))], profile,
+                   width=30))
+    show("Fig 1(a) paper vs measured", paper_vs([
+        ("min latency (cycles)", 175, float(profile.min())),
+        ("max latency (cycles)", 248, float(profile.max())),
+        ("mean latency (cycles)", 212, float(profile.mean())),
+    ]))
+    assert 160 <= profile.min() <= 195
+    assert 235 <= profile.max() <= 275
+    assert 200 <= profile.mean() <= 228
+
+
+def bench_fig1b_gpc_stats(benchmark, v100, v100_latency):
+    def gpc_stats():
+        rows = []
+        for g in range(v100.spec.num_gpcs):
+            sub = v100_latency[v100.hier.sms_in_gpc(g)]
+            rows.append({"GPC": g, "mean": sub.mean(),
+                         "spread": sub.max() - sub.min()})
+        return rows
+
+    rows = benchmark.pedantic(gpc_stats, rounds=1, iterations=1)
+    show("Fig 1(b): per-GPC average latency and spread", render_table(rows))
+    means = np.array([r["mean"] for r in rows])
+    spreads = np.array([r["spread"] for r in rows])
+    assert (means.max() - means.min()) / means.mean() < 0.02
+    assert spreads.max() > 45          # paper: up to 71 cycles in GPC4
+    assert spreads.max() / spreads.min() > 1.4

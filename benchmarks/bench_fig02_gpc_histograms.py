@@ -1,0 +1,33 @@
+"""Fig 2: L2 latency histograms of GPC0 vs GPC2 on V100.
+
+Paper: GPC0 mu=213, sigma=13.9; GPC2 mu=209, sigma=7.5 — similar means,
+different spreads.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.viz import histogram_chart
+
+
+def bench_fig2_histograms(benchmark, v100, v100_latency):
+    def stats():
+        out = {}
+        for g in (0, 2):
+            sub = v100_latency[v100.hier.sms_in_gpc(g)].ravel()
+            out[g] = (float(sub.mean()), float(sub.std()), sub)
+        return out
+
+    out = benchmark.pedantic(stats, rounds=1, iterations=1)
+    for g in (0, 2):
+        mu, sigma, sample = out[g]
+        show(f"Fig 2: GPC{g} latency histogram (mu={mu:.1f}, "
+             f"sigma={sigma:.1f})",
+             histogram_chart(sample, bins=14, width=30))
+    show("Fig 2 paper vs measured", paper_vs([
+        ("GPC0 mean", 213, out[0][0]),
+        ("GPC0 sigma", 13.9, out[0][1]),
+        ("GPC2 mean", 209, out[2][0]),
+        ("GPC2 sigma", 7.5, out[2][1]),
+    ]))
+    assert abs(out[0][0] - out[2][0]) < 5       # similar means
+    assert out[0][1] > 1.5 * out[2][1]          # GPC0 clearly wider

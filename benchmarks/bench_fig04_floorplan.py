@@ -1,0 +1,20 @@
+"""Fig 4: approximate logical floorplan of the V100.
+
+Rendered as text: SMs labelled by GPC letter, slices by MP digit.  The
+paper's structural claims: GPC0&1 and GPC4&5 at the die edges, GPC2&3
+central; MPs split between the left and right edges.
+"""
+
+from _figutil import show
+
+
+def bench_fig4_floorplan(benchmark, v100):
+    text = benchmark.pedantic(v100.floorplan.render, rounds=1, iterations=1)
+    show("Fig 4: V100 logical floorplan", text)
+    mid = v100.spec.die_width_mm / 2
+    # structural checks mirroring the paper's diagram
+    for gpc, side in [(0, "left"), (1, "left"), (4, "right"), (5, "right")]:
+        x = v100.floorplan.gpc_block(gpc)[0].x
+        assert (x < mid) == (side == "left")
+    for gpc in (2, 3):
+        assert abs(v100.floorplan.gpc_block(gpc)[0].x - mid) < 4.0

@@ -1,0 +1,33 @@
+"""Fig 5: latency between GPC4's SMs and MP3's slices on V100.
+
+Paper: physically closer SM/slice pairs have lower latency (180 cycles
+closest, 217 farthest); SM position shifts latency by a constant while
+some slices are always faster.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.viz import heatmap
+
+
+def bench_fig5_gpc4_to_mp3(benchmark, v100, v100_latency):
+    sms = v100.hier.sms_in_gpc(4)
+    slices = v100.hier.slices_in_mp(3)
+
+    def submatrix():
+        return v100_latency[np.ix_(sms, slices)]
+
+    sub = benchmark.pedantic(submatrix, rounds=1, iterations=1)
+    show("Fig 5: GPC4 SMs (rows) x MP3 slices (cols) latency", heatmap(sub))
+    show("Fig 5 paper vs measured", paper_vs([
+        ("closest pair (cycles)", 180, float(sub.min())),
+        ("farthest pair (cycles)", 217, float(sub.max())),
+    ]))
+    # distance correlates with latency inside the block
+    dist = np.array([[v100.floorplan.sm_slice_distance_mm(sm, s)
+                      for s in slices] for sm in sms])
+    r = np.corrcoef(dist.ravel(), sub.ravel())[0, 1]
+    assert r > 0.8
+    assert 165 <= sub.min() <= 200
+    assert 200 <= sub.max() <= 240

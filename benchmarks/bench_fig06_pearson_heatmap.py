@@ -1,0 +1,59 @@
+"""Fig 6: Pearson correlation heatmaps of latency profiles.
+
+Paper: (a) V100 — same-GPC near-perfect, neighbouring GPC pairs (0&1,
+4&5) high, distant GPCs low/negative; (b) A100 — partition block
+structure, reduced neighbour similarity; (c) H100 — CPC-granular groups
+of 4-6 SMs inside each GPC.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.analysis.stats import pearson_matrix
+from repro.core.correlation import gpc_block_summary
+from repro.viz import heatmap
+
+
+def bench_fig6a_v100(benchmark, v100, v100_latency):
+    corr = benchmark.pedantic(lambda: pearson_matrix(v100_latency),
+                              rounds=1, iterations=1)
+    show("Fig 6(a): V100 Pearson heatmap (SM x SM)",
+         heatmap(corr[::2, ::2], vmin=-1, vmax=1))
+    blocks = gpc_block_summary(v100, corr)
+    show("Fig 6(a) paper vs measured", paper_vs([
+        ("same-GPC r (example pair)", 0.998, round(blocks[(0, 0)], 3)),
+        ("edge-vs-edge r (GPC0 vs GPC4)", -0.365, round(blocks[(0, 4)], 3)),
+        ("neighbours r (GPC0 vs GPC1)", "high", round(blocks[(0, 1)], 3)),
+    ]))
+    assert blocks[(0, 0)] > 0.9
+    assert blocks[(0, 1)] > 0.6
+    assert blocks[(0, 4)] < 0
+    assert blocks[(0, 5)] < 0
+
+
+def bench_fig6b_a100(benchmark, a100, a100_latency):
+    corr = benchmark.pedantic(lambda: pearson_matrix(a100_latency),
+                              rounds=1, iterations=1)
+    show("Fig 6(b): A100 Pearson heatmap", heatmap(corr[::3, ::3],
+                                                   vmin=-1, vmax=1))
+    blocks = gpc_block_summary(a100, corr)
+    # same-GPC diagonal stays near-perfect
+    assert min(blocks[(g, g)] for g in range(8)) > 0.9
+    # cross-partition correlation clearly below same-partition neighbour
+    assert blocks[(0, 4)] < blocks[(0, 1)]
+
+
+def bench_fig6c_h100(benchmark, h100, h100_latency):
+    corr = benchmark.pedantic(lambda: pearson_matrix(h100_latency),
+                              rounds=1, iterations=1)
+    show("Fig 6(c): H100 Pearson heatmap", heatmap(corr[::3, ::3],
+                                                   vmin=-1, vmax=1))
+    # within-GPC correlation is visibly weaker than on A100: the CPC
+    # structure breaks up the GPC blocks (paper Sec III-C)
+    sms = h100.hier.sms_in_gpc(0)
+    within_gpc = corr[np.ix_(sms, sms)]
+    cpc0 = list(range(6))
+    within_cpc = within_gpc[np.ix_(cpc0, cpc0)]
+    off_diag = ~np.eye(6, dtype=bool)
+    cross_cpc = within_gpc[np.ix_(cpc0, range(12, 18))]
+    assert within_cpc[off_diag].mean() > cross_cpc.mean() + 0.15

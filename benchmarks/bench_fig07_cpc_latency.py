@@ -1,0 +1,37 @@
+"""Fig 7: H100 CPC hierarchy and SM-to-SM (dsmem) latency.
+
+Paper: (a) 3 CPCs per GPC interconnected by an SM-to-SM network;
+(b) within-CPC0 traffic is fastest (~196 cycles), within-CPC2 slowest
+(~213), other pairings scale with distance.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.core.cpc_detect import detect_cpcs
+from repro.core.latency_bench import measure_dsmem_latency
+from repro.viz import render_table
+
+
+def bench_fig7_dsmem_latency(benchmark, h100, h100_latency):
+    table = benchmark.pedantic(
+        lambda: measure_dsmem_latency(h100, gpc=0, samples=2),
+        rounds=1, iterations=1)
+    rows = [{"(src,dst) CPC": f"({a},{b})", "cycles": round(v, 1)}
+            for (a, b), v in sorted(table.items())]
+    show("Fig 7(b): SM-to-SM latency per CPC pair (H100, GPC0)",
+         render_table(rows))
+    show("Fig 7 paper vs measured", paper_vs([
+        ("(0,0) cycles", 196, round(table[(0, 0)], 1)),
+        ("(2,2) cycles", 213, round(table[(2, 2)], 1)),
+    ]))
+    assert table[(0, 0)] == min(table.values())
+    assert table[(2, 2)] == max(table.values())
+    assert 190 <= table[(0, 0)] <= 202
+    assert 206 <= table[(2, 2)] <= 225
+    # symmetric network
+    assert abs(table[(0, 2)] - table[(2, 0)]) < 3
+
+    # Fig 7(a): the CPC hierarchy itself is discoverable from L2 latency
+    groups = detect_cpcs(h100, h100_latency, gpc=0)
+    assert len(groups) == 3
+    assert sorted(len(g) for g in groups) == [6, 6, 6]

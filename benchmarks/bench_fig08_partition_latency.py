@@ -1,0 +1,73 @@
+"""Fig 8: per-GPC L2 hit latency (top) and miss penalty (bottom).
+
+Paper: V100 ~212 cycles everywhere; A100 near-partition GPCs ~212 but
+far ~400; H100 hit latency uniform (partition-local caching).  Miss
+penalty constant on V100/A100, variable on H100.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.core.latency_bench import measure_miss_penalty
+from repro.viz import render_table
+
+
+def _gpc_to_mp_means(gpu, latency, mp=0):
+    slices = gpu.hier.slices_in_mp(mp)
+    return np.array([latency[np.ix_(gpu.hier.sms_in_gpc(g), slices)].mean()
+                     for g in range(gpu.spec.num_gpcs)])
+
+
+def bench_fig8_top_hit_latency(benchmark, v100, a100, h100, v100_latency,
+                               a100_latency, h100_latency):
+    def all_means():
+        return {
+            "V100": _gpc_to_mp_means(v100, v100_latency),
+            "A100": _gpc_to_mp_means(a100, a100_latency),
+            "H100": _gpc_to_mp_means(h100, h100_latency),
+        }
+
+    means = benchmark.pedantic(all_means, rounds=1, iterations=1)
+    rows = [{"GPU": name, **{f"GPC{g}": round(v, 0)
+                             for g, v in enumerate(vals)}}
+            for name, vals in means.items()]
+    show("Fig 8(a-c): mean L2 hit latency from each GPC to MP0",
+         render_table(rows))
+
+    v = means["V100"]
+    # (a) V100: no partition split; per-GPC means to one MP differ only
+    # by within-die distance (<10%), nothing like A100's 2x far gap
+    assert v.std() / v.mean() < 0.10
+    assert v.max() / v.min() < 1.3
+    a = means["A100"]
+    near = a[[0, 1, 2, 3]]
+    far = a[[4, 5, 6, 7]]
+    show("Fig 8(b) paper vs measured", paper_vs([
+        ("A100 near-GPC latency", "~212", round(float(near.mean()), 0)),
+        ("A100 far-GPC latency", "~400", round(float(far.mean()), 0)),
+    ]))
+    assert far.mean() / near.mean() > 1.6                 # (b) split
+    h = means["H100"]
+    # (c) H100 much more uniform than A100: no 2x far-partition tier,
+    # only distance-to-local-alias variation (<20%)
+    assert (h.max() - h.min()) / h.mean() < 0.25
+    assert h.max() / h.min() < 0.75 * (far.mean() / near.mean())
+
+
+def bench_fig8_bottom_miss_penalty(benchmark, v100, a100, h100):
+    def penalties():
+        out = {}
+        for gpu in (v100, a100, h100):
+            slices = list(range(0, gpu.num_slices, gpu.num_slices // 8))
+            out[gpu.name] = measure_miss_penalty(gpu, sm=0, slices=slices,
+                                                 samples=2)
+        return out
+
+    out = benchmark.pedantic(penalties, rounds=1, iterations=1)
+    rows = [{"GPU": name, "min": round(p.min(), 0),
+             "max": round(p.max(), 0), "spread": round(p.max() - p.min(), 0)}
+            for name, p in out.items()]
+    show("Fig 8(d-f): L2 miss penalty per slice", render_table(rows))
+    assert out["V100"].max() - out["V100"].min() < 20     # (d) constant
+    assert out["A100"].max() - out["A100"].min() < 20     # (e) constant
+    assert out["H100"].max() - out["H100"].min() > 100    # (f) varies

@@ -1,0 +1,70 @@
+"""Fig 9: aggregate and per-slice bandwidth on V100.
+
+Paper: (a) aggregate L2 fabric bandwidth is 2.4-3.5x off-chip memory
+bandwidth, which itself reaches 85-90% of peak; (b) one SM to one slice
+~34 GB/s with sigma 0.147; (c) one GPC to one slice ~85 GB/s with sigma
+0.06 — tight, uniform distributions.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
+                                        aggregate_memory_bandwidth,
+                                        group_to_slice_bandwidth,
+                                        slice_bandwidth_distribution)
+from repro.viz import render_table
+
+
+def bench_fig9a_aggregate(benchmark, v100, a100, h100):
+    def aggregates():
+        rows = []
+        for gpu in (v100, a100, h100):
+            l2 = aggregate_l2_bandwidth(gpu)
+            mem = aggregate_memory_bandwidth(gpu)
+            rows.append({"GPU": gpu.name, "L2 fabric": round(l2, 0),
+                         "memory": round(mem, 0),
+                         "ratio": round(l2 / mem, 2),
+                         "mem/peak": round(
+                             mem / gpu.spec.mem_bandwidth_gbps, 2)})
+        return rows
+
+    rows = benchmark.pedantic(aggregates, rounds=1, iterations=1)
+    show("Fig 9(a): aggregate L2 fabric vs memory bandwidth (GB/s)",
+         render_table(rows))
+    for row in rows:
+        assert 2.0 <= row["ratio"] <= 4.0       # paper: 2.4-3.5x
+        assert 0.8 <= row["mem/peak"] <= 0.92   # paper: 85-90%
+
+
+def bench_fig9b_single_sm_distribution(benchmark, v100):
+    def distribution():
+        values = []
+        for s in range(0, 32, 4):
+            values.extend(slice_bandwidth_distribution(
+                v100, s, sms=range(0, v100.num_sms, 6)))
+        return np.array(values)
+
+    bw = benchmark.pedantic(distribution, rounds=1, iterations=1)
+    show("Fig 9(b) paper vs measured", paper_vs([
+        ("mean SM->slice bandwidth (GB/s)", 34.0, round(float(bw.mean()), 2)),
+        ("sigma (GB/s)", 0.147, round(float(bw.std()), 3)),
+    ]))
+    assert bw.mean() == np.clip(bw.mean(), 33, 35)
+    assert bw.std() < 0.5
+
+
+def bench_fig9c_gpc_distribution(benchmark, v100):
+    def distribution():
+        return np.array([
+            group_to_slice_bandwidth(v100, v100.hier.sms_in_gpc(g), s)
+            for g in range(6) for s in range(0, 32, 8)])
+
+    bw = benchmark.pedantic(distribution, rounds=1, iterations=1)
+    show("Fig 9(c) paper vs measured", paper_vs([
+        ("mean GPC->slice bandwidth (GB/s)", 85.0,
+         round(float(bw.mean()), 2)),
+        ("sigma (GB/s)", 0.06, round(float(bw.std()), 3)),
+    ]))
+    assert 83 <= bw.mean() <= 87
+    assert bw.std() < 0.5

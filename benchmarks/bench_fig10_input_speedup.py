@@ -1,0 +1,52 @@
+"""Fig 10: interconnect input speedup per hierarchy level.
+
+Paper: TPC reads reach full speedup (2.0) on all GPUs; V100 TPC writes
+only 1.09; GPC_l reaches ~50% of full on V100 rising towards ~85% on
+H100; GPC_g adds further speedup; H100 CPC reads are unaffected (6.0)
+but CPC writes reach only ~4.6.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.core.speedup_bench import measure_speedups
+from repro.noc.topology_graph import AccessKind
+from repro.viz import render_table
+
+
+def _rows(results):
+    return [{"level": m.level, "kind": m.kind.value, "SMs": m.sms_used,
+             "speedup": round(m.speedup, 2), "needed": m.required,
+             "fraction": round(m.fraction_of_full, 2)} for m in results]
+
+
+def bench_fig10_v100(benchmark, v100):
+    results = benchmark.pedantic(lambda: measure_speedups(v100),
+                                 rounds=1, iterations=1)
+    show("Fig 10: V100 input speedups", render_table(_rows(results)))
+    by = {(m.level, m.kind): m for m in results}
+    show("Fig 10 V100 paper vs measured", paper_vs([
+        ("TPC read speedup", 2.0,
+         round(by[("TPC", AccessKind.READ)].speedup, 2)),
+        ("TPC write speedup", 1.09,
+         round(by[("TPC", AccessKind.WRITE)].speedup, 2)),
+        ("GPC_l fraction of full", 0.5,
+         round(by[("GPC_l", AccessKind.READ)].fraction_of_full, 2)),
+    ]))
+    assert abs(by[("TPC", AccessKind.READ)].speedup - 2.0) < 0.25
+    assert abs(by[("TPC", AccessKind.WRITE)].speedup - 1.09) < 0.15
+    assert 0.4 <= by[("GPC_l", AccessKind.READ)].fraction_of_full <= 0.65
+
+
+def bench_fig10_h100_cpc(benchmark, h100):
+    results = benchmark.pedantic(lambda: measure_speedups(h100),
+                                 rounds=1, iterations=1)
+    show("Fig 10: H100 input speedups", render_table(_rows(results)))
+    by = {(m.level, m.kind): m for m in results}
+    show("Fig 10 H100 paper vs measured", paper_vs([
+        ("CPC read speedup", 6.0,
+         round(by[("CPC", AccessKind.READ)].speedup, 2)),
+        ("CPC write speedup", 4.6,
+         round(by[("CPC", AccessKind.WRITE)].speedup, 2)),
+    ]))
+    assert abs(by[("CPC", AccessKind.READ)].speedup - 6.0) < 0.5
+    assert abs(by[("CPC", AccessKind.WRITE)].speedup - 4.6) < 0.5

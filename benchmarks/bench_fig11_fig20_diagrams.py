@@ -1,0 +1,28 @@
+"""Fig 11 & Fig 20: the paper's block diagrams, generated from the specs."""
+
+from _figutil import show
+
+from repro.gpu.specs import A100, H100, V100
+from repro.viz.diagrams import many_to_few_diagram, speedup_hierarchy_diagram
+
+
+def bench_fig11_speedup_hierarchy(benchmark):
+    texts = benchmark.pedantic(
+        lambda: {s.name: speedup_hierarchy_diagram(s)
+                 for s in (V100, A100, H100)},
+        rounds=1, iterations=1)
+    for name, text in texts.items():
+        show(f"Fig 11: {name}", text)
+    assert "CPC mux" in texts["H100"]
+    assert "CPC mux" not in texts["V100"]
+    assert "partition bridge" in texts["A100"]
+    assert "partition bridge" not in texts["V100"]
+
+
+def bench_fig20_many_to_few(benchmark):
+    text = benchmark.pedantic(lambda: many_to_few_diagram(V100),
+                              rounds=1, iterations=1)
+    show("Fig 20: many-to-few-to-many", text)
+    assert "request network" in text
+    assert "BW_NoC-MEM" in text
+    assert "84 cores" in text

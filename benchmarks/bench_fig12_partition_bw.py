@@ -1,0 +1,42 @@
+"""Fig 12: near/far L2 slice bandwidth from two A100 SMs.
+
+Paper: SM0 (left partition) gets ~39.5 GB/s to slices 0-39 and ~26 GB/s
+to slices 40-79; an SM on the other partition sees the mirror image.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.core.bandwidth_bench import single_sm_slice_bandwidth
+from repro.viz import bar_chart
+
+
+def bench_fig12_near_far(benchmark, a100):
+    sm_left = a100.hier.sms_in_partition(0)[0]
+    sm_right = a100.hier.sms_in_partition(1)[0]
+    probe_slices = list(range(0, 80, 8))
+
+    def curves():
+        return {sm: np.array([single_sm_slice_bandwidth(a100, sm, s)
+                              for s in probe_slices])
+                for sm in (sm_left, sm_right)}
+
+    curves_by_sm = benchmark.pedantic(curves, rounds=1, iterations=1)
+    for sm, vals in curves_by_sm.items():
+        show(f"Fig 12: SM{sm} -> sampled L2 slices (A100)",
+             bar_chart([f"slice {s}" for s in probe_slices], vals, width=25))
+
+    left = curves_by_sm[sm_left]
+    right = curves_by_sm[sm_right]
+    near_l, far_l = left[:5], left[5:]
+    show("Fig 12 paper vs measured", paper_vs([
+        ("near-partition bandwidth (GB/s)", 39.5,
+         round(float(near_l.mean()), 1)),
+        ("far-partition bandwidth (GB/s)", 26.0,
+         round(float(far_l.mean()), 1)),
+    ]))
+    assert 38 <= near_l.mean() <= 41
+    assert 24 <= far_l.mean() <= 29
+    # the other partition's SM sees the mirror image
+    assert right[5:].mean() > right[:5].mean()
+    assert abs(right[5:].mean() - near_l.mean()) < 2.0

@@ -1,0 +1,42 @@
+"""Fig 13: per-slice bandwidth distribution across SMs.
+
+Paper: A100 is bimodal (near vs far partition peaks), H100 unimodal
+(partition-local caching); both have higher per-slice bandwidth than
+V100.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.analysis.stats import modality
+from repro.core.bandwidth_bench import slice_bandwidth_distribution
+from repro.viz import histogram_chart
+
+
+def bench_fig13_distributions(benchmark, v100, a100, h100):
+    def distributions():
+        return {
+            "V100": slice_bandwidth_distribution(
+                v100, 0, sms=range(0, v100.num_sms, 2)),
+            "A100": slice_bandwidth_distribution(
+                a100, 0, sms=range(0, a100.num_sms, 2)),
+            "H100": slice_bandwidth_distribution(
+                h100, 0, sms=range(0, h100.num_sms, 2)),
+        }
+
+    dists = benchmark.pedantic(distributions, rounds=1, iterations=1)
+    for name, d in dists.items():
+        show(f"Fig 13: {name} per-SM bandwidth to slice 0 "
+             f"({modality(d)} mode(s))",
+             histogram_chart(d, bins=12, width=30))
+    show("Fig 13 paper vs measured", paper_vs([
+        ("A100 modes", 2, modality(dists["A100"])),
+        ("H100 modes", 1, modality(dists["H100"])),
+        ("A100 peak > V100 peak", "yes",
+         "yes" if dists["A100"].max() > dists["V100"].max() else "no"),
+        ("H100 peak > V100 peak", "yes",
+         "yes" if dists["H100"].max() > dists["V100"].max() else "no"),
+    ]))
+    assert modality(dists["A100"]) == 2
+    assert modality(dists["H100"]) == 1
+    assert dists["A100"].max() > dists["V100"].max()
+    assert dists["H100"].max() > dists["V100"].max()

@@ -1,0 +1,48 @@
+"""Fig 14: A100 slice bandwidth vs number of SMs (near vs far).
+
+Paper: 1-2 far SMs achieve up to 28% less than near SMs (Little's law);
+by ~8 SMs the slice saturates at the same level regardless of partition.
+"""
+
+from _figutil import paper_vs, show
+
+from repro.analysis.littles_law import achievable_bandwidth_gbps
+from repro.core.bandwidth_bench import slice_saturation_curve
+from repro.viz import render_table
+
+
+def bench_fig14_saturation(benchmark, a100):
+    counts = [1, 2, 4, 6, 8, 12]
+
+    def curves():
+        near = slice_saturation_curve(a100, 0, a100.hier.sms_in_partition(0),
+                                      counts=counts)
+        far = slice_saturation_curve(a100, 0, a100.hier.sms_in_partition(1),
+                                     counts=counts)
+        return near, far
+
+    near, far = benchmark.pedantic(curves, rounds=1, iterations=1)
+    rows = [{"SMs": n, "near (GB/s)": round(near[n], 1),
+             "far (GB/s)": round(far[n], 1),
+             "far deficit": f"{(1 - far[n] / near[n]) * 100:.0f}%"}
+            for n in counts]
+    show("Fig 14: A100 slice bandwidth vs #SMs", render_table(rows))
+
+    deficit_1 = 1 - far[1] / near[1]
+    show("Fig 14 paper vs measured", paper_vs([
+        ("far deficit at 1-2 SMs", "up to 28%", f"{deficit_1 * 100:.0f}%"),
+        ("saturation point (SMs)", "~8", 8),
+    ]))
+    assert 0.2 <= deficit_1 <= 0.4
+    # saturated: near and far converge by 8 SMs
+    assert abs(near[8] - far[8]) / near[8] < 0.1
+    assert far[12] >= far[8] * 0.98
+
+    # Little's-law cross-check: the far deficit matches the RT ratio
+    sm_near = a100.hier.sms_in_partition(0)[0]
+    sm_far = a100.hier.sms_in_partition(1)[0]
+    rt_near = a100.latency.hit_latency(sm_near, 0)
+    rt_far = a100.latency.hit_latency(sm_far, 0)
+    predicted = achievable_bandwidth_gbps(
+        a100.spec.flow_mshr_bytes, rt_far, a100.spec.core_clock_hz)
+    assert abs(predicted - far[1]) / far[1] < 0.1

@@ -1,0 +1,84 @@
+"""Fig 15: placement effects on V100 bandwidth.
+
+Paper: (a) contiguous vs distributed L2 slices — minimal difference
+(near-ideal L2 input speedup); (b) contiguous vs distributed SMs — ~62%
+degradation at 28 SMs (limited GPC speedup); (c) 14 contiguous SMs gain
++218% when their traffic spreads from 1 MP to 4 MPs (speedup in space).
+"""
+
+from _figutil import paper_vs, show
+
+from repro.core.bandwidth_bench import measure_bandwidth
+from repro.viz import render_table
+
+
+def bench_fig15a_slice_placement(benchmark, v100):
+    hier = v100.hier
+
+    def run():
+        rows = []
+        for n in (1, 2, 4):
+            contig = measure_bandwidth(
+                v100, {sm: hier.slices_in_mp(0)[:n]
+                       for sm in hier.all_sms}).total_gbps
+            spread = measure_bandwidth(
+                v100, {sm: [hier.slice_id(m, 0) for m in range(n)]
+                       for sm in hier.all_sms}).total_gbps
+            rows.append({"slices": n, "contiguous MP": round(contig, 0),
+                         "distributed MP": round(spread, 0)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show("Fig 15(a): all SMs -> n slices, contiguous vs distributed MPs",
+         render_table(rows))
+    for row in rows:
+        assert abs(row["contiguous MP"] - row["distributed MP"]) \
+            <= 0.05 * row["distributed MP"]
+
+
+def bench_fig15b_sm_placement(benchmark, v100):
+    hier = v100.hier
+    mp0 = hier.slices_in_mp(0)
+
+    def run():
+        contig = measure_bandwidth(
+            v100, {sm: mp0 for sm in
+                   hier.sms_in_gpc(0) + hier.sms_in_gpc(1)}).total_gbps
+        spread_sms = [hier.sm_id(g, t, s) for g in range(6)
+                      for t in range(3) for s in range(2)][:28]
+        spread = measure_bandwidth(
+            v100, {sm: mp0 for sm in spread_sms}).total_gbps
+        return contig, spread
+
+    contig, spread = benchmark.pedantic(run, rounds=1, iterations=1)
+    degradation = 1 - contig / spread
+    show("Fig 15(b) paper vs measured", paper_vs([
+        ("28 contiguous SMs -> 1 MP (GB/s)", "low", round(contig, 0)),
+        ("28 distributed SMs -> 1 MP (GB/s)", "high", round(spread, 0)),
+        ("degradation", "62%", f"{degradation * 100:.0f}%"),
+    ]))
+    assert 0.4 <= degradation <= 0.75
+
+
+def bench_fig15c_mp_spread(benchmark, v100):
+    hier = v100.hier
+    sms = hier.sms_in_gpc(0)
+
+    def run():
+        out = {}
+        for n_mps in (1, 2, 4):
+            slices = [s for m in range(n_mps)
+                      for s in hier.slices_in_mp(m)]
+            out[n_mps] = measure_bandwidth(
+                v100, {sm: slices for sm in sms}).total_gbps
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = out[4] / out[1] - 1
+    show("Fig 15(c) paper vs measured", paper_vs([
+        ("14 contiguous SMs -> 1 MP (GB/s)", "low", round(out[1], 0)),
+        ("14 contiguous SMs -> 4 MPs (GB/s)", "high", round(out[4], 0)),
+        ("improvement", "+218%", f"+{gain * 100:.0f}%"),
+    ]))
+    assert out[1] < out[2] < out[4]
+    assert 1.5 <= gain <= 3.0

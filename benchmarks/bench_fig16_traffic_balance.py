@@ -1,0 +1,45 @@
+"""Fig 16: per-L2-slice traffic over time for bfs and gaussian.
+
+Paper: traffic volume varies strongly over time (frontier growth in BFS,
+shrinking submatrix in Gaussian) but the address hash keeps the
+distribution across slices balanced throughout.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.memory.address import camping_index
+from repro.viz import heatmap
+from repro.workloads import (bfs_trace, gaussian_trace,
+                             slice_traffic_over_time)
+
+
+def bench_fig16_traffic_heatmaps(benchmark, v100):
+    def run():
+        out = {}
+        for trace in (bfs_trace(num_nodes=4096, avg_degree=8, seed=1),
+                      gaussian_trace(n=128)):
+            out[trace.name] = slice_traffic_over_time(trace,
+                                                      v100.memory.hasher)
+        return out
+
+    traffic = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name, per_step in traffic.items():
+        sample = per_step[:: max(1, len(per_step) // 20)]
+        show(f"Fig 16: {name} traffic (rows=time, cols=L2 slice)",
+             heatmap(sample))
+        volume = per_step.sum(axis=1).astype(float)
+        balance = camping_index(per_step.sum(axis=0))
+        rows.append((f"{name}: volume max/min over time", ">3x",
+                     f"{volume.max() / max(volume[volume > 0].min(), 1):.1f}x"))
+        rows.append((f"{name}: slice camping index", "~1 (balanced)",
+                     round(balance, 2)))
+        assert balance < 1.5
+        assert volume.max() > 3 * volume[volume > 0].min()
+        # per-timestep share stays balanced for the heavy steps
+        heavy = per_step[volume > np.percentile(volume, 50)]
+        per_step_balance = [camping_index(step) for step in heavy]
+        assert np.median(per_step_balance) < 2.0
+    show("Fig 16 paper vs measured", "\n".join(
+        f"{q}: paper={p} measured={m}" for q, p, m in rows))

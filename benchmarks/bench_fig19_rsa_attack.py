@@ -1,0 +1,43 @@
+"""Fig 19: RSA #1-bits vs execution time, static vs random scheduling.
+
+Paper: static scheduling gives a clean linear relationship (the classic
+timing leak); random scheduling makes it so noisy that a measured time
+maps to a huge range of possible key weights (e.g. 416-1920 of 2048).
+"""
+
+from _figutil import paper_vs, show
+
+from repro.runtime.scheduler import RandomScheduler, StaticScheduler
+from repro.sidechannel.attacks import rsa_ones_attack
+from repro.sidechannel.rsa import RSATimingOracle
+
+_BITS = 128
+_MODULUS = (1 << 127) - 1
+
+
+def bench_fig19_rsa_static_vs_random(benchmark, a100):
+    def run():
+        oracle = RSATimingOracle(a100, _MODULUS)
+        static = oracle.timing_curve(
+            StaticScheduler(a100.num_sms, start=3), bits=_BITS,
+            samples_per_point=4)
+        random = oracle.timing_curve(
+            RandomScheduler(a100.num_sms, seed=7), bits=_BITS,
+            samples_per_point=4)
+        return rsa_ones_attack(*static), rsa_ones_attack(*random)
+
+    static_fit, random_fit = benchmark.pedantic(run, rounds=1, iterations=1)
+    show("Fig 19 paper vs measured", paper_vs([
+        ("static R^2", "~1.0 (linear)", round(static_fit.r_squared, 3)),
+        ("random R^2", "noisy", round(random_fit.r_squared, 3)),
+        ("static inference spread (1-bits)", "small",
+         round(static_fit.inference_spread(), 1)),
+        ("random inference spread (1-bits)", "huge (416-1920 of 2048)",
+         round(random_fit.inference_spread(), 1)),
+    ]))
+    assert static_fit.r_squared > 0.98
+    assert random_fit.r_squared < 0.9
+    # under the defence, one measured time is compatible with a large
+    # fraction of all possible key weights
+    assert random_fit.inference_spread() > 0.3 * _BITS
+    assert static_fit.inference_spread() < 0.15 * _BITS

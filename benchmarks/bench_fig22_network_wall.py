@@ -1,0 +1,36 @@
+"""Fig 22: memory bandwidth vs NoC->MEM interface bandwidth survey.
+
+Paper: several simulation-based studies provision BW_noc-mem = f_noc * w
+* C below their memory bandwidth, creating a "network wall" that makes
+the NoC — not DRAM — the real bottleneck of their baseline.
+"""
+
+from _figutil import show
+
+from repro.analysis.bottleneck import series_throughput
+from repro.analysis.network_wall import PRIOR_WORK, classify_network_wall
+from repro.viz import render_table
+
+
+def bench_fig22_survey(benchmark):
+    split = benchmark.pedantic(classify_network_wall, rounds=1, iterations=1)
+    rows = [{"study": c.name, "ref": c.reference,
+             "BW_mem": c.mem_bandwidth_gbps,
+             "BW_noc-mem": round(c.interface_bandwidth_gbps, 1),
+             "walled": "YES" if c.below_wall else "no"}
+            for c in PRIOR_WORK]
+    show("Fig 22: prior-work NoC-MEM interface vs memory bandwidth",
+         render_table(rows))
+    show("Fig 22 summary",
+         f"{len(split['walled'])}/{len(PRIOR_WORK)} surveyed baselines sit "
+         f"below the BW_noc-mem = BW_mem line (network wall)")
+    assert split["walled"] and split["memory_bound"]
+
+    # Implication 5: for a walled config, bottleneck analysis names the NoC
+    walled = split["walled"][0]
+    report = series_throughput({
+        "cores": 10 * walled.mem_bandwidth_gbps,
+        "noc_interface": walled.interface_bandwidth_gbps,
+        "memory": walled.mem_bandwidth_gbps,
+    })
+    assert report.bottleneck == "noc_interface"

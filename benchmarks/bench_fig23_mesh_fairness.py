@@ -1,0 +1,44 @@
+"""Fig 23: throughput fairness on a 6x6 mesh, RR vs age-based arbitration.
+
+Paper: with round-robin arbitration and dimension-ordered routing, nodes
+near the memory controllers capture up to ~2.4x the throughput of far
+nodes; age-based (globally fair) arbitration flattens the distribution
+at the cost of flow-control complexity.
+"""
+
+import numpy as np
+from _figutil import paper_vs, show
+
+from repro.noc.mesh.traffic import run_fairness_experiment
+from repro.viz import bar_chart
+
+
+def bench_fig23_fairness(benchmark, v100):
+    def run():
+        rr = run_fairness_experiment("rr", cycles=16000, warmup=3000)
+        age = run_fairness_experiment("age", cycles=16000, warmup=3000)
+        return rr, age
+
+    rr, age = benchmark.pedantic(run, rounds=1, iterations=1)
+    for result in (rr, age):
+        show(f"Fig 23: per-node accepted throughput ({result.arbiter})",
+             bar_chart([f"n{n}" for n in sorted(result.throughput)],
+                       [result.throughput[n]
+                        for n in sorted(result.throughput)], width=25))
+
+    rr_ratio = rr.values.max() / rr.values.mean()
+    age_ratio = age.values.max() / age.values.mean()
+    show("Fig 23 paper vs measured", paper_vs([
+        ("RR max/mean throughput", "up to 2.4x", f"{rr_ratio:.2f}x"),
+        ("age-based max/mean", "~1 (fair)", f"{age_ratio:.2f}x"),
+        ("RR cv", "high", round(float(rr.values.std() / rr.values.mean()),
+                                2)),
+        ("age cv", "low", round(float(age.values.std() / age.values.mean()),
+                                2)),
+    ]))
+    assert 1.7 <= rr_ratio <= 3.0
+    assert age_ratio < rr_ratio
+    assert age.values.std() / age.values.mean() \
+        < 0.6 * (rr.values.std() / rr.values.mean())
+    # fairness does not cost aggregate throughput
+    assert age.total_throughput > 0.9 * rr.total_throughput

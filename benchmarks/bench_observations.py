@@ -1,0 +1,16 @@
+"""All twelve paper observations, checked end to end on the devices."""
+
+from _figutil import show
+
+from repro.core.observations import check_all_observations
+from repro.viz import render_table
+
+
+def bench_all_observations(benchmark):
+    results = benchmark.pedantic(check_all_observations, rounds=1,
+                                 iterations=1)
+    rows = [{"#": r.number, "holds": "PASS" if r.holds else "FAIL",
+             "observation": r.statement} for r in results]
+    show("Paper observations 1-12", render_table(rows))
+    assert all(r.holds for r in results), \
+        [r.number for r in results if not r.holds]

@@ -1,0 +1,17 @@
+"""Table I: microarchitecture comparison of the three GPUs."""
+
+from _figutil import show
+
+from repro.gpu.specs import A100, H100, V100
+from repro.viz import render_table
+
+
+def bench_table1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [spec.table1_row() for spec in (V100, A100, H100)],
+        rounds=1, iterations=1)
+    show("Table I: GPU microarchitecture comparison", render_table(rows))
+    assert [r["GPU"] for r in rows] == ["V100", "A100", "H100"]
+    assert rows[0]["Mem BW (GB/s)"] < rows[1]["Mem BW (GB/s)"] \
+        < rows[2]["Mem BW (GB/s)"]
+    assert rows[1]["Partitions"] == rows[2]["Partitions"] == 2

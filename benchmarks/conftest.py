@@ -1,0 +1,44 @@
+"""Shared fixtures and reporting helpers for the figure benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper:
+it computes the same quantities the paper plots, prints them side by side
+with the paper's reported values (run with ``-s`` to see the tables), and
+asserts the paper's qualitative shape.  ``pytest benchmarks/
+--benchmark-only`` runs them all under pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.device import SimulatedGPU
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return SimulatedGPU("V100", seed=0)
+
+
+@pytest.fixture(scope="session")
+def a100():
+    return SimulatedGPU("A100", seed=0)
+
+
+@pytest.fixture(scope="session")
+def h100():
+    return SimulatedGPU("H100", seed=0)
+
+
+@pytest.fixture(scope="session")
+def v100_latency(v100):
+    return v100.latency.latency_matrix()
+
+
+@pytest.fixture(scope="session")
+def a100_latency(a100):
+    return a100.latency.latency_matrix()
+
+
+@pytest.fixture(scope="session")
+def h100_latency(h100):
+    return h100.latency.latency_matrix()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""AES/RSA timing attacks and the random-scheduling defence (Sec V).
+
+Reproduces the paper's security story on the simulated GPU:
+
+1. the AES last-round correlation attack recovers key bytes when the
+   thread-block scheduler is static (Fig 18a);
+2. the RSA #1-bits <-> time leak gives a clean linear fit (Fig 19a);
+3. switching to random-*seed* CTA scheduling — zero hardware cost —
+   exploits the NoC's non-uniform latency to break both (Fig 18b/19b).
+
+This is a reproduction of published academic analysis, run entirely
+against a simulated device, for defensive evaluation.
+"""
+
+from repro import SimulatedGPU
+from repro.runtime.scheduler import RandomScheduler, StaticScheduler
+from repro.sidechannel.aes import AESTimingOracle
+from repro.sidechannel.attacks import aes_key_byte_attack, rsa_ones_attack
+from repro.sidechannel.rsa import RSATimingOracle
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+SAMPLES = 400
+POSITIONS = (0, 1, 2, 3)
+
+
+def aes_round(gpu, scheduler, label):
+    oracle = AESTimingOracle(gpu, KEY)
+    ciphertexts, times = oracle.collect(scheduler, SAMPLES)
+    recovered = 0
+    print(f"\nAES key recovery, {label} scheduling "
+          f"({SAMPLES} timed encryption batches):")
+    for pos in POSITIONS:
+        result = aes_key_byte_attack(oracle, ciphertexts, times, pos)
+        rank = int((result.correlations
+                    > result.correlations[result.true_byte]).sum())
+        status = "RECOVERED" if result.recovered else f"rank {rank}"
+        print(f"  key byte {pos}: true=0x{result.true_byte:02x} "
+              f"best=0x{result.best_guess:02x} "
+              f"peak r={result.peak_correlation:+.3f}  [{status}]")
+        recovered += result.recovered
+    print(f"  -> {recovered}/{len(POSITIONS)} key bytes recovered")
+    return recovered
+
+
+def rsa_round(gpu, scheduler, label):
+    oracle = RSATimingOracle(gpu, modulus=(1 << 127) - 1)
+    ones, times = oracle.timing_curve(scheduler, bits=128,
+                                      samples_per_point=3)
+    fit = rsa_ones_attack(ones, times)
+    print(f"\nRSA timing fit, {label} scheduling: "
+          f"R^2={fit.r_squared:.3f}, a measured time pins the key weight "
+          f"to +/-{fit.inference_spread() / 2:.0f} of 128 bits")
+    return fit
+
+
+def main() -> None:
+    v100 = SimulatedGPU("V100")
+    a100 = SimulatedGPU("A100")
+
+    static_v = StaticScheduler(v100.num_sms, start=5)
+    random_v = RandomScheduler(v100.num_sms, seed=3)
+    got_static = aes_round(v100, static_v, "static")
+    got_random = aes_round(v100, random_v, "random")
+
+    static_a = StaticScheduler(a100.num_sms, start=3)
+    random_a = RandomScheduler(a100.num_sms, seed=7)
+    fit_static = rsa_round(a100, static_a, "static")
+    fit_random = rsa_round(a100, random_a, "random")
+
+    print("\nsummary (paper Implication 3):")
+    print(f"  AES: static recovered {got_static}/4, "
+          f"random recovered {got_random}/4")
+    print(f"  RSA: static R^2 {fit_static.r_squared:.2f} -> "
+          f"random R^2 {fit_random.r_squared:.2f}")
+    print("  random thread-block scheduling leverages the NoC's own "
+          "non-uniform latency as a defence, with no added hardware.")
+
+
+if __name__ == "__main__":
+    main()

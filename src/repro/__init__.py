@@ -1,0 +1,49 @@
+"""repro — reproduction of "Uncovering Real GPU NoC Characteristics:
+Implications on Interconnect Architecture" (MICRO 2024).
+
+The package simulates the paper's three NVIDIA GPUs (V100/A100/H100) with
+a hierarchical-crossbar NoC derived from a physical floorplan, runs the
+paper's latency/bandwidth microbenchmarks (Algorithms 1 and 2) against
+them, and reproduces every observation, implication, table and figure of
+the paper — including the timing side-channel attacks/defence and the
+cycle-level 2-D mesh comparisons.
+
+Quick start::
+
+    from repro import SimulatedGPU, latency_profile
+
+    gpu = SimulatedGPU("V100")
+    profile = latency_profile(gpu, sm=24)    # Fig 1(a)
+"""
+
+from repro.gpu import (GPUSpec, SimulatedGPU, V100, A100, H100, get_spec,
+                       known_specs)
+from repro.core import (measure_l2_latency, latency_profile,
+                        measured_latency_matrix, measure_miss_penalty,
+                        measure_dsmem_latency, measure_bandwidth,
+                        single_sm_slice_bandwidth,
+                        slice_bandwidth_distribution,
+                        group_to_slice_bandwidth, aggregate_l2_bandwidth,
+                        aggregate_memory_bandwidth, slice_saturation_curve,
+                        measure_speedups, correlation_heatmap,
+                        gpc_block_summary, cluster_sms_by_correlation,
+                        detect_cpcs, check_all_observations)
+from repro.noc.topology_graph import AccessKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUSpec", "SimulatedGPU", "V100", "A100", "H100", "get_spec",
+    "known_specs",
+    "measure_l2_latency", "latency_profile", "measured_latency_matrix",
+    "measure_miss_penalty", "measure_dsmem_latency",
+    "measure_bandwidth", "single_sm_slice_bandwidth",
+    "slice_bandwidth_distribution", "group_to_slice_bandwidth",
+    "aggregate_l2_bandwidth", "aggregate_memory_bandwidth",
+    "slice_saturation_curve", "measure_speedups",
+    "correlation_heatmap", "gpc_block_summary",
+    "cluster_sms_by_correlation", "detect_cpcs",
+    "check_all_observations",
+    "AccessKind",
+    "__version__",
+]

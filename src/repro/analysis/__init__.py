@@ -1,0 +1,20 @@
+"""Statistics and performance-analysis helpers."""
+
+from repro.analysis.stats import (pearson, pearson_matrix, summarize,
+                                  histogram, modality, Summary)
+from repro.analysis.littles_law import (required_outstanding_bytes,
+                                        achievable_bandwidth_gbps,
+                                        sms_to_saturate)
+from repro.analysis.bottleneck import series_throughput, BottleneckReport
+from repro.analysis.network_wall import (PriorWorkConfig, PRIOR_WORK,
+                                         interface_bandwidth_gbps,
+                                         classify_network_wall)
+
+__all__ = [
+    "pearson", "pearson_matrix", "summarize", "histogram", "Summary",
+    "required_outstanding_bytes", "achievable_bandwidth_gbps",
+    "sms_to_saturate",
+    "series_throughput", "BottleneckReport",
+    "PriorWorkConfig", "PRIOR_WORK", "interface_bandwidth_gbps",
+    "classify_network_wall",
+]

@@ -1,0 +1,45 @@
+"""Series-system bottleneck analysis (paper Section VI-B, Implication 5).
+
+"The maximum throughput of K sub-systems in series is the minimum of the
+subsystem throughput" [Hill].  The cores, the NoC (terminal/interface
+bandwidth), and the memory system form such a series; this module computes
+which stage binds, which is exactly the paper's argument for why interface
+bandwidth — not bisection bandwidth — determines whether the NoC walls off
+memory bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Throughput of a series system and the stage that limits it."""
+    stages: tuple                # (name, throughput) ordered pairs
+    throughput: float
+    bottleneck: str
+
+    def headroom(self, stage: str) -> float:
+        """Spare throughput of a stage relative to the system bottleneck."""
+        for name, value in self.stages:
+            if name == stage:
+                return value - self.throughput
+        raise ReproError(f"unknown stage {stage!r}")
+
+
+def series_throughput(stages: dict) -> BottleneckReport:
+    """Max throughput of named subsystems connected in series."""
+    if not stages:
+        raise ReproError("need at least one stage")
+    for name, value in stages.items():
+        if value <= 0:
+            raise ReproError(f"stage {name!r} must have positive throughput")
+    bottleneck = min(stages, key=stages.get)
+    return BottleneckReport(
+        stages=tuple(stages.items()),
+        throughput=stages[bottleneck],
+        bottleneck=bottleneck,
+    )

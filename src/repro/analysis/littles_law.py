@@ -1,0 +1,45 @@
+"""Little's-law analysis of latency-limited bandwidth (paper Fig 14).
+
+The paper explains the A100's lower far-partition bandwidth with Little's
+law: the same outstanding-request budget divided by a longer round-trip
+time yields less throughput, until enough SMs stack their budgets to
+saturate the slice.  These helpers make that argument quantitative and are
+used both by the Fig 14 bench and by tests that cross-check the flow
+solver against first principles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+from repro.errors import ReproError
+
+
+def achievable_bandwidth_gbps(outstanding_bytes: float,
+                              round_trip_cycles: float,
+                              clock_hz: float) -> float:
+    """Single-requester bandwidth at a given in-flight byte budget."""
+    if outstanding_bytes < 0:
+        raise ReproError("outstanding_bytes must be non-negative")
+    return units.littles_law_bandwidth(outstanding_bytes, round_trip_cycles,
+                                       clock_hz)
+
+
+def required_outstanding_bytes(target_gbps: float, round_trip_cycles: float,
+                               clock_hz: float) -> float:
+    """In-flight bytes needed to sustain ``target_gbps``."""
+    if target_gbps < 0:
+        raise ReproError("target_gbps must be non-negative")
+    return units.bytes_in_flight(target_gbps, round_trip_cycles, clock_hz)
+
+
+def sms_to_saturate(slice_bw_gbps: float, per_sm_gbps: float) -> int:
+    """SMs needed before a slice's ingress bandwidth, not latency, binds.
+
+    This is the paper's "minimum of 4 SMs" / "saturates at ~8 SMs"
+    arithmetic (Observations 8 and 10).
+    """
+    if slice_bw_gbps <= 0 or per_sm_gbps <= 0:
+        raise ReproError("bandwidths must be positive")
+    return max(1, math.ceil(slice_bw_gbps / per_sm_gbps))

@@ -1,0 +1,80 @@
+"""The "network wall" survey (paper Figure 22, Implication 4/5).
+
+The paper surveys simulation-based prior work and plots each study's
+memory bandwidth against its NoC->MEM *interface* bandwidth,
+
+    BW_noc-mem = f_noc * w * C
+
+(f_noc: NoC clock, w: channel width bytes, C: number of memory
+partitions).  Points below the ``BW_noc-mem = BW_mem`` line have walled
+off their own memory system: the NoC interface, not DRAM, limits
+memory-intensive workloads, so conclusions about NoC optimisations on
+such baselines overstate their benefit.
+
+``PRIOR_WORK`` encodes the simulator configurations of the studies the
+paper surveys, as modelled from each paper's methodology/configuration
+tables (GPGPU-Sim-era setups; values are the published configuration
+parameters, reconstructed to the precision the papers report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PriorWorkConfig:
+    """One simulation-based study's NoC/memory provisioning."""
+    name: str
+    reference: str            # paper citation tag
+    noc_clock_ghz: float
+    channel_width_bytes: int
+    num_mps: int
+    mem_bandwidth_gbps: float
+
+    @property
+    def interface_bandwidth_gbps(self) -> float:
+        return interface_bandwidth_gbps(self.noc_clock_ghz,
+                                        self.channel_width_bytes,
+                                        self.num_mps)
+
+    @property
+    def below_wall(self) -> bool:
+        """True when the NoC interface walls off memory bandwidth."""
+        return self.interface_bandwidth_gbps < self.mem_bandwidth_gbps
+
+
+def interface_bandwidth_gbps(noc_clock_ghz: float, channel_width_bytes: int,
+                             num_mps: int) -> float:
+    """``BW_noc-mem = f_noc * w * C`` in GB/s (paper Section VI-C)."""
+    if noc_clock_ghz <= 0 or channel_width_bytes <= 0 or num_mps <= 0:
+        raise ReproError("interface bandwidth parameters must be positive")
+    return noc_clock_ghz * channel_width_bytes * num_mps
+
+
+#: Simulator configurations of the prior work surveyed in Fig 22.
+PRIOR_WORK = (
+    PriorWorkConfig("CCWS", "[14]", 0.70, 32, 8, 179.2),
+    PriorWorkConfig("Mascar", "[15]", 0.70, 16, 6, 179.2),
+    PriorWorkConfig("iPAWS", "[17]", 0.70, 16, 8, 179.2),
+    PriorWorkConfig("Throughput-effective NoC", "[28]", 0.60, 16, 8, 128.0),
+    PriorWorkConfig("Packet pump", "[29]", 1.00, 16, 8, 179.2),
+    PriorWorkConfig("BW-efficient NoC", "[30]", 0.70, 16, 8, 140.0),
+    PriorWorkConfig("Cost-effective NoC", "[31]", 0.60, 16, 6, 128.0),
+    PriorWorkConfig("Conflict-free NoC", "[32]", 1.00, 32, 8, 179.2),
+    PriorWorkConfig("WarpPool", "[58]", 0.70, 32, 8, 179.2),
+    PriorWorkConfig("Adaptive cache mgmt", "[59]", 0.70, 16, 6, 179.2),
+)
+
+
+def classify_network_wall(configs=PRIOR_WORK) -> dict:
+    """Split studies into wall-limited and memory-limited groups."""
+    configs = tuple(configs)
+    if not configs:
+        raise ReproError("no configurations to classify")
+    walled = tuple(c for c in configs if c.below_wall)
+    healthy = tuple(c for c in configs if not c.below_wall)
+    return {"walled": walled, "memory_bound": healthy,
+            "walled_fraction": len(walled) / len(configs)}

@@ -1,0 +1,97 @@
+"""Pearson correlation and distribution summaries (paper Eq. 1, Fig 2/6).
+
+The paper uses Pearson correlation between per-SM latency vectors to
+fingerprint SM placement (Observation 4).  We implement Eq. 1 directly and
+provide the heatmap/clustering helpers the placement analysis builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient (paper Equation 1)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ReproError("pearson needs two equal-length 1-D samples")
+    if x.size < 2:
+        raise ReproError("pearson needs at least two samples")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc ** 2).sum()) * np.sqrt((yc ** 2).sum())
+    if denom == 0:
+        raise ReproError("pearson undefined for constant samples")
+    return float((xc * yc).sum() / denom)
+
+
+def pearson_matrix(rows: np.ndarray) -> np.ndarray:
+    """Pairwise Pearson correlation of the rows of a matrix (Fig 6)."""
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2 or rows.shape[0] < 2:
+        raise ReproError("pearson_matrix needs a 2-D matrix with >=2 rows")
+    if (rows.std(axis=1) == 0).any():
+        raise ReproError("pearson undefined for constant rows")
+    return np.corrcoef(rows)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary used throughout EXPERIMENTS.md."""
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def summarize(values) -> Summary:
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ReproError("cannot summarise an empty sample")
+    return Summary(mean=float(arr.mean()), std=float(arr.std()),
+                   minimum=float(arr.min()), maximum=float(arr.max()),
+                   count=int(arr.size))
+
+
+def histogram(values, bins: int = 20) -> tuple:
+    """(counts, edges) histogram with validation (Fig 2/9/13)."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ReproError("cannot histogram an empty sample")
+    if bins <= 0:
+        raise ReproError("bins must be positive")
+    counts, edges = np.histogram(arr, bins=bins)
+    return counts, edges
+
+
+def modality(values, bins: int = 12, min_prominence: float = 0.25) -> int:
+    """Count the prominent modes of a sample (Fig 13: bimodal vs unimodal).
+
+    Counts maximal histogram runs that rise above ``min_prominence`` of
+    the tallest bin, separated by valleys that drop below half that
+    threshold.  The coarse default binning absorbs within-mode spread
+    (e.g. the A100 far-partition mode spans a few GB/s) while still
+    separating the A100's near/far modes from the H100's single peak.
+    """
+    counts, _ = histogram(values, bins)
+    threshold = min_prominence * counts.max()
+    valley = threshold / 2.0
+    modes = 0
+    above = False
+    for count in counts:
+        if not above and count >= threshold:
+            modes += 1
+            above = True
+        elif above and count < valley:
+            above = False
+    return max(modes, 1)

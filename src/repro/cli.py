@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small wrappers around the library so the paper's headline experiments
+run from a shell:
+
+* ``specs``                      — Table I
+* ``floorplan <gpu>``            — Fig 4 text rendering
+* ``latency <gpu> [--sm N]``     — Algorithm 1 profile + summary
+* ``bandwidth <gpu>``            — Fig 9 headline numbers
+* ``speedup <gpu>``              — Fig 10 table
+* ``observations``               — all twelve observation checks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.gpu.specs import get_spec, known_specs
+from repro.viz import bar_chart, render_table
+
+
+def _cmd_specs(_args) -> int:
+    rows = [get_spec(name).table1_row() for name in known_specs()]
+    print(render_table(rows, title="Table I: GPU microarchitecture"))
+    return 0
+
+
+def _gpu_argument(value: str):
+    """Argparse type: a built-in name (V100/A100/H100) or a spec JSON."""
+    if value.lower().endswith(".json"):
+        from repro.gpu.serialization import load_spec
+        try:
+            return load_spec(value)
+        except Exception as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    try:
+        return get_spec(value)
+    except Exception:
+        raise argparse.ArgumentTypeError(
+            f"unknown GPU {value!r}; use one of {', '.join(known_specs())} "
+            "or a spec .json file") from None
+
+
+def _device(spec, seed: int):
+    from repro.gpu.device import SimulatedGPU
+    return SimulatedGPU(spec, seed=seed)
+
+
+def _cmd_floorplan(args) -> int:
+    print(_device(args.gpu, args.seed).floorplan.render())
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from repro.analysis.stats import summarize
+    from repro.core.latency_bench import latency_profile
+    gpu = _device(args.gpu, args.seed)
+    profile = latency_profile(gpu, sm=args.sm)
+    print(bar_chart([f"slice {s}" for s in range(len(profile))], profile,
+                    width=40,
+                    title=f"{gpu.name} SM{args.sm} L2 hit latency (cycles)"))
+    s = summarize(profile)
+    print(f"\nmean {s.mean:.0f}  min {s.minimum:.0f}  max {s.maximum:.0f}  "
+          f"spread {s.spread / s.mean * 100:.0f}%")
+    return 0
+
+
+def _cmd_bandwidth(args) -> int:
+    from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
+                                            aggregate_memory_bandwidth,
+                                            group_to_slice_bandwidth,
+                                            single_sm_slice_bandwidth)
+    gpu = _device(args.gpu, args.seed)
+    sm_bw = single_sm_slice_bandwidth(gpu, 0, 0)
+    gpc_bw = group_to_slice_bandwidth(gpu, gpu.hier.sms_in_gpc(0), 0)
+    l2 = aggregate_l2_bandwidth(gpu)
+    mem = aggregate_memory_bandwidth(gpu)
+    print(render_table([
+        {"quantity": "1 SM -> 1 slice", "GB/s": round(sm_bw, 1)},
+        {"quantity": "1 GPC -> 1 slice", "GB/s": round(gpc_bw, 1)},
+        {"quantity": "aggregate L2 fabric", "GB/s": round(l2, 0)},
+        {"quantity": "aggregate DRAM", "GB/s": round(mem, 0)},
+        {"quantity": "L2 / DRAM ratio", "GB/s": round(l2 / mem, 2)},
+    ], title=f"{gpu.name} bandwidth (paper Fig 9)"))
+    return 0
+
+
+def _cmd_speedup(args) -> int:
+    from repro.core.speedup_bench import measure_speedups
+    gpu = _device(args.gpu, args.seed)
+    rows = [{"level": m.level, "kind": m.kind.value,
+             "speedup": round(m.speedup, 2), "needed": m.required,
+             "fraction": round(m.fraction_of_full, 2)}
+            for m in measure_speedups(gpu)]
+    print(render_table(rows, title=f"{gpu.name} input speedups (Fig 10)"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.report import generate_report
+    print(generate_report(seed=args.seed, include_mesh=not args.no_mesh))
+    return 0
+
+
+def _cmd_observations(_args) -> int:
+    from repro.core.observations import check_all_observations
+    results = check_all_observations()
+    rows = [{"#": r.number, "holds": "PASS" if r.holds else "FAIL",
+             "observation": r.statement} for r in results]
+    print(render_table(rows, title="Paper observations 1-12"))
+    return 0 if all(r.holds for r in results) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU NoC characterisation on simulated devices "
+                    "(MICRO 2024 reproduction)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="device seed (default 0)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("specs", help="Table I")
+    for name, needs_sm in (("floorplan", False), ("latency", True),
+                           ("bandwidth", False), ("speedup", False)):
+        p = sub.add_parser(name)
+        p.add_argument("gpu", type=_gpu_argument,
+                       help="V100/A100/H100 or a spec .json file")
+        if needs_sm:
+            p.add_argument("--sm", type=int, default=0)
+    sub.add_parser("observations", help="check all twelve observations")
+    report = sub.add_parser("report",
+                            help="markdown paper-vs-measured report")
+    report.add_argument("--no-mesh", action="store_true",
+                        help="skip the (slower) mesh experiments")
+    return parser
+
+
+_COMMANDS = {
+    "specs": _cmd_specs,
+    "floorplan": _cmd_floorplan,
+    "latency": _cmd_latency,
+    "bandwidth": _cmd_bandwidth,
+    "speedup": _cmd_speedup,
+    "observations": _cmd_observations,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":          # pragma: no cover
+    sys.exit(main())

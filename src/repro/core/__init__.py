@@ -1,0 +1,52 @@
+"""The paper's contribution: NoC measurement microbenchmarks + analysis.
+
+* ``latency_bench`` / ``bandwidth_bench`` / ``speedup_bench`` implement
+  the paper's Algorithms 1 and 2 and the input-speedup methodology.
+* ``correlation`` / ``placement`` / ``cpc_detect`` / ``partitions``
+  implement the reverse-engineering analyses (Pearson fingerprinting of
+  SM placement, CPC discovery, partition classification).
+* ``observations`` packages the paper's twelve observations as checkable
+  predicates over a simulated device.
+"""
+
+from repro.core.latency_bench import (measure_l2_latency, latency_profile,
+                                      measured_latency_matrix,
+                                      measure_miss_penalty,
+                                      measure_dsmem_latency)
+from repro.core.bandwidth_bench import (measure_bandwidth,
+                                        single_sm_slice_bandwidth,
+                                        slice_bandwidth_distribution,
+                                        group_to_slice_bandwidth,
+                                        aggregate_l2_bandwidth,
+                                        aggregate_memory_bandwidth,
+                                        slice_saturation_curve)
+from repro.core.speedup_bench import measure_speedups, SpeedupMeasurement
+from repro.core.correlation import (correlation_heatmap, gpc_block_summary)
+from repro.core.placement import (cluster_sms_by_correlation,
+                                  grouping_accuracy, sorted_slice_order,
+                                  infer_slice_order_consistency)
+from repro.core.cpc_detect import detect_cpcs
+from repro.core.floorplan_infer import (infer_floorplan, classical_mds,
+                                        axis_recovery_score,
+                                        FloorplanEmbedding)
+from repro.core.partitions import (classify_partition_by_latency,
+                                   classify_partition_by_bandwidth)
+from repro.core.observations import check_all_observations, ObservationResult
+
+__all__ = [
+    "measure_l2_latency", "latency_profile", "measured_latency_matrix",
+    "measure_miss_penalty", "measure_dsmem_latency",
+    "measure_bandwidth", "single_sm_slice_bandwidth",
+    "slice_bandwidth_distribution", "group_to_slice_bandwidth",
+    "aggregate_l2_bandwidth", "aggregate_memory_bandwidth",
+    "slice_saturation_curve",
+    "measure_speedups", "SpeedupMeasurement",
+    "correlation_heatmap", "gpc_block_summary",
+    "cluster_sms_by_correlation", "grouping_accuracy", "sorted_slice_order",
+    "infer_slice_order_consistency",
+    "detect_cpcs",
+    "infer_floorplan", "classical_mds", "axis_recovery_score",
+    "FloorplanEmbedding",
+    "classify_partition_by_latency", "classify_partition_by_bandwidth",
+    "check_all_observations", "ObservationResult",
+]

@@ -1,0 +1,84 @@
+"""Algorithm 2: the L2 fabric bandwidth microbenchmark.
+
+The paper's bandwidth kernel streams strided reads from many threads, with
+the *destination L2 slice controlled* via the ``M[s]`` address table, and
+reports bytes moved / elapsed time.  On the simulated device steady-state
+streaming throughput is computed by the max-min-fair flow solver
+(``repro.noc.flows``), which plays the role the saturated kernel plays on
+hardware; the traffic patterns here mirror the paper's experiments
+one-to-one (Fig 9, 12, 13, 14, 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro.noc.topology_graph import AccessKind, BandwidthReport
+
+
+def measure_bandwidth(gpu: SimulatedGPU, traffic: dict,
+                      kind: AccessKind = AccessKind.READ,
+                      l2_hit: bool = True) -> BandwidthReport:
+    """Steady-state bandwidth for {sm: [home slice ids]} traffic."""
+    return gpu.topology.solve(traffic, kind=kind, l2_hit=l2_hit)
+
+
+def single_sm_slice_bandwidth(gpu: SimulatedGPU, sm: int, slice_id: int
+                              ) -> float:
+    """One SM streaming to one slice (Fig 9b / Fig 12), GB/s."""
+    return measure_bandwidth(gpu, {sm: [slice_id]}).total_gbps
+
+
+def slice_bandwidth_distribution(gpu: SimulatedGPU, slice_id: int,
+                                 sms=None) -> np.ndarray:
+    """Per-SM solo bandwidth to one slice, across SMs (Fig 9b/13).
+
+    Each SM is measured alone (the paper collects the distribution over
+    all source/destination combinations, one at a time).
+    """
+    sms = list(sms) if sms is not None else gpu.hier.all_sms
+    return np.array([single_sm_slice_bandwidth(gpu, sm, slice_id)
+                     for sm in sms])
+
+
+def group_to_slice_bandwidth(gpu: SimulatedGPU, sms, slice_id: int) -> float:
+    """A group of SMs (e.g. one GPC) streaming to one slice (Fig 9c)."""
+    sms = list(sms)
+    if not sms:
+        raise ConfigurationError("need at least one SM")
+    return measure_bandwidth(gpu, {sm: [slice_id]for sm in sms}).total_gbps
+
+
+def aggregate_l2_bandwidth(gpu: SimulatedGPU) -> float:
+    """All SMs streaming to all slices, hitting in L2 (Fig 9a), GB/s."""
+    traffic = {sm: gpu.hier.all_slices for sm in gpu.hier.all_sms}
+    return measure_bandwidth(gpu, traffic).total_gbps
+
+
+def aggregate_memory_bandwidth(gpu: SimulatedGPU) -> float:
+    """All SMs streaming with L2 misses: off-chip DRAM bandwidth (Fig 9a)."""
+    traffic = {sm: gpu.hier.all_slices for sm in gpu.hier.all_sms}
+    return measure_bandwidth(gpu, traffic, l2_hit=False).total_gbps
+
+
+def slice_saturation_curve(gpu: SimulatedGPU, slice_id: int, sms,
+                           counts=None) -> dict:
+    """Slice bandwidth as more SMs target it (Fig 14).
+
+    ``sms`` is the ordered pool to draw from; returns {n: GB/s}.
+    """
+    sms = list(sms)
+    counts = list(counts) if counts is not None else list(
+        range(1, len(sms) + 1))
+    if not sms:
+        raise ConfigurationError("need a non-empty SM pool")
+    curve = {}
+    for n in counts:
+        if not 1 <= n <= len(sms):
+            raise ConfigurationError(f"cannot use {n} SMs from a pool of "
+                                     f"{len(sms)}")
+        curve[n] = measure_bandwidth(
+            gpu, {sm: [slice_id] for sm in sms[:n]}).total_gbps
+    return curve

@@ -1,0 +1,49 @@
+"""Pearson-correlation fingerprinting of latency profiles (Fig 6).
+
+Each SM's vector of per-slice latencies is a physical fingerprint of its
+position; the pairwise Pearson matrix exposes the hierarchy (same-GPC SMs
+~0.99, neighbouring GPCs high, opposite die edges negative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import pearson_matrix
+from repro.core.latency_bench import measured_latency_matrix
+from repro.errors import ReproError
+from repro.gpu.device import SimulatedGPU
+
+
+def correlation_heatmap(gpu: SimulatedGPU, samples: int = 2,
+                        latencies: np.ndarray | None = None) -> np.ndarray:
+    """[SM x SM] Pearson matrix of measured latency profiles (Fig 6).
+
+    Pass ``latencies`` to reuse an already-measured matrix.
+    """
+    if latencies is None:
+        latencies = measured_latency_matrix(gpu, samples=samples)
+    if latencies.shape[0] != gpu.num_sms:
+        raise ReproError("latency matrix does not cover every SM")
+    return pearson_matrix(latencies)
+
+
+def gpc_block_summary(gpu: SimulatedGPU, corr: np.ndarray) -> dict:
+    """Mean correlation per (GPC, GPC) block — the Fig 6 block structure.
+
+    Returns {(gpc_a, gpc_b): mean r}; the diagonal excludes self-pairs.
+    """
+    if corr.shape != (gpu.num_sms, gpu.num_sms):
+        raise ReproError("correlation matrix has wrong shape")
+    out = {}
+    for a in range(gpu.spec.num_gpcs):
+        sms_a = gpu.hier.sms_in_gpc(a)
+        for b in range(gpu.spec.num_gpcs):
+            sms_b = gpu.hier.sms_in_gpc(b)
+            block = corr[np.ix_(sms_a, sms_b)]
+            if a == b:
+                mask = ~np.eye(len(sms_a), dtype=bool)
+                out[(a, b)] = float(block[mask].mean())
+            else:
+                out[(a, b)] = float(block.mean())
+    return out

@@ -1,0 +1,45 @@
+"""CPC-hierarchy detection (paper Section III-C, Fig 6c/7).
+
+On H100 the Pearson heatmap shows groups of 4-6 SMs (2-3 TPCs) inside a
+GPC with distinct latency characteristics — evidence of an undocumented
+hierarchy level between TPC and GPC ("CPC").  This module detects those
+groups from a measured latency matrix by clustering the SMs of each GPC
+at a correlation threshold *between* the within-CPC and cross-CPC levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import pearson_matrix
+from repro.core.placement import cluster_sms_by_correlation
+from repro.errors import ReproError
+from repro.gpu.device import SimulatedGPU
+
+
+def detect_cpcs(gpu: SimulatedGPU, latencies: np.ndarray, gpc: int = 0,
+                threshold: float | None = None) -> list:
+    """Inferred CPC groups (lists of SM ids) inside one GPC.
+
+    ``latencies`` is the full [SM x slice] measured matrix.  When no
+    threshold is given, one is picked from the correlation gap: halfway
+    between the median within-TPC correlation (an upper bound for
+    within-CPC) and the median across-GPC-half correlation.
+    """
+    sms = gpu.hier.sms_in_gpc(gpc)
+    if len(sms) < 4:
+        raise ReproError("GPC too small to detect sub-structure")
+    rows = np.asarray(latencies)[sms]
+    corr = pearson_matrix(rows)
+    if threshold is None:
+        n = len(sms)
+        within_tpc = [corr[i, i + 1] for i in range(0, n - 1, 2)]
+        far = [corr[i, j] for i in range(n // 2)
+               for j in range(n // 2, n)]
+        hi = float(np.median(within_tpc))
+        lo = float(np.median(far))
+        if hi <= lo:
+            raise ReproError("no correlation gap: GPC shows no sub-structure")
+        threshold = (hi + lo) / 2.0
+    local_clusters = cluster_sms_by_correlation(corr, threshold)
+    return [[sms[i] for i in cluster] for cluster in local_clusters]

@@ -1,0 +1,82 @@
+"""Reconstructing the die layout from latency measurements (Fig 4).
+
+The paper derives its approximate floorplan from a die photo plus the
+latency analysis.  This module shows the latency data alone goes a long
+way: treating each SM's latency profile as a feature vector, classical
+multidimensional scaling (MDS) on the pairwise profile distances embeds
+the SMs into a 1-D/2-D space whose principal axis recovers the physical
+left-to-right GPC ordering — i.e. an attacker can sketch Fig 4 without
+the die photo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import pearson
+from repro.errors import ReproError
+from repro.gpu.device import SimulatedGPU
+
+
+@dataclass(frozen=True)
+class FloorplanEmbedding:
+    """MDS embedding of SMs from latency profiles."""
+    coordinates: np.ndarray      # [num_sms x dims]
+    eigenvalues: np.ndarray      # captured variance per dimension
+
+    @property
+    def principal_axis(self) -> np.ndarray:
+        return self.coordinates[:, 0]
+
+
+def classical_mds(distances: np.ndarray, dims: int = 2
+                  ) -> FloorplanEmbedding:
+    """Torgerson's classical MDS on a symmetric distance matrix."""
+    d = np.asarray(distances, dtype=float)
+    if d.ndim != 2 or d.shape[0] != d.shape[1]:
+        raise ReproError("distance matrix must be square")
+    if d.shape[0] <= dims:
+        raise ReproError("need more points than dimensions")
+    if not np.allclose(d, d.T, atol=1e-9):
+        raise ReproError("distance matrix must be symmetric")
+    n = d.shape[0]
+    sq = d ** 2
+    centering = np.eye(n) - np.ones((n, n)) / n
+    b = -0.5 * centering @ sq @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(b)
+    order = np.argsort(eigenvalues)[::-1][:dims]
+    top = np.clip(eigenvalues[order], 0.0, None)
+    coords = eigenvectors[:, order] * np.sqrt(top)
+    return FloorplanEmbedding(coordinates=coords, eigenvalues=top)
+
+
+def infer_floorplan(gpu: SimulatedGPU, latencies: np.ndarray | None = None,
+                    dims: int = 2) -> FloorplanEmbedding:
+    """Embed the SMs from their (measured or structural) latency profiles.
+
+    Profile distance = Euclidean distance between per-slice latency
+    vectors; since latency is affine in wire distance, this is (up to
+    noise) proportional to physical separation along the slice-visible
+    axes.
+    """
+    if latencies is None:
+        latencies = gpu.latency.latency_matrix()
+    latencies = np.asarray(latencies, dtype=float)
+    if latencies.shape[0] != gpu.num_sms:
+        raise ReproError("latency matrix must cover every SM")
+    diffs = latencies[:, None, :] - latencies[None, :, :]
+    distances = np.sqrt((diffs ** 2).mean(axis=2))
+    return classical_mds(distances, dims=dims)
+
+
+def axis_recovery_score(gpu: SimulatedGPU,
+                        embedding: FloorplanEmbedding) -> float:
+    """|Pearson r| between the principal MDS axis and the true x axis.
+
+    The sign of an MDS axis is arbitrary, hence the absolute value.
+    """
+    true_x = np.array([gpu.floorplan.sm_position(sm).x
+                       for sm in range(gpu.num_sms)])
+    return abs(pearson(embedding.principal_axis, true_x))

@@ -1,0 +1,256 @@
+"""The paper's twelve observations as checkable predicates.
+
+Each observation from the paper is a function of a simulated device (or a
+set of them) that gathers the same evidence the paper gathers and returns
+an :class:`ObservationResult` with the measured values.  The benchmark
+``benchmarks/bench_observations.py`` runs all of them; they double as an
+end-to-end integration test of the whole stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import modality, pearson
+from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
+                                        aggregate_memory_bandwidth,
+                                        measure_bandwidth,
+                                        slice_bandwidth_distribution)
+from repro.core.cpc_detect import detect_cpcs
+from repro.analysis.stats import pearson_matrix
+from repro.gpu.device import SimulatedGPU
+from repro.memory.address import camping_index
+from repro.workloads.rodinia import (bfs_trace, gaussian_trace,
+                                     slice_traffic_over_time)
+
+
+@dataclass(frozen=True)
+class ObservationResult:
+    """Outcome of checking one paper observation."""
+    number: int
+    statement: str
+    holds: bool
+    evidence: dict
+
+
+def _gpc_stats(gpu: SimulatedGPU, latencies: np.ndarray) -> tuple:
+    means, sigmas = [], []
+    for g in range(gpu.spec.num_gpcs):
+        sub = latencies[gpu.hier.sms_in_gpc(g)]
+        means.append(float(sub.mean()))
+        sigmas.append(float(sub.std()))
+    return np.array(means), np.array(sigmas)
+
+
+def observation_1(v100: SimulatedGPU, latencies: np.ndarray
+                  ) -> ObservationResult:
+    """Latency from SMs to individual L2 slices is non-uniform."""
+    spread = float(latencies.max() - latencies.min())
+    relative = spread / float(latencies.mean())
+    return ObservationResult(
+        1, "SM->L2-slice latency through the NoC is non-uniform",
+        holds=relative > 0.20,
+        evidence={"min": float(latencies.min()), "max": float(latencies.max()),
+                  "mean": float(latencies.mean()),
+                  "relative_spread": relative})
+
+
+def observation_2(v100: SimulatedGPU, latencies: np.ndarray
+                  ) -> ObservationResult:
+    """Average GPC latency similar; variation differs across GPCs."""
+    means, sigmas = _gpc_stats(v100, latencies)
+    mean_dev = float((means.max() - means.min()) / means.mean())
+    sigma_ratio = float(sigmas.max() / sigmas.min())
+    return ObservationResult(
+        2, "per-GPC average latency is similar but per-GPC variation differs",
+        holds=mean_dev < 0.03 and sigma_ratio > 1.5,
+        evidence={"gpc_means": means.tolist(), "gpc_sigmas": sigmas.tolist(),
+                  "mean_deviation": mean_dev, "sigma_ratio": sigma_ratio})
+
+
+def observation_3(v100: SimulatedGPU, latencies: np.ndarray
+                  ) -> ObservationResult:
+    """Latency is determined by physical SM/slice placement."""
+    dists, lats = [], []
+    for sm in range(0, v100.num_sms, 7):
+        for s in range(v100.num_slices):
+            dists.append(v100.floorplan.sm_slice_distance_mm(sm, s))
+            lats.append(latencies[sm, s])
+    r = pearson(dists, lats)
+    return ObservationResult(
+        3, "non-uniform latency is determined by physical placement",
+        holds=r > 0.9,
+        evidence={"pearson_distance_vs_latency": r})
+
+
+def observation_4(v100: SimulatedGPU, corr: np.ndarray) -> ObservationResult:
+    """Pearson similarity recovers SM placement.
+
+    Checked as: every SM's most-correlated peer is in its own GPC, and
+    same-GPC correlation clearly dominates cross-GPC correlation.
+    """
+    c = corr.copy()
+    np.fill_diagonal(c, -2.0)
+    nearest = c.argmax(axis=1)
+    gpc = np.array([v100.hier.sm_info(i).gpc for i in range(v100.num_sms)])
+    nn_accuracy = float((gpc[nearest] == gpc).mean())
+    same_mask = gpc[:, None] == gpc[None, :]
+    np.fill_diagonal(same_mask, False)
+    same_r = float(corr[same_mask].mean())
+    cross_r = float(corr[~same_mask & ~np.eye(len(gpc), dtype=bool)].mean())
+    return ObservationResult(
+        4, "latency-profile correlation reveals SM placement",
+        holds=nn_accuracy > 0.95 and same_r - cross_r > 0.5,
+        evidence={"nearest_neighbour_same_gpc": nn_accuracy,
+                  "mean_same_gpc_r": same_r, "mean_cross_gpc_r": cross_r})
+
+
+def observation_5(a100: SimulatedGPU, h100: SimulatedGPU,
+                  a100_lat: np.ndarray, h100_lat: np.ndarray
+                  ) -> ObservationResult:
+    """Partitions add non-uniformity; H100 has a CPC level."""
+    near = a100.hier.slices_in_partition(0)
+    far = a100.hier.slices_in_partition(1)
+    sm0 = a100.hier.sms_in_partition(0)[0]
+    ratio = float(a100_lat[sm0, far].mean() / a100_lat[sm0, near].mean())
+    cpcs = detect_cpcs(h100, h100_lat, gpc=0)
+    expected = h100.spec.cpcs_per_gpc
+    return ObservationResult(
+        5, "multi-partition GPUs add non-uniformity; H100 has a CPC level",
+        holds=ratio > 1.5 and len(cpcs) == expected,
+        evidence={"a100_far_over_near": ratio,
+                  "h100_cpcs_detected": len(cpcs),
+                  "h100_cpcs_expected": expected})
+
+
+def observation_6(h100: SimulatedGPU, h100_lat: np.ndarray
+                  ) -> ObservationResult:
+    """H100's L2 policy makes hit latency uniform, miss penalty variable."""
+    means, _ = _gpc_stats(h100, h100_lat)
+    hit_dev = float((means.max() - means.min()) / means.mean())
+    penalties = [h100.latency.miss_penalty(0, s)
+                 for s in range(h100.num_slices)]
+    miss_spread = float(max(penalties) - min(penalties))
+    return ObservationResult(
+        6, "partition-local L2 caching uniformises hits, varies miss penalty",
+        holds=hit_dev < 0.15 and miss_spread > 100,
+        evidence={"hit_gpc_mean_deviation": hit_dev,
+                  "miss_penalty_spread_cycles": miss_spread})
+
+
+def observation_7(gpus: dict, aggregates: dict) -> ObservationResult:
+    """Aggregate L2 fabric bandwidth exceeds off-chip memory bandwidth."""
+    ratios = {name: agg["l2"] / agg["mem"] for name, agg in aggregates.items()}
+    return ObservationResult(
+        7, "aggregate L2 fabric bandwidth exceeds memory bandwidth (2.4-3.5x)",
+        holds=all(2.0 <= r <= 4.0 for r in ratios.values()),
+        evidence={"l2_over_mem": ratios})
+
+
+def observation_8(v100: SimulatedGPU) -> ObservationResult:
+    """Bandwidth to different slices is (mostly) uniform."""
+    sms = [v100.hier.sm_id(g, 0, 0) for g in range(v100.spec.num_gpcs)]
+    bw = np.array([
+        measure_bandwidth(v100, {sm: [s]}).total_gbps
+        for sm in sms for s in range(0, v100.num_slices, 4)])
+    cv = float(bw.std() / bw.mean())
+    return ObservationResult(
+        8, "bandwidth to different L2 slices is uniform (latency is not)",
+        holds=cv < 0.05,
+        evidence={"mean_gbps": float(bw.mean()), "cv": cv})
+
+
+def observation_9(v100: SimulatedGPU) -> ObservationResult:
+    """Hierarchical input speedup exists."""
+    from repro.core.speedup_bench import measure_speedups
+    from repro.noc.topology_graph import AccessKind
+    reads = {m.level: m.speedup
+             for m in measure_speedups(v100, kinds=(AccessKind.READ,))}
+    return ObservationResult(
+        9, "input speedup is provisioned into the NoC at each level",
+        holds=reads["TPC"] > 1.7 and reads["GPC_l"] > 2.5,
+        evidence={"read_speedups": reads})
+
+
+def observation_10(v100: SimulatedGPU, a100: SimulatedGPU
+                   ) -> ObservationResult:
+    """Newer GPUs have more bandwidth but partition non-uniformity."""
+    v_bw = slice_bandwidth_distribution(v100, 0,
+                                        sms=range(0, v100.num_sms, 2))
+    a_bw = slice_bandwidth_distribution(a100, 0,
+                                        sms=range(0, a100.num_sms, 2))
+    return ObservationResult(
+        10, "recent GPUs have more per-slice bandwidth but it is bimodal",
+        holds=a_bw.max() > v_bw.max() and modality(a_bw) == 2
+        and modality(v_bw) == 1,
+        evidence={"v100_peak": float(v_bw.max()),
+                  "a100_peak": float(a_bw.max()),
+                  "v100_modes": modality(v_bw), "a100_modes": modality(a_bw)})
+
+
+def observation_11(v100: SimulatedGPU) -> ObservationResult:
+    """Load-balancing SMs matters more than load-balancing slices."""
+    hier = v100.hier
+    mp0 = hier.slices_in_mp(0)
+    contig = measure_bandwidth(
+        v100, {sm: mp0 for sm in hier.sms_in_gpc(0) + hier.sms_in_gpc(1)})
+    spread_sms = [hier.sm_id(g, t, s) for g in range(v100.spec.num_gpcs)
+                  for t in range(3) for s in range(2)][:28]
+    distrib = measure_bandwidth(v100, {sm: mp0 for sm in spread_sms})
+    degradation = 1.0 - contig.total_gbps / distrib.total_gbps
+    return ObservationResult(
+        11, "SM placement balancing is more critical than slice balancing",
+        holds=degradation > 0.3,
+        evidence={"contiguous_gbps": contig.total_gbps,
+                  "distributed_gbps": distrib.total_gbps,
+                  "degradation": degradation})
+
+
+def observation_12(v100: SimulatedGPU) -> ObservationResult:
+    """Hashed memory traffic keeps the NoC load-balanced."""
+    indices = []
+    for trace in (bfs_trace(num_nodes=2048, seed=1),
+                  gaussian_trace(n=96)):
+        per_step = slice_traffic_over_time(trace, v100.memory.hasher)
+        total = per_step.sum(axis=0)
+        indices.append(camping_index(total))
+    worst = max(indices)
+    return ObservationResult(
+        12, "address hashing load-balances NoC traffic across slices",
+        holds=worst < 1.5,
+        evidence={"camping_index_bfs": indices[0],
+                  "camping_index_gaussian": indices[1]})
+
+
+def check_all_observations(seed: int = 0) -> list:
+    """Run all twelve observation checks on the Table I devices."""
+    v100 = SimulatedGPU("V100", seed=seed)
+    a100 = SimulatedGPU("A100", seed=seed)
+    h100 = SimulatedGPU("H100", seed=seed)
+
+    v_lat = v100.latency.latency_matrix()
+    a_lat = a100.latency.latency_matrix()
+    h_lat = h100.latency.latency_matrix()
+    v_corr = pearson_matrix(v_lat)
+
+    aggregates = {}
+    for gpu in (v100, a100, h100):
+        aggregates[gpu.name] = {"l2": aggregate_l2_bandwidth(gpu),
+                                "mem": aggregate_memory_bandwidth(gpu)}
+
+    return [
+        observation_1(v100, v_lat),
+        observation_2(v100, v_lat),
+        observation_3(v100, v_lat),
+        observation_4(v100, v_corr),
+        observation_5(a100, h100, a_lat, h_lat),
+        observation_6(h100, h_lat),
+        observation_7({g.name: g for g in (v100, a100, h100)}, aggregates),
+        observation_8(v100),
+        observation_9(v100),
+        observation_10(v100, a100),
+        observation_11(v100),
+        observation_12(v100),
+    ]

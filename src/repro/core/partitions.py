@@ -1,0 +1,69 @@
+"""Near/far partition classification (paper Section III-C / IV-B).
+
+Multi-partition GPUs betray their partition structure two ways:
+
+* **Latency** (A100): accesses to far-partition slices take ~2x longer
+  (Fig 8b) — thresholding an SM's per-slice latency splits the slices
+  into its near and far sets;
+* **Bandwidth** (A100): per-SM streaming bandwidth to a slice is bimodal
+  (Fig 12/13a) — the high mode is the near partition.
+
+H100's partition-local caching hides the latency split for hits
+(Fig 8c), which these classifiers faithfully report as "no split".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bandwidth_bench import slice_bandwidth_distribution
+from repro.errors import ReproError
+from repro.gpu.device import SimulatedGPU
+
+
+def _split_by_gap(values: np.ndarray) -> tuple:
+    """Split values at the largest gap; returns (threshold, gap_ratio)."""
+    ordered = np.sort(values)
+    gaps = np.diff(ordered)
+    if gaps.size == 0:
+        raise ReproError("need at least two values to split")
+    k = int(np.argmax(gaps))
+    threshold = (ordered[k] + ordered[k + 1]) / 2.0
+    spread = ordered[-1] - ordered[0]
+    gap_ratio = float(gaps[k] / spread) if spread > 0 else 0.0
+    return threshold, gap_ratio
+
+
+def classify_partition_by_latency(latency_row: np.ndarray,
+                                  min_gap_ratio: float = 0.35) -> dict:
+    """Split one SM's per-slice latencies into near/far slice sets.
+
+    Returns {"split": bool, "near": [slice ids], "far": [slice ids]}.
+    ``split`` is False when no dominant gap exists (single-partition GPUs
+    and H100 hits).
+    """
+    row = np.asarray(latency_row, dtype=float)
+    if row.ndim != 1 or row.size < 2:
+        raise ReproError("need a 1-D latency vector over >=2 slices")
+    threshold, gap_ratio = _split_by_gap(row)
+    if gap_ratio < min_gap_ratio:
+        return {"split": False, "near": list(range(row.size)), "far": []}
+    near = [i for i, v in enumerate(row) if v < threshold]
+    far = [i for i, v in enumerate(row) if v >= threshold]
+    return {"split": True, "near": near, "far": far}
+
+
+def classify_partition_by_bandwidth(gpu: SimulatedGPU, slice_id: int,
+                                    min_gap_ratio: float = 0.35) -> dict:
+    """Split SMs into near/far of one slice by solo streaming bandwidth.
+
+    Returns {"split": bool, "near": [sm ids], "far": [sm ids]} — near SMs
+    achieve the high bandwidth mode (Fig 12/13a).
+    """
+    bw = slice_bandwidth_distribution(gpu, slice_id)
+    threshold, gap_ratio = _split_by_gap(bw)
+    if gap_ratio < min_gap_ratio:
+        return {"split": False, "near": list(range(bw.size)), "far": []}
+    near = [sm for sm, v in enumerate(bw) if v >= threshold]
+    far = [sm for sm, v in enumerate(bw) if v < threshold]
+    return {"split": True, "near": near, "far": far}

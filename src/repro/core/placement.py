@@ -1,0 +1,121 @@
+"""Reverse-engineering SM/slice placement from latency alone.
+
+Implication 1: an attacker (or a careful tenant) can recover placement
+information without privileged counters — same-GPC SMs have near-identical
+latency profiles, and within a memory partition the latency-sorted slice
+order is the same from every SM (Fig 3, Observations 3-4).
+
+``cluster_sms_by_correlation`` performs single-linkage clustering on the
+Pearson matrix with a high threshold, recovering the GPC (or, on H100,
+CPC) grouping without labels; ``grouping_accuracy`` scores an inferred
+grouping against ground truth with pairwise Rand index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def cluster_sms_by_correlation(corr: np.ndarray,
+                               threshold: float = 0.95) -> list:
+    """Single-linkage clusters of SMs with pairwise r >= threshold.
+
+    Returns a list of sorted SM-id lists.  With a threshold close to the
+    same-GPC correlation (~0.95+) the clusters recover physical core
+    groups.
+    """
+    corr = np.asarray(corr)
+    if corr.ndim != 2 or corr.shape[0] != corr.shape[1]:
+        raise ReproError("correlation matrix must be square")
+    n = corr.shape[0]
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if corr[i, j] >= threshold:
+                parent[find(i)] = find(j)
+    clusters: dict[int, list] = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append(i)
+    return sorted((sorted(c) for c in clusters.values()), key=lambda c: c[0])
+
+
+def grouping_accuracy(inferred: list, truth: list) -> float:
+    """Pairwise Rand index between two groupings of the same items."""
+    def labels_of(groups):
+        labels = {}
+        for gid, group in enumerate(groups):
+            for item in group:
+                if item in labels:
+                    raise ReproError(f"item {item} appears in two groups")
+                labels[item] = gid
+        return labels
+
+    la, lb = labels_of(inferred), labels_of(truth)
+    if set(la) != set(lb):
+        raise ReproError("groupings cover different items")
+    items = sorted(la)
+    agree = total = 0
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            a, b = items[i], items[j]
+            same_a = la[a] == la[b]
+            same_b = lb[a] == lb[b]
+            agree += same_a == same_b
+            total += 1
+    if total == 0:
+        raise ReproError("need at least two items")
+    return agree / total
+
+
+def sorted_slice_order(latencies: np.ndarray, slices_of_mp) -> list:
+    """Latency-sorted slice ids within one MP, per SM (Fig 3).
+
+    ``latencies`` is the [SM x all-slice] matrix; returns one ordering
+    (list of slice ids, fastest first) per SM row.
+    """
+    slices_of_mp = list(slices_of_mp)
+    if not slices_of_mp:
+        raise ReproError("need at least one slice")
+    orders = []
+    for row in np.asarray(latencies):
+        sub = [(row[s], s) for s in slices_of_mp]
+        orders.append([s for _, s in sorted(sub)])
+    return orders
+
+
+def infer_slice_order_consistency(latencies: np.ndarray, slices_of_mp,
+                                  sms) -> float:
+    """Agreement of per-MP slice orderings across SMs (Fig 3).
+
+    The paper observes the latency-sorted slice order is (nearly)
+    identical across the SMs of a GPC.  Returns the mean pairwise
+    Spearman rank correlation of the orderings: 1.0 = identical orders,
+    ~0 = unrelated; adjacent swaps between nearly-equidistant slices only
+    dent it slightly.
+    """
+    sms = list(sms)
+    slices_of_mp = list(slices_of_mp)
+    if len(sms) < 2:
+        raise ReproError("need at least two SMs")
+    if len(slices_of_mp) < 2:
+        raise ReproError("need at least two slices")
+    sub = np.asarray(latencies)[np.ix_(sms, slices_of_mp)]
+    ranks = np.argsort(np.argsort(sub, axis=1), axis=1).astype(float)
+    total = count = 0.0
+    for i in range(len(sms)):
+        for j in range(i + 1, len(sms)):
+            a = ranks[i] - ranks[i].mean()
+            b = ranks[j] - ranks[j].mean()
+            total += float((a * b).sum()
+                           / np.sqrt((a ** 2).sum() * (b ** 2).sum()))
+            count += 1
+    return total / count

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this package derive from :class:`ReproError` so
+callers can catch package-level failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A device/model configuration is inconsistent or unsupported."""
+
+
+class UnknownComponentError(ReproError, KeyError):
+    """A referenced SM / TPC / GPC / MP / L2 slice does not exist."""
+
+
+class LaunchError(ReproError):
+    """A kernel launch was malformed (bad grid, bad pinning, ...)."""
+
+
+class ProfilerError(ReproError):
+    """Profiler facade misuse (e.g. per-slice counters on A100/H100)."""
+
+
+class SolverError(ReproError):
+    """The bandwidth flow solver could not converge or was fed bad input."""
+
+
+class MeshConfigError(ReproError):
+    """The cycle-level mesh simulator was configured inconsistently."""
+
+
+class AttackError(ReproError):
+    """A side-channel attack harness was given inconsistent inputs."""

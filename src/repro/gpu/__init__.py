@@ -1,0 +1,13 @@
+"""Simulated GPU hardware models (Table I devices and custom configs)."""
+
+from repro.gpu.specs import GPUSpec, V100, A100, H100, get_spec, known_specs
+from repro.gpu.hierarchy import Hierarchy, SMInfo, SliceInfo
+from repro.gpu.floorplan import Floorplan, Point
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.serialization import dump_spec, load_spec
+
+__all__ = [
+    "GPUSpec", "V100", "A100", "H100", "get_spec", "known_specs",
+    "Hierarchy", "SMInfo", "SliceInfo", "Floorplan", "Point", "SimulatedGPU",
+    "dump_spec", "load_spec",
+]

@@ -1,0 +1,210 @@
+"""Approximate logical floorplan (paper Figure 4) and distance queries.
+
+Every latency observation in the paper reduces to *physical placement*:
+SMs within a GPC block, GPC blocks across the die, L2 slices stacked along
+the die edges next to their memory partition (MP), and — on A100/H100 — a
+central bridge between the two die partitions.
+
+The floorplan assigns a 2-D coordinate (mm) to every SM and L2 slice:
+
+* Each partition occupies a horizontal span of the die.  Its MPs sit on the
+  *outer* vertical edge (left edge for partition 0, right edge for the
+  last partition; a single-partition die like V100 splits its MPs between
+  both edges, matching the GV100 die photo).
+* GPCs of a partition form a 2-row grid, column-major, so on V100 GPC0&1
+  occupy the left column, GPC2&3 the centre, GPC4&5 the right — the
+  symmetric placement the paper infers from the Pearson heatmap.
+* SMs form a 2-column array inside the GPC block (one column per SM of a
+  TPC); on H100 the TPC rows are grouped into CPC blocks separated by small
+  gaps, which spreads SM positions and produces the CPC-granular latency
+  structure of Fig 6(c)/Fig 7.
+
+Distance queries return Manhattan wire distance; cross-partition paths are
+routed through the central bridge point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.errors import UnknownComponentError
+from repro.gpu.hierarchy import Hierarchy
+from repro.gpu.specs import GPUSpec
+
+_EDGE_MARGIN_MM = 2.0    # MP column offset from the die edge
+_SLICE_COL_GAP_MM = 0.7  # half-gap between the two slice columns of an MP
+_GPC_REGION_PAD_MM = 4.5  # keeps GPC grid clear of the MP columns
+
+
+@dataclass(frozen=True)
+class Point:
+    """A position on the die, in millimetres."""
+    x: float
+    y: float
+
+    def manhattan(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+
+class Floorplan:
+    """Physical placement for one GPU spec."""
+
+    def __init__(self, spec: GPUSpec, hierarchy: Hierarchy | None = None):
+        self.spec = spec
+        self.hier = hierarchy or Hierarchy(spec)
+        self._sm_pos = [self._place_sm(sm) for sm in range(spec.num_sms)]
+        self._slice_pos = [self._place_slice(s) for s in range(spec.num_slices)]
+
+    # ---- partition geometry ----------------------------------------------
+    def partition_span(self, partition: int) -> tuple[float, float]:
+        """Horizontal [x0, x1) span of a partition."""
+        if not 0 <= partition < self.spec.num_partitions:
+            raise UnknownComponentError(f"partition {partition} out of range")
+        width = self.spec.die_width_mm / self.spec.num_partitions
+        return partition * width, (partition + 1) * width
+
+    @cached_property
+    def bridge_point(self) -> Point:
+        """Centre of the inter-partition interconnect (A100/H100)."""
+        return Point(self.spec.die_width_mm / 2.0, self.spec.die_height_mm / 2.0)
+
+    def _mp_edge_x(self, partition: int) -> float:
+        """x of the MP/slice column for a partition's outer edge."""
+        x0, x1 = self.partition_span(partition)
+        if self.spec.num_partitions == 1:
+            # single-partition dies put MPs on both edges; resolved per MP
+            raise AssertionError("use _place_slice for single-partition dies")
+        outer_is_left = partition < self.spec.num_partitions / 2
+        return x0 + _EDGE_MARGIN_MM if outer_is_left else x1 - _EDGE_MARGIN_MM
+
+    # ---- slice placement ---------------------------------------------------
+    def _place_slice(self, slice_id: int) -> Point:
+        spec = self.spec
+        info = self.hier.slice_info(slice_id)
+        if spec.num_partitions == 1:
+            # MPs split between left and right die edges (first half left).
+            left = info.mp < spec.num_mps / 2
+            edge_x = _EDGE_MARGIN_MM if left else spec.die_width_mm - _EDGE_MARGIN_MM
+            mp_on_edge = info.mp if left else info.mp - spec.num_mps // 2
+            mps_per_edge = (spec.num_mps + 1) // 2
+        else:
+            edge_x = self._mp_edge_x(info.partition)
+            mp_on_edge = info.mp - info.partition * spec.mps_per_partition
+            mps_per_edge = spec.mps_per_partition
+        mp_height = spec.die_height_mm / mps_per_edge
+        y0 = mp_on_edge * mp_height
+        # two slice columns, slices stacked in rows within the MP span
+        col, row = divmod(info.slice_in_mp, max(1, spec.slices_per_mp // 2))
+        rows = max(1, spec.slices_per_mp // 2)
+        x = edge_x + (_SLICE_COL_GAP_MM if col else -_SLICE_COL_GAP_MM)
+        y = y0 + (row + 0.5) * (mp_height / rows)
+        return Point(x, y)
+
+    # ---- SM placement --------------------------------------------------------
+    def _gpc_grid(self, partition: int) -> tuple[list[int], int, int]:
+        """GPCs of a partition plus their grid shape (rows, cols)."""
+        gpcs = [g for g, p in enumerate(self.spec.gpc_partition) if p == partition]
+        rows = 2 if len(gpcs) > 1 else 1
+        cols = (len(gpcs) + rows - 1) // rows
+        return gpcs, rows, cols
+
+    def gpc_block(self, gpc: int) -> tuple[Point, float, float]:
+        """(centre, width, height) of a GPC block."""
+        spec = self.spec
+        if not 0 <= gpc < spec.num_gpcs:
+            raise UnknownComponentError(f"GPC {gpc} out of range")
+        partition = spec.gpc_partition[gpc]
+        x0, x1 = self.partition_span(partition)
+        gpcs, rows, cols = self._gpc_grid(partition)
+        idx = gpcs.index(gpc)
+        col, row = divmod(idx, rows)           # column-major: GPC0&1 share col 0
+        rx0, rx1 = x0 + _GPC_REGION_PAD_MM, x1 - _GPC_REGION_PAD_MM
+        cell_w = (rx1 - rx0) / cols
+        cell_h = spec.die_height_mm / rows
+        centre = Point(rx0 + (col + 0.5) * cell_w, (row + 0.5) * cell_h)
+        return centre, cell_w * 0.8, cell_h * 0.75
+
+    def _place_sm(self, sm: int) -> Point:
+        spec = self.spec
+        info = self.hier.sm_info(sm)
+        centre, width, height = self.gpc_block(info.gpc)
+        # 2 columns (one per SM of the TPC), TPC rows top to bottom.
+        col_x = centre.x + (width / 4.0 if info.sm_in_tpc else -width / 4.0)
+        rows = spec.tpcs_per_gpc
+        row_pitch = height / rows
+        y = centre.y - height / 2.0 + (info.tpc_in_gpc + 0.5) * row_pitch
+        if spec.tpcs_per_cpc:
+            # CPC blocks are separated by gaps, spreading the SM rows.
+            gap = row_pitch * 0.9
+            y += (info.cpc_in_gpc - (spec.cpcs_per_gpc - 1) / 2.0) * gap
+        return Point(col_x, y)
+
+    # ---- public queries -------------------------------------------------------
+    def sm_position(self, sm: int) -> Point:
+        if not 0 <= sm < self.spec.num_sms:
+            raise UnknownComponentError(f"SM {sm} out of range")
+        return self._sm_pos[sm]
+
+    def slice_position(self, slice_id: int) -> Point:
+        if not 0 <= slice_id < self.spec.num_slices:
+            raise UnknownComponentError(f"L2 slice {slice_id} out of range")
+        return self._slice_pos[slice_id]
+
+    def wire_distance(self, p: Point, q: Point) -> float:
+        """Anisotropic Manhattan distance: vertical runs are cheaper wires.
+
+        The NoC spine runs horizontally between the GPC rows; vertical
+        segments (within a GPC column or an edge slice stack) are short
+        local wiring, weighted by ``spec.wire_y_factor``.
+        """
+        return abs(p.x - q.x) + self.spec.wire_y_factor * abs(p.y - q.y)
+
+    def sm_slice_distance_mm(self, sm: int, slice_id: int) -> float:
+        """Wire distance of the SM->slice NoC path (via bridge if crossing)."""
+        p, q = self.sm_position(sm), self.slice_position(slice_id)
+        if self.hier.crosses_partition(sm, slice_id):
+            b = self.bridge_point
+            return self.wire_distance(p, b) + self.wire_distance(b, q)
+        return self.wire_distance(p, q)
+
+    def sm_sm_distance_mm(self, a: int, b: int) -> float:
+        """Wire distance of the SM-to-SM (dsmem) path within a GPC.
+
+        The SM-to-SM network hub sits at the GPC corner next to CPC0
+        (paper Fig 7: within-CPC0 traffic is fastest, within-CPC2 slowest,
+        i.e. even intra-CPC traffic traverses the hub).
+        """
+        ia, ib = self.hier.sm_info(a), self.hier.sm_info(b)
+        pa, pb = self.sm_position(a), self.sm_position(b)
+        if ia.gpc != ib.gpc:
+            return self.wire_distance(pa, pb)  # inter-GPC dsmem: paper N/A
+        hub = self.dsmem_hub(ia.gpc)
+        return pa.manhattan(hub) + hub.manhattan(pb)
+
+    def dsmem_hub(self, gpc: int) -> Point:
+        """SM-to-SM network hub of a GPC (at the CPC0 end of the block)."""
+        centre, _width, height = self.gpc_block(gpc)
+        return Point(centre.x, centre.y - height / 2.0)
+
+    def render(self) -> str:
+        """Coarse text rendering of the floorplan (Fig 4 analogue)."""
+        spec = self.spec
+        cols, rows = 66, 24
+        sx = cols / spec.die_width_mm
+        sy = rows / spec.die_height_mm
+        grid = [[" "] * cols for _ in range(rows)]
+
+        def put(p: Point, ch: str):
+            c = min(cols - 1, max(0, int(p.x * sx)))
+            r = min(rows - 1, max(0, int(p.y * sy)))
+            grid[r][c] = ch
+
+        for s in range(spec.num_slices):
+            put(self.slice_position(s), str(self.hier.slice_info(s).mp % 10))
+        for sm in range(spec.num_sms):
+            put(self.sm_position(sm), chr(ord("A") + self.hier.sm_info(sm).gpc))
+        border = "+" + "-" * cols + "+"
+        body = "\n".join("|" + "".join(row) + "|" for row in grid)
+        legend = ("letters = SMs (A=GPC0 ...), digits = L2 slices (digit = MP id)")
+        return f"{spec.name} floorplan\n{border}\n{body}\n{border}\n{legend}"

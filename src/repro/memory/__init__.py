@@ -1,0 +1,15 @@
+"""Memory-side substrate: address hashing, sliced L2, DRAM channels."""
+
+from repro.memory.address import AddressHasher, camping_index
+from repro.memory.l1cache import L1Array, L1Cache
+from repro.memory.l2cache import L2Slice, SlicedL2
+from repro.memory.dram import DRAMChannel, DRAMSystem
+from repro.memory.subsystem import MemorySubsystem, AccessResult
+
+__all__ = [
+    "AddressHasher", "camping_index",
+    "L1Array", "L1Cache",
+    "L2Slice", "SlicedL2",
+    "DRAMChannel", "DRAMSystem",
+    "MemorySubsystem", "AccessResult",
+]

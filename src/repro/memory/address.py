@@ -1,0 +1,115 @@
+"""Address -> L2 slice hashing (paper Section IV-C).
+
+Modern GPUs hash physical addresses across L2 slices to prevent *memory
+camping* — a single channel becoming the hotspot [Aji et al.].  We model
+the (undocumented) vendor hash as an XOR-fold of cache-line-address bits,
+which load-balances any stride pattern while remaining deterministic and
+invertible-by-search, exactly the properties the paper's microbenchmarks
+rely on: Algorithm 1/2 need sets of addresses that map to a *chosen* slice
+(the ``M[s]`` tables), discovered via the profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class AddressHasher:
+    """Line-address -> L2-slice mapping.
+
+    ``mode="xor"`` (default) is the hashed mapping modern GPUs use;
+    ``mode="modulo"`` is naive channel interleaving (``line % slices``),
+    kept as the ablation baseline that suffers memory camping.
+    """
+
+    MODES = ("xor", "modulo")
+
+    def __init__(self, num_slices: int, line_bytes: int = 128,
+                 fold_bits: int = 18, mode: str = "xor"):
+        if num_slices <= 0:
+            raise ConfigurationError("num_slices must be positive")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigurationError("line_bytes must be a positive power of 2")
+        if mode not in self.MODES:
+            raise ConfigurationError(f"mode must be one of {self.MODES}")
+        self.num_slices = num_slices
+        self.line_bytes = line_bytes
+        self.fold_bits = fold_bits
+        self.mode = mode
+        self._line_shift = line_bytes.bit_length() - 1
+
+    def slice_of(self, address: int) -> int:
+        """Home L2 slice of a byte address."""
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        line = address >> self._line_shift
+        if self.mode == "modulo":
+            return line % self.num_slices
+        folded = 0
+        while line:
+            folded ^= line & ((1 << self.fold_bits) - 1)
+            line >>= self.fold_bits
+        # multiplicative scramble then modulo keeps non-power-of-2 slice
+        # counts balanced
+        return (folded * 2654435761 >> 7) % self.num_slices
+
+    def slice_of_array(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`slice_of` for a uint64 address array."""
+        line = np.asarray(addresses, dtype=np.uint64) >> np.uint64(self._line_shift)
+        if self.mode == "modulo":
+            return (line % np.uint64(self.num_slices)).astype(np.int64)
+        folded = np.zeros_like(line)
+        mask = np.uint64((1 << self.fold_bits) - 1)
+        shift = np.uint64(self.fold_bits)
+        while line.any():
+            folded ^= line & mask
+            line >>= shift
+        scrambled = (folded * np.uint64(2654435761)) >> np.uint64(7)
+        return (scrambled % np.uint64(self.num_slices)).astype(np.int64)
+
+    def addresses_for_slice(self, slice_id: int, count: int,
+                            start: int = 0, region_bytes: int | None = None
+                            ) -> list[int]:
+        """Find ``count`` line addresses that hash to ``slice_id``.
+
+        This is the software analogue of the paper's profiler-assisted
+        ``M[s]`` discovery: scan a region and keep addresses whose traffic
+        lands on the target slice.
+        """
+        if not 0 <= slice_id < self.num_slices:
+            raise ConfigurationError(f"slice {slice_id} out of range")
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        limit = region_bytes if region_bytes is not None else (
+            count * self.num_slices * self.line_bytes * 8)
+        found: list[int] = []
+        addr = start
+        end = start + limit
+        while addr < end and len(found) < count:
+            if self.slice_of(addr) == slice_id:
+                found.append(addr)
+            addr += self.line_bytes
+        if len(found) < count:
+            raise ConfigurationError(
+                f"only found {len(found)}/{count} addresses for slice "
+                f"{slice_id} in a {limit}-byte region")
+        return found
+
+
+def camping_index(slice_counts: np.ndarray) -> float:
+    """Load-imbalance metric for per-slice traffic counts.
+
+    1.0 = perfectly balanced; ``num_slices`` = all traffic camped on one
+    slice.  Defined as max/mean, the factor by which the hottest channel
+    exceeds a balanced load (paper Observation 12 asserts this stays near
+    1 for hashed GPUs).
+    """
+    counts = np.asarray(slice_counts, dtype=float)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ConfigurationError("slice_counts must be a non-empty 1-D array")
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)

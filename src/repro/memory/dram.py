@@ -1,0 +1,67 @@
+"""Off-chip DRAM channels behind the memory partitions.
+
+Each memory partition (MP) owns one DRAM channel.  The model tracks
+per-channel traffic and exposes the achievable bandwidth (peak scaled by
+the measured efficiency, Fig 9a reports 85-90% of peak on real GPUs).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class DRAMChannel:
+    """One memory controller + DRAM channel of an MP."""
+
+    def __init__(self, peak_gbps: float, efficiency: float = 0.87):
+        if peak_gbps <= 0:
+            raise ConfigurationError("peak_gbps must be positive")
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        self.peak_gbps = peak_gbps
+        self.efficiency = efficiency
+        self.bytes_serviced = 0
+
+    @property
+    def achievable_gbps(self) -> float:
+        return self.peak_gbps * self.efficiency
+
+    def service(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ConfigurationError("cannot service negative bytes")
+        self.bytes_serviced += nbytes
+
+    def reset(self) -> None:
+        self.bytes_serviced = 0
+
+
+class DRAMSystem:
+    """All DRAM channels of a device, one per memory partition."""
+
+    def __init__(self, num_channels: int, total_peak_gbps: float,
+                 efficiency: float = 0.87):
+        if num_channels <= 0:
+            raise ConfigurationError("num_channels must be positive")
+        per_channel = total_peak_gbps / num_channels
+        self.channels = [DRAMChannel(per_channel, efficiency)
+                         for _ in range(num_channels)]
+
+    def channel(self, mp: int) -> DRAMChannel:
+        if not 0 <= mp < len(self.channels):
+            raise ConfigurationError(f"channel {mp} out of range")
+        return self.channels[mp]
+
+    @property
+    def total_peak_gbps(self) -> float:
+        return sum(c.peak_gbps for c in self.channels)
+
+    @property
+    def total_achievable_gbps(self) -> float:
+        return sum(c.achievable_gbps for c in self.channels)
+
+    def traffic_by_channel(self) -> list[int]:
+        return [c.bytes_serviced for c in self.channels]
+
+    def reset(self) -> None:
+        for c in self.channels:
+            c.reset()

@@ -1,0 +1,59 @@
+"""Per-SM L1 data caches and the ``-dlcm=cg`` bypass.
+
+The paper's microbenchmarks compile with ``-Xptxas -dlcm=cg`` so global
+loads *bypass* the L1 and always traverse the NoC (Section II-C).  This
+module provides the L1 the bypass avoids: a small per-SM set-associative
+cache with a fast hit path.  Measuring L2 latency *without* the bypass
+warms the L1 and returns the ~30-cycle L1 hit time instead of the NoC
+round trip — the methodological trap the flag exists to avoid (see
+``tests/test_l1cache.py::test_why_the_paper_bypasses_l1``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.l2cache import L2Slice
+
+
+class L1Cache(L2Slice):
+    """One SM's L1 data cache (same set-associative core as a slice)."""
+
+    def __init__(self, capacity_bytes: int = 128 * 1024,
+                 line_bytes: int = 128, ways: int = 4):
+        super().__init__(capacity_bytes, line_bytes, ways)
+
+
+class L1Array:
+    """Lazily-built per-SM L1 caches for a device."""
+
+    def __init__(self, num_sms: int, capacity_bytes: int = 128 * 1024,
+                 line_bytes: int = 128, ways: int = 4):
+        if num_sms <= 0:
+            raise ConfigurationError("num_sms must be positive")
+        self.num_sms = num_sms
+        self.capacity_bytes = capacity_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self._caches: dict[int, L1Cache] = {}
+
+    def cache(self, sm: int) -> L1Cache:
+        if not 0 <= sm < self.num_sms:
+            raise ConfigurationError(f"SM {sm} out of range")
+        if sm not in self._caches:
+            self._caches[sm] = L1Cache(self.capacity_bytes,
+                                       self.line_bytes, self.ways)
+        return self._caches[sm]
+
+    def access(self, sm: int, address: int) -> bool:
+        return self.cache(sm).access(address)
+
+    def invalidate(self, sm: int | None = None) -> None:
+        if sm is None:
+            for cache in self._caches.values():
+                cache.invalidate()
+        else:
+            self.cache(sm).invalidate()
+
+    @property
+    def total_hits(self) -> int:
+        return sum(c.hits for c in self._caches.values())

@@ -1,0 +1,124 @@
+"""Memory subsystem facade: hash -> L2 slice -> DRAM, with latency.
+
+This is the device-side truth that the runtime's loads hit: an address is
+hashed to its *home* slice, the servicing slice is resolved through the
+partition-local caching policy (H100), residency is checked in the sliced
+L2, and a miss is refilled from the home MP's DRAM channel.  The returned
+latency uses the NoC latency model, so every load a kernel issues
+experiences the paper's placement-dependent timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro import rng
+from repro.memory.address import AddressHasher
+from repro.memory.dram import DRAMSystem
+from repro.memory.l1cache import L1Array
+from repro.memory.l2cache import SlicedL2
+from repro.noc.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one global-memory access."""
+    address: int
+    home_slice: int
+    service_slice: int
+    mp: int
+    hit: bool
+    latency_cycles: float
+    served_by: str = "l2"      # "l1" | "l2" | "dram"
+
+
+class MemorySubsystem:
+    """Sliced L2 + DRAM behind the NoC latency model."""
+
+    def __init__(self, latency_model: LatencyModel, ways: int = 16):
+        self.latency = latency_model
+        self.spec = latency_model.spec
+        self.hier = latency_model.hier
+        self.crossbar = latency_model.crossbar
+        self.hasher = AddressHasher(self.spec.num_slices,
+                                    self.spec.cache_line_bytes)
+        self.l2 = SlicedL2(self.spec.num_slices, self.spec.l2_capacity_bytes,
+                           self.spec.cache_line_bytes, ways)
+        self.l1 = L1Array(self.spec.num_sms, self.spec.l1_capacity_bytes,
+                          self.spec.cache_line_bytes)
+        self.dram = DRAMSystem(self.spec.num_mps, self.spec.mem_bandwidth_gbps,
+                               self.spec.dram_efficiency)
+        # per-slice request counters consumed by the profiler facade
+        self.slice_requests = [0] * self.spec.num_slices
+        # monotone access sequence: consecutive accesses to the same line
+        # must observe fresh measurement jitter
+        self._access_seq = 0
+
+    def home_slice(self, address: int) -> int:
+        return self.hasher.slice_of(address)
+
+    def access(self, sm: int, address: int, trial: int = 0,
+               sample_jitter: bool = True,
+               bypass_l1: bool = True) -> AccessResult:
+        """One global load from ``sm``.
+
+        ``bypass_l1=True`` is ``__ldcg`` / ``-dlcm=cg`` semantics (the
+        paper's methodology); with ``False`` the per-SM L1 is consulted
+        first and hits return in ~``l1_hit_cycles`` without touching the
+        NoC at all.
+        """
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        home = self.home_slice(address)
+        if not bypass_l1:
+            if self.l1.access(sm, address):
+                self._access_seq += 1
+                latency = self.spec.l1_hit_cycles
+                if sample_jitter:
+                    latency += float(rng.jitter(
+                        self.latency.seed, "l1-measure", sm,
+                        self._access_seq, sigma=0.5)[0])
+                service = self.crossbar.service_slice(sm, home)
+                return AccessResult(
+                    address=address, home_slice=home, service_slice=service,
+                    mp=self.hier.slice_info(service).mp, hit=True,
+                    latency_cycles=latency, served_by="l1")
+        service = self.crossbar.service_slice(sm, home)
+        hit = self.l2.access(service, address)
+        self.slice_requests[service] += 1
+        self._access_seq += 1
+        if sample_jitter:
+            latency = float(self.latency.sample(
+                sm, home, hit=hit, trial=(trial, self._access_seq))[0])
+        else:
+            latency = (self.latency.hit_latency(sm, home) if hit
+                       else self.latency.miss_latency(sm, home))
+        if not hit:
+            info = self.hier.slice_info(home)
+            self.dram.channel(info.mp).service(self.spec.cache_line_bytes)
+        # (an L1-checked access already allocated its line: the L1 model
+        # is allocate-on-miss, so the refill is implicit)
+        return AccessResult(
+            address=address, home_slice=home, service_slice=service,
+            mp=self.hier.slice_info(service).mp, hit=hit,
+            latency_cycles=latency, served_by="l2" if hit else "dram")
+
+    def warm(self, sm: int, addresses) -> None:
+        """Warm the L2 for a requester, as Algorithm 1's warm-up loop does.
+
+        Warming is requester-relative on H100: lines are installed into the
+        slices that will service *this SM's* later accesses.
+        """
+        for address in addresses:
+            home = self.home_slice(address)
+            service = self.crossbar.service_slice(sm, home)
+            self.l2.access(service, address)
+
+    def addresses_for_slice(self, slice_id: int, count: int) -> list[int]:
+        """Addresses whose *home* is ``slice_id`` (the M[s] table)."""
+        return self.hasher.addresses_for_slice(slice_id, count)
+
+    def reset_counters(self) -> None:
+        self.slice_requests = [0] * self.spec.num_slices
+        self.dram.reset()

@@ -1,0 +1,29 @@
+"""GPU network-on-chip models.
+
+Two complementary models live here:
+
+* A *hierarchical-crossbar* model (``crossbar``, ``latency``, ``flows``)
+  matching how the paper concludes real GPU NoCs are organised — used by
+  the measurement benchmarks.
+* A *cycle-level 2-D mesh* simulator (``mesh``) matching the multi-hop
+  topologies assumed by prior simulation studies — used for the paper's
+  Section VI comparisons (Fig 21, Fig 23).
+"""
+
+from repro.noc.crossbar import CrossbarPath, HierarchicalCrossbar
+from repro.noc.latency import LatencyModel, LatencyBreakdown
+from repro.noc.flows import Flow, Link, FlowNetwork, SolverResult
+from repro.noc.speedup import SpeedupConfig
+from repro.noc.topology_graph import TopologyGraph, AccessKind
+from repro.noc.loaded_latency import (LoadedLatency, loaded_latency,
+                                      interference_matrix)
+from repro.noc.xbarsim import CrossbarSim, simulate_bandwidth
+
+__all__ = [
+    "CrossbarPath", "HierarchicalCrossbar",
+    "LatencyModel", "LatencyBreakdown",
+    "Flow", "Link", "FlowNetwork", "SolverResult",
+    "SpeedupConfig", "TopologyGraph", "AccessKind",
+    "LoadedLatency", "loaded_latency", "interference_matrix",
+    "CrossbarSim", "simulate_bandwidth",
+]

@@ -1,0 +1,35 @@
+"""Cycle-level 2-D mesh NoC simulator (paper Section VI).
+
+This is the "simulation-based prior work" side of the paper's comparison:
+a Booksim-style wormhole mesh with dimension-ordered routing, credit flow
+control and pluggable (round-robin vs age-based) arbitration, plus the
+many-to-few-to-many request/reply traffic pattern with a rate-limited
+NoC->MEM reply interface.  It regenerates Fig 21 (reply-interface
+backpressure starving memory) and Fig 23 (throughput unfairness under
+round-robin arbitration).
+"""
+
+from repro.noc.mesh.flit import Packet, Flit, PacketKind
+from repro.noc.mesh.arbiter import RoundRobinArbiter, AgeArbiter, make_arbiter
+from repro.noc.mesh.routing import xy_route, Port
+from repro.noc.mesh.router import Router
+from repro.noc.mesh.network import Mesh2D
+from repro.noc.mesh.traffic import (ManyToFewTraffic, run_fairness_experiment,
+                                    FairnessResult)
+from repro.noc.mesh.interfaces import (MemoryNode, run_reply_bottleneck,
+                                       ReplyBottleneckResult)
+from repro.noc.mesh.loadcurve import (LoadCurve, LoadPoint,
+                                      measure_load_point, sweep_load)
+from repro.noc.mesh.vc import (VCMesh, VCRouter, SharedNetworkResult,
+                               run_shared_network_experiment)
+
+__all__ = [
+    "Packet", "Flit", "PacketKind",
+    "RoundRobinArbiter", "AgeArbiter", "make_arbiter",
+    "xy_route", "Port", "Router", "Mesh2D",
+    "ManyToFewTraffic", "run_fairness_experiment", "FairnessResult",
+    "MemoryNode", "run_reply_bottleneck", "ReplyBottleneckResult",
+    "LoadCurve", "LoadPoint", "measure_load_point", "sweep_load",
+    "VCMesh", "VCRouter", "SharedNetworkResult",
+    "run_shared_network_experiment",
+]

@@ -1,0 +1,59 @@
+"""Output-port arbiters: round-robin (local) vs age-based (global).
+
+The paper (Fig 23) shows that round-robin arbitration on a multi-hop mesh
+gives physically closer nodes up to 2.4x more throughput (the parking-lot
+effect: each hop halves the surviving share of far traffic), while
+age-based arbitration [Abts & Weisser] restores global fairness at the
+cost of extra flow-control state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MeshConfigError
+
+
+class RoundRobinArbiter:
+    """Rotating-priority pick among competing input ports."""
+
+    def __init__(self, num_inputs: int):
+        if num_inputs <= 0:
+            raise MeshConfigError("arbiter needs at least one input")
+        self.num_inputs = num_inputs
+        self._last = num_inputs - 1
+
+    def grant(self, candidates: dict) -> int:
+        """Pick one key of ``candidates`` ({input_idx: flit}); rotates."""
+        if not candidates:
+            raise MeshConfigError("no candidates to arbitrate")
+        for offset in range(1, self.num_inputs + 1):
+            idx = (self._last + offset) % self.num_inputs
+            if idx in candidates:
+                self._last = idx
+                return idx
+        raise MeshConfigError("candidate indices out of range")
+
+
+class AgeArbiter:
+    """Grant the input whose head flit belongs to the oldest packet."""
+
+    def __init__(self, num_inputs: int):
+        if num_inputs <= 0:
+            raise MeshConfigError("arbiter needs at least one input")
+        self.num_inputs = num_inputs
+
+    def grant(self, candidates: dict) -> int:
+        if not candidates:
+            raise MeshConfigError("no candidates to arbitrate")
+        # ties broken by lowest packet id => deterministic
+        return min(candidates,
+                   key=lambda i: (candidates[i].birth_cycle,
+                                  candidates[i].packet.pid))
+
+
+def make_arbiter(kind: str, num_inputs: int):
+    """Factory: ``"rr"`` or ``"age"``."""
+    if kind == "rr":
+        return RoundRobinArbiter(num_inputs)
+    if kind == "age":
+        return AgeArbiter(num_inputs)
+    raise MeshConfigError(f"unknown arbiter kind {kind!r}")

@@ -1,0 +1,61 @@
+"""Packets and flits for the mesh simulator."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import MeshConfigError
+
+_packet_ids = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    REQUEST = "request"    # small: core -> memory controller
+    REPLY = "reply"        # large: memory controller -> core (cache line)
+
+
+@dataclass
+class Packet:
+    """One network packet, broken into ``size`` flits."""
+    src: int
+    dst: int
+    size: int
+    kind: PacketKind = PacketKind.REQUEST
+    birth_cycle: int = 0
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    delivered_cycle: int | None = None
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise MeshConfigError(f"packet size must be positive, got {self.size}")
+        if self.src < 0 or self.dst < 0:
+            raise MeshConfigError("node ids must be non-negative")
+
+    @property
+    def latency(self) -> int:
+        if self.delivered_cycle is None:
+            raise MeshConfigError(f"packet {self.pid} not delivered yet")
+        return self.delivered_cycle - self.birth_cycle
+
+    def flits(self) -> list:
+        """Materialise this packet's flit train (head ... tail)."""
+        return [Flit(self, i == 0, i == self.size - 1)
+                for i in range(self.size)]
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet."""
+    packet: Packet
+    is_head: bool
+    is_tail: bool
+
+    @property
+    def dst(self) -> int:
+        return self.packet.dst
+
+    @property
+    def birth_cycle(self) -> int:
+        return self.packet.birth_cycle

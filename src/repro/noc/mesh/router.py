@@ -1,0 +1,80 @@
+"""Input-queued wormhole router with credit-based flow control."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MeshConfigError
+from repro.noc.mesh.arbiter import make_arbiter
+from repro.noc.mesh.flit import Flit
+from repro.noc.mesh.routing import Port
+
+NUM_PORTS = len(Port)
+
+
+class Router:
+    """One mesh router: 5 input FIFOs, per-output arbitration, wormhole.
+
+    Once a head flit wins an output port, the port stays locked to its
+    packet until the tail flit passes (wormhole switching); competing
+    packets wait.
+    """
+
+    def __init__(self, node: int, buffer_flits: int = 8,
+                 arbiter_kind: str = "rr"):
+        if buffer_flits <= 0:
+            raise MeshConfigError("buffer_flits must be positive")
+        self.node = node
+        self.buffer_flits = buffer_flits
+        self.in_buffers = {port: deque() for port in Port}
+        self.out_lock = {port: None for port in Port}   # packet holding port
+        self.arbiters = {port: make_arbiter(arbiter_kind, NUM_PORTS)
+                         for port in Port}
+
+    # ---- credits ---------------------------------------------------------
+    def space(self, port: Port) -> int:
+        """Free flit slots in one input buffer."""
+        return self.buffer_flits - len(self.in_buffers[port])
+
+    def accept(self, port: Port, flit: Flit) -> None:
+        if self.space(port) <= 0:
+            raise MeshConfigError(
+                f"router {self.node}: input {port.name} overflow")
+        self.in_buffers[port].append(flit)
+
+    # ---- switching ---------------------------------------------------------
+    def candidates_for(self, out_port: Port, route_of) -> dict:
+        """Input ports whose head flit wants ``out_port`` this cycle.
+
+        ``route_of(flit)`` maps a head flit to its output port.  Honours
+        the wormhole lock: while a packet holds the output, only its own
+        body flits are eligible.
+        """
+        lock = self.out_lock[out_port]
+        found = {}
+        for in_port, buf in self.in_buffers.items():
+            if not buf:
+                continue
+            flit = buf[0]
+            if lock is not None:
+                if flit.packet is lock:
+                    found[int(in_port)] = flit
+            elif flit.is_head and route_of(flit) is out_port:
+                found[int(in_port)] = flit
+        return found
+
+    def pop(self, in_port: Port, out_port: Port) -> Flit:
+        """Remove the granted flit and update the wormhole lock."""
+        buf = self.in_buffers[in_port]
+        if not buf:
+            raise MeshConfigError(f"router {self.node}: pop from empty buffer")
+        flit = buf.popleft()
+        if flit.is_head and not flit.is_tail:
+            self.out_lock[out_port] = flit.packet
+        if flit.is_tail:
+            self.out_lock[out_port] = None
+        return flit
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(b) for b in self.in_buffers.values())

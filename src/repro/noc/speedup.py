@@ -1,0 +1,55 @@
+"""Input-speedup bookkeeping (paper Figure 11).
+
+*Input speedup* is the excess bandwidth provisioned into the NoC at each
+hierarchy level (Section IV-A).  This module captures, for a device, the
+speedup each level would *need* for full bandwidth and the raw link
+provisioning the spec provides.  The *measured* speedups (what Fig 10
+plots) come from running the bandwidth microbenchmark — see
+``repro.core.speedup_bench`` — because queueing makes measured values fall
+short of raw provisioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class SpeedupConfig:
+    """Required speedups per hierarchy level for one GPU."""
+    name: str
+    tpc_required: int     # SMs sharing a TPC mux
+    cpc_required: int     # SMs sharing a CPC mux (0 if no CPC level)
+    gpc_local_required: int   # TPCs sharing the GPC port (x for GPC_l)
+    gpc_global_required: int  # SMs sharing the GPC port (x for GPC_g)
+
+    @classmethod
+    def for_spec(cls, spec: GPUSpec) -> "SpeedupConfig":
+        return cls(
+            name=spec.name,
+            tpc_required=spec.sms_per_tpc,
+            cpc_required=spec.sms_per_cpc if spec.tpcs_per_cpc else 0,
+            gpc_local_required=spec.tpcs_per_gpc,
+            gpc_global_required=spec.sms_per_gpc,
+        )
+
+    def levels(self) -> list[str]:
+        """Hierarchy levels present on this device, inner to outer."""
+        names = ["TPC"]
+        if self.cpc_required:
+            names.append("CPC")
+        names += ["GPC_l", "GPC_g"]
+        return names
+
+    def required(self, level: str) -> int:
+        try:
+            return {
+                "TPC": self.tpc_required,
+                "CPC": self.cpc_required,
+                "GPC_l": self.gpc_local_required,
+                "GPC_g": self.gpc_global_required,
+            }[level]
+        except KeyError:
+            raise ValueError(f"unknown speedup level {level!r}") from None

@@ -1,0 +1,162 @@
+"""Builds the shared-link flow network for a traffic pattern.
+
+Given "these SMs stream to these L2 slices" (the input of the paper's
+Algorithm 2), this module constructs a :class:`~repro.noc.flows.FlowNetwork`
+whose links mirror the hierarchical crossbar stages:
+
+    SM MSHR budget -> TPC mux -> [CPC mux] -> GPC port -> GPC->MP channel
+        -> [partition bridge] -> NoC->MP interface -> slice ingress
+        -> [DRAM channel, when the working set misses in L2]
+
+Capacities come from the :class:`~repro.gpu.specs.GPUSpec` calibration
+constants; per-flow Little's-law caps come from the latency model's
+unloaded round-trip times, which is what couples the latency
+non-uniformity to the bandwidth non-uniformity (paper Observation 10).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import rng, units
+from repro.errors import SolverError
+from repro.noc.flows import FlowNetwork, SolverResult
+from repro.noc.latency import LatencyModel
+
+
+class AccessKind(enum.Enum):
+    """Memory access direction of a streaming kernel."""
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class BandwidthReport:
+    """Solved steady-state bandwidth for one traffic pattern (GB/s)."""
+    result: SolverResult
+    flow_names: dict    # (sm, home_slice) -> flow name
+    kind: AccessKind
+
+    @property
+    def total_gbps(self) -> float:
+        return self.result.total_gbps
+
+    def flow_gbps(self, sm: int, slice_id: int) -> float:
+        return self.result.rates_gbps[self.flow_names[(sm, slice_id)]]
+
+    def sm_gbps(self, sm: int) -> float:
+        return sum(self.result.rates_gbps[name]
+                   for (s, _), name in self.flow_names.items() if s == sm)
+
+    def slice_gbps(self, slice_id: int) -> float:
+        return sum(self.result.rates_gbps[name]
+                   for (_, d), name in self.flow_names.items() if d == slice_id)
+
+
+class TopologyGraph:
+    """Flow-network factory for one simulated device."""
+
+    def __init__(self, latency_model: LatencyModel, seed: int = 0):
+        self.latency = latency_model
+        self.spec = latency_model.spec
+        self.hier = latency_model.hier
+        self.crossbar = latency_model.crossbar
+        self.seed = seed
+
+    # ---- per-component capacities ------------------------------------------
+    def _slice_capacity(self, slice_id: int) -> float:
+        spec = self.spec
+        jit = rng.jitter(self.seed, "slice-bw", slice_id,
+                         sigma=spec.slice_bw_sigma_gbps)[0]
+        return max(spec.slice_bw_gbps + float(jit), spec.slice_bw_gbps * 0.5)
+
+    def _tpc_capacity(self, kind: AccessKind) -> float:
+        return (self.spec.tpc_out_read_gbps if kind is AccessKind.READ
+                else self.spec.tpc_out_write_gbps)
+
+    def _cpc_capacity(self, kind: AccessKind) -> float:
+        return (self.spec.cpc_out_read_gbps if kind is AccessKind.READ
+                else self.spec.cpc_out_write_gbps)
+
+    def _kind_scale(self, kind: AccessKind) -> float:
+        return 1.0 if kind is AccessKind.READ else self.spec.write_bw_ratio
+
+    def _rt_seconds(self, sm: int, slice_id: int, l2_hit: bool) -> float:
+        cycles = (self.latency.hit_latency(sm, slice_id) if l2_hit
+                  else self.latency.miss_latency(sm, slice_id))
+        return units.cycles_to_seconds(cycles, self.spec.core_clock_hz)
+
+    # ---- network construction -------------------------------------------------
+    def build(self, traffic: dict, kind: AccessKind = AccessKind.READ,
+              l2_hit: bool = True) -> tuple[FlowNetwork, dict]:
+        """Construct the network for ``traffic`` = {sm: [slice ids]}.
+
+        Returns (network, flow_names) with flow_names keyed by
+        (sm, home_slice).  Slice ids are *home* slices (what the address
+        hashes to); H100's local-caching alias is applied internally for
+        hits, exactly as the device would.
+        """
+        if not traffic:
+            raise SolverError("traffic pattern is empty")
+        spec = self.spec
+        scale = self._kind_scale(kind)
+        net = FlowNetwork()
+        flow_names: dict = {}
+
+        for sm, slices in sorted(traffic.items()):
+            slices = list(slices)
+            if not slices:
+                raise SolverError(f"SM {sm} has no target slices")
+            info = self.hier.sm_info(sm)
+            mean_rt = sum(self._rt_seconds(sm, s, l2_hit)
+                          for s in slices) / len(slices)
+            budget = scale * spec.sm_mshr_bytes / mean_rt / units.GB
+            net.add_link(f"mshr:sm{sm}", budget, littles=True)
+            net.add_link(f"tpc:{info.tpc}", self._tpc_capacity(kind))
+            if spec.tpcs_per_cpc and self._cpc_capacity(kind) > 0:
+                net.add_link(f"cpc:{info.cpc}", self._cpc_capacity(kind))
+            net.add_link(f"gpc:{info.gpc}", spec.gpc_out_gbps, concentrator=True)
+
+            for home in slices:
+                path = self.crossbar.path(sm, home, for_hit=l2_hit)
+                service = path.slice_id
+                sinfo = self.hier.slice_info(service)
+                links = [f"mshr:sm{sm}", f"tpc:{info.tpc}"]
+                if spec.tpcs_per_cpc and self._cpc_capacity(kind) > 0:
+                    links.append(f"cpc:{info.cpc}")
+                links.append(f"gpc:{info.gpc}")
+                chan = f"chan:g{info.gpc}-mp{sinfo.mp}"
+                net.add_link(chan, spec.gpc_mp_channel_gbps, concentrator=True)
+                links.append(chan)
+                if path.crosses_partition:
+                    bridge = f"bridge:{info.partition}->{sinfo.partition}"
+                    net.add_link(bridge, spec.partition_bridge_gbps,
+                                 concentrator=True)
+                    links.append(bridge)
+                net.add_link(f"mp:{sinfo.mp}", spec.mp_input_gbps)
+                links.append(f"mp:{sinfo.mp}")
+                net.add_link(f"slice:{service}", self._slice_capacity(service))
+                links.append(f"slice:{service}")
+                if not l2_hit:
+                    dram_cap = (spec.mem_bandwidth_gbps * spec.dram_efficiency
+                                / spec.num_mps)
+                    net.add_link(f"dram:{sinfo.mp}", dram_cap)
+                    links.append(f"dram:{sinfo.mp}")
+
+                in_flight = spec.flow_mshr_bytes
+                if path.crosses_partition:
+                    in_flight += spec.noc_buffer_bytes
+                littles = (scale * in_flight
+                           / self._rt_seconds(sm, home, l2_hit) / units.GB)
+                name = f"f:sm{sm}->s{home}"
+                net.add_flow(name, links, littles_cap_gbps=littles,
+                             hard_cap_gbps=scale * spec.flow_cap_gbps)
+                flow_names[(sm, home)] = name
+        return net, flow_names
+
+    def solve(self, traffic: dict, kind: AccessKind = AccessKind.READ,
+              l2_hit: bool = True) -> BandwidthReport:
+        """Build and solve in one step."""
+        net, flow_names = self.build(traffic, kind, l2_hit)
+        return BandwidthReport(net.solve(), flow_names, kind)

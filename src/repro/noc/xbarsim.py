@@ -1,0 +1,232 @@
+"""Cycle-level hierarchical-crossbar simulator (model cross-validation).
+
+The bandwidth results in this package come from the analytical max–min
+flow solver (:mod:`repro.noc.flows`).  This module is an *independent*
+cycle-stepped queueing simulation of the same hierarchical crossbar:
+SMs issue cache-line requests under an MSHR budget; replies flow back
+through byte-rate-limited shared servers (slice ingress, GPC->MP
+channel, GPC output port, partition bridge, NoC->MP interface) with
+FIFO queueing and per-cycle service.
+
+It exists to validate the solver: for any traffic pattern, the two
+models should agree on steady-state bandwidth to within queueing noise
+(see ``benchmarks/bench_ext_xbarsim.py`` and ``tests/test_xbarsim.py``).
+Latency under load emerges naturally here (queue depth), which also
+cross-checks the solver's concentrator-inflation heuristic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+
+
+class ByteServer:
+    """FIFO server moving whole transfers at a byte/cycle rate."""
+
+    def __init__(self, name: str, rate_bytes_per_cycle: float):
+        if rate_bytes_per_cycle <= 0:
+            raise ConfigurationError(f"server {name!r} needs positive rate")
+        self.name = name
+        self.rate = rate_bytes_per_cycle
+        self.queue: deque = deque()
+        self._progress = 0.0       # bytes served of the head transfer
+        self.bytes_served = 0
+
+    def push(self, transfer) -> None:
+        self.queue.append(transfer)
+
+    def step(self, completed: list) -> None:
+        """One cycle: serve up to ``rate`` bytes, FIFO order.
+
+        Finished transfers are appended to ``completed``.
+        """
+        budget = self.rate
+        while budget > 0 and self.queue:
+            head = self.queue[0]
+            need = head.size_bytes - self._progress
+            if need > budget:
+                self._progress += budget
+                self.bytes_served += budget
+                budget = 0
+            else:
+                budget -= need
+                self.bytes_served += need
+                self._progress = 0.0
+                self.queue.popleft()
+                completed.append(head)
+
+    @property
+    def backlog_bytes(self) -> float:
+        return sum(t.size_bytes for t in self.queue) - self._progress
+
+
+@dataclass
+class Transfer:
+    """One cache-line reply working its way back to an SM."""
+    sm: int
+    slice_id: int
+    size_bytes: int
+    stage_index: int = 0
+    servers: tuple = ()
+
+
+@dataclass
+class _SMState:
+    """Issue-side state of one SM."""
+    sm: int
+    targets: list
+    next_target: int = 0
+    inflight_bytes: float = 0.0
+    inflight_per_slice: dict = field(default_factory=dict)
+    delivered_bytes: float = 0.0
+
+
+class CrossbarSim:
+    """Cycle-level reply-path simulation of one traffic pattern.
+
+    ``traffic`` maps sm -> list of home-slice ids, exactly like
+    :meth:`repro.noc.topology_graph.TopologyGraph.solve`.  Reads only
+    (the reply direction carries the data and binds first for reads).
+    """
+
+    def __init__(self, gpu: SimulatedGPU, traffic: dict):
+        if not traffic:
+            raise ConfigurationError("traffic pattern is empty")
+        self.gpu = gpu
+        spec = gpu.spec
+        self.spec = spec
+        self._clock = spec.core_clock_hz
+        line = spec.cache_line_bytes
+
+        def rate(gbps: float) -> float:
+            return gbps * units.GB / self._clock
+
+        self.servers: dict[str, ByteServer] = {}
+
+        def server(name: str, gbps: float) -> str:
+            if name not in self.servers:
+                self.servers[name] = ByteServer(name, rate(gbps))
+            return name
+
+        self.sms: list[_SMState] = []
+        self.paths: dict = {}        # (sm, home) -> (servers, request delay)
+        self.flow_mshr = {}
+        for sm, slices in sorted(traffic.items()):
+            slices = list(slices)
+            if not slices:
+                raise ConfigurationError(f"SM {sm} has no target slices")
+            self.sms.append(_SMState(sm=sm, targets=slices))
+            info = gpu.hier.sm_info(sm)
+            for home in slices:
+                path = gpu.latency.crossbar.path(sm, home, for_hit=True)
+                service = path.slice_id
+                sinfo = gpu.hier.slice_info(service)
+                chain = [server(f"slice:{service}", spec.slice_bw_gbps),
+                         server(f"mp:{sinfo.mp}", spec.mp_input_gbps)]
+                if path.crosses_partition:
+                    chain.append(server(
+                        f"bridge:{sinfo.partition}->{info.partition}",
+                        spec.partition_bridge_gbps))
+                chain.append(server(f"chan:g{info.gpc}-mp{sinfo.mp}",
+                                    spec.gpc_mp_channel_gbps))
+                chain.append(server(f"gpc:{info.gpc}", spec.gpc_out_gbps))
+                chain.append(server(f"tpc:{info.tpc}",
+                                    spec.tpc_out_read_gbps))
+                # unloaded round trip: wire + SM + L2 both ways; the
+                # servers then add serialisation and queueing on top
+                base_rt = gpu.latency.hit_latency(sm, home)
+                in_flight_cap = spec.flow_mshr_bytes
+                if path.crosses_partition:
+                    in_flight_cap += spec.noc_buffer_bytes
+                self.paths[(sm, home)] = (tuple(chain), base_rt)
+                self.flow_mshr[(sm, home)] = in_flight_cap
+        self.line = line
+        self.cycle = 0
+        self._pending: list = []     # (ready_cycle, Transfer) request leg
+        # per-flow sector-issue throughput cap (the solver's flow_cap):
+        # minimum cycles between consecutive issues of one (SM, slice) flow
+        self.issue_interval = line / (spec.flow_cap_gbps * units.GB
+                                      / self._clock)
+        self._next_issue: dict = {}
+
+    # ---- issue side -----------------------------------------------------
+    def _try_issue(self, sm_state: _SMState) -> None:
+        """Issue as many requests as the MSHR budgets allow this cycle."""
+        attempts = len(sm_state.targets)
+        while (sm_state.inflight_bytes + self.line
+               <= self.spec.sm_mshr_bytes and attempts > 0):
+            home = sm_state.targets[sm_state.next_target
+                                    % len(sm_state.targets)]
+            sm_state.next_target += 1
+            attempts -= 1
+            key = (sm_state.sm, home)
+            per_flow = sm_state.inflight_per_slice.get(home, 0.0)
+            if per_flow + self.line > self.flow_mshr[key]:
+                continue
+            if self.cycle < self._next_issue.get(key, 0.0):
+                continue
+            chain, base_rt = self.paths[key]
+            transfer = Transfer(sm=sm_state.sm, slice_id=home,
+                                size_bytes=self.line, servers=chain)
+            self._pending.append((self.cycle + base_rt, transfer))
+            # token-bucket pacing: keep fractional credit so the average
+            # per-flow rate equals flow_cap exactly (one issue per cycle
+            # per flow bounds the burst after a stall)
+            self._next_issue[key] = (self._next_issue.get(key, 0.0)
+                                     + self.issue_interval)
+            sm_state.inflight_bytes += self.line
+            sm_state.inflight_per_slice[home] = per_flow + self.line
+
+    # ---- simulation ------------------------------------------------------
+    def step(self) -> None:
+        for sm_state in self.sms:
+            self._try_issue(sm_state)
+        # requests whose request-leg delay elapsed enter the slice server
+        still_pending = []
+        for ready, transfer in self._pending:
+            if ready <= self.cycle:
+                self.servers[transfer.servers[0]].push(transfer)
+            else:
+                still_pending.append((ready, transfer))
+        self._pending = still_pending
+        # advance every server; completed transfers hop to the next stage
+        state_by_sm = {s.sm: s for s in self.sms}
+        for server in self.servers.values():
+            done: list = []
+            server.step(done)
+            for transfer in done:
+                transfer.stage_index += 1
+                if transfer.stage_index < len(transfer.servers):
+                    self.servers[
+                        transfer.servers[transfer.stage_index]].push(transfer)
+                else:
+                    sm_state = state_by_sm[transfer.sm]
+                    sm_state.delivered_bytes += transfer.size_bytes
+                    sm_state.inflight_bytes -= transfer.size_bytes
+                    sm_state.inflight_per_slice[transfer.slice_id] \
+                        -= transfer.size_bytes
+        self.cycle += 1
+
+    def run(self, cycles: int, warmup: int = 0) -> dict:
+        """Simulate; returns {sm: GB/s} over the post-warmup window."""
+        if cycles <= warmup or warmup < 0:
+            raise ConfigurationError("need cycles > warmup >= 0")
+        for _ in range(warmup):
+            self.step()
+        baseline = {s.sm: s.delivered_bytes for s in self.sms}
+        for _ in range(cycles - warmup):
+            self.step()
+        window_seconds = (cycles - warmup) / self._clock
+        return {s.sm: (s.delivered_bytes - baseline[s.sm])
+                / window_seconds / units.GB for s in self.sms}
+
+
+def simulate_bandwidth(gpu: SimulatedGPU, traffic: dict,
+                       cycles: int = 30000, warmup: int = 6000) -> dict:
+    """Convenience wrapper: cycle-simulated {sm: GB/s} for a pattern."""
+    return CrossbarSim(gpu, traffic).run(cycles, warmup)

@@ -1,0 +1,8 @@
+"""Profiler facade: per-slice counters and slice-mapping discovery."""
+
+from repro.profiling.counters import SliceCounters
+from repro.profiling.profiler import Profiler, ProfilerMode
+from repro.profiling.discovery import discover_slice_addresses
+
+__all__ = ["SliceCounters", "Profiler", "ProfilerMode",
+           "discover_slice_addresses"]

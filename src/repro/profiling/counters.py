@@ -1,0 +1,37 @@
+"""Per-L2-slice traffic counters.
+
+The memory subsystem counts requests per servicing slice; this module
+snapshots and diffs those counters, which is all ``nvprof``'s
+non-aggregated mode exposed on V100 (paper Section II-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.subsystem import MemorySubsystem
+
+
+@dataclass(frozen=True)
+class SliceCounters:
+    """Immutable snapshot of per-slice request counts."""
+    counts: tuple
+
+    @classmethod
+    def snapshot(cls, memory: MemorySubsystem) -> "SliceCounters":
+        return cls(tuple(memory.slice_requests))
+
+    def delta(self, earlier: "SliceCounters") -> "SliceCounters":
+        """Requests that happened between ``earlier`` and this snapshot."""
+        if len(earlier.counts) != len(self.counts):
+            raise ValueError("snapshots are from different devices")
+        return SliceCounters(tuple(now - before for now, before
+                                   in zip(self.counts, earlier.counts)))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def hottest_slice(self) -> int:
+        """Slice that received the most requests."""
+        return max(range(len(self.counts)), key=self.counts.__getitem__)

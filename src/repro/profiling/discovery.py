@@ -1,0 +1,78 @@
+"""Contention-based slice-mapping discovery (paper Section II-C, fn. 1).
+
+A100/H100 drivers no longer expose per-slice counters, so the paper maps
+addresses to L2 slices manually: one kernel continuously hammers a fixed
+*reference* address while a second kernel sweeps candidate addresses.
+When the candidate shares the reference's L2 slice, the two kernels
+contend for the slice's ingress bandwidth and both slow down — the
+bandwidth drop marks a same-slice address.
+
+We reproduce that experiment on the flow solver: each kernel is a group of
+SMs large enough to saturate one slice, and "contention" is a measurable
+drop in the probe group's throughput.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProfilerError
+from repro.gpu.device import SimulatedGPU
+
+#: relative throughput drop that counts as contention
+_CONTENTION_THRESHOLD = 0.15
+
+
+def _group_bandwidth(gpu: SimulatedGPU, groups: dict) -> dict:
+    """Solve one co-run; returns {group label: GB/s}."""
+    traffic = {}
+    owner = {}
+    for label, (sms, slice_id) in groups.items():
+        for sm in sms:
+            if sm in traffic:
+                raise ProfilerError(f"SM {sm} used by two kernels")
+            traffic[sm] = [slice_id]
+            owner[sm] = label
+    report = gpu.topology.solve(traffic)
+    totals = {label: 0.0 for label in groups}
+    for sm in traffic:
+        totals[owner[sm]] += report.sm_gbps(sm)
+    return totals
+
+
+def probe_contention(gpu: SimulatedGPU, reference_address: int,
+                     candidate_address: int, hammer_sms, probe_sms) -> float:
+    """Relative slowdown of the probe kernel due to the hammer kernel."""
+    mem = gpu.memory
+    ref_slice = gpu.latency.crossbar.service_slice(
+        hammer_sms[0], mem.home_slice(reference_address))
+    cand_slice = gpu.latency.crossbar.service_slice(
+        probe_sms[0], mem.home_slice(candidate_address))
+    solo = _group_bandwidth(gpu, {"probe": (list(probe_sms), cand_slice)})
+    pair = _group_bandwidth(gpu, {
+        "hammer": (list(hammer_sms), ref_slice),
+        "probe": (list(probe_sms), cand_slice),
+    })
+    if solo["probe"] <= 0:
+        raise ProfilerError("probe kernel achieved no bandwidth")
+    return 1.0 - pair["probe"] / solo["probe"]
+
+
+def discover_slice_addresses(gpu: SimulatedGPU, reference_address: int,
+                             candidate_addresses, sms_per_kernel: int = 8
+                             ) -> list:
+    """Addresses among the candidates that share the reference's slice.
+
+    Uses two disjoint SM groups (``sms_per_kernel`` each, enough to
+    saturate a slice on every Table I device).
+    """
+    if sms_per_kernel <= 0:
+        raise ProfilerError("sms_per_kernel must be positive")
+    if 2 * sms_per_kernel > gpu.num_sms:
+        raise ProfilerError("not enough SMs for two kernels")
+    hammer = list(range(sms_per_kernel))
+    probe = list(range(sms_per_kernel, 2 * sms_per_kernel))
+    conflicting = []
+    for address in candidate_addresses:
+        drop = probe_contention(gpu, reference_address, address, hammer, probe)
+        if drop > _CONTENTION_THRESHOLD:
+            conflicting.append(address)
+    return conflicting

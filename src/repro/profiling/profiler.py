@@ -1,0 +1,68 @@
+"""``nvprof`` facade with generation-dependent capability.
+
+On V100 the profiler exposed *non-aggregated* per-L2-slice counters, which
+the paper used to build the address->slice map (``M[s]``).  On A100/H100
+those counters are aggregate-only (a side-channel hardening step the paper
+discusses in Section V-A), forcing the contention-based discovery
+technique in :mod:`repro.profiling.discovery`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProfilerError
+from repro.gpu.device import SimulatedGPU
+from repro.profiling.counters import SliceCounters
+
+
+class ProfilerMode(enum.Enum):
+    PER_SLICE = "per-slice"      # V100-era non-aggregated counters
+    AGGREGATE = "aggregate"      # A100/H100: totals only
+
+
+#: GPUs whose drivers still expose non-aggregated per-slice counters
+_PER_SLICE_GPUS = {"V100"}
+
+
+class Profiler:
+    """Counter access scoped to what the device generation allows."""
+
+    def __init__(self, gpu: SimulatedGPU, mode: ProfilerMode | None = None):
+        self.gpu = gpu
+        if mode is None:
+            mode = (ProfilerMode.PER_SLICE if gpu.name in _PER_SLICE_GPUS
+                    else ProfilerMode.AGGREGATE)
+        self.mode = mode
+        self._start: SliceCounters | None = None
+
+    def start(self) -> None:
+        self._start = SliceCounters.snapshot(self.gpu.memory)
+
+    def _delta(self) -> SliceCounters:
+        if self._start is None:
+            raise ProfilerError("profiler not started")
+        return SliceCounters.snapshot(self.gpu.memory).delta(self._start)
+
+    def stop_per_slice(self) -> SliceCounters:
+        """Per-slice counts; only available in PER_SLICE mode."""
+        if self.mode is not ProfilerMode.PER_SLICE:
+            raise ProfilerError(
+                f"{self.gpu.name}: per-L2-slice counters are not exposed; "
+                "only aggregate values are available (use stop_aggregate, "
+                "or the contention-based discovery in profiling.discovery)")
+        return self._delta()
+
+    def stop_aggregate(self) -> int:
+        """Total L2 request count over the profiled region."""
+        return self._delta().total
+
+    def slice_of_address(self, address: int, probe_sm: int = 0) -> int:
+        """Find the servicing slice of one address via per-slice counters.
+
+        This is the V100 methodology: access the address, see which slice
+        counter moved.
+        """
+        self.start()
+        self.gpu.memory.access(probe_sm, address)
+        return self.stop_per_slice().hottest_slice()

@@ -1,0 +1,24 @@
+"""CUDA-like execution model for the simulated GPU.
+
+Kernels are Python callables executed warp-by-warp on simulated SMs with
+per-SM cycle counters, ``%smid`` and ``clock()`` semantics, L1-bypassing
+loads routed through the NoC + L2 models, and pluggable thread-block
+scheduling (static, like real GPUs, or the paper's proposed random-seed
+scheduling).
+"""
+
+from repro.runtime.kernel import KernelSpec, BlockContext
+from repro.runtime.device_api import Warp, WARP_SIZE
+from repro.runtime.scheduler import (StaticScheduler, RandomScheduler,
+                                     PinnedScheduler)
+from repro.runtime.sm import SMContext
+from repro.runtime.launcher import launch, LaunchResult
+from repro.runtime.occupancy import (OccupancyPoint, occupancy_sweep,
+                                     warps_to_saturate)
+
+__all__ = [
+    "KernelSpec", "BlockContext", "Warp", "WARP_SIZE",
+    "StaticScheduler", "RandomScheduler", "PinnedScheduler",
+    "SMContext", "launch", "LaunchResult",
+    "OccupancyPoint", "occupancy_sweep", "warps_to_saturate",
+]

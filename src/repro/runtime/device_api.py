@@ -1,0 +1,190 @@
+"""Warp-level device API: ``clock()``, ``__ldcg``, coalescing.
+
+A kernel body receives :class:`Warp` objects and issues memory operations
+through them.  The warp models the GPU LSU behaviour the paper's timing
+attacks rely on (Section V-B):
+
+* per-warp memory requests are *coalesced* into unique cache lines;
+* unique lines are issued back-to-back (one issue slot each) and complete
+  when the slowest reply returns, so warp latency grows linearly with the
+  number of unique lines, with an intercept set by the SM->slice NoC
+  latency — the exact structure of Fig 17(a);
+* ``clock()`` reads the SM's cycle counter, like the hardware register.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LaunchError
+from repro.memory.subsystem import MemorySubsystem
+
+WARP_SIZE = 32
+
+#: cycles between consecutive unique-line issues from one warp's LSU
+ISSUE_SLOT_CYCLES = 8.0
+#: fixed per-instruction overhead (decode/AGU) for a memory instruction
+MEM_ISSUE_OVERHEAD_CYCLES = 6.0
+#: cycles per simple ALU instruction step (used by compute kernels)
+ALU_CYCLES = 1.0
+
+
+class Warp:
+    """One warp executing on an SM, with its own position in time."""
+
+    def __init__(self, sm: int, memory: MemorySubsystem, start_cycle: float,
+                 warp_id: int = 0, trial: int = 0):
+        self.sm = sm
+        self.memory = memory
+        self.warp_id = warp_id
+        self.trial = trial
+        self._cycle = float(start_cycle)
+        self.requests = 0          # unique-line memory requests issued
+        self.instructions = 0
+
+    # ---- timing ------------------------------------------------------------
+    def clock(self) -> int:
+        """The SM cycle counter (hardware ``clock()``)."""
+        return int(self._cycle)
+
+    @property
+    def cycle(self) -> float:
+        return self._cycle
+
+    def advance(self, cycles: float) -> None:
+        if cycles < 0:
+            raise LaunchError("cannot advance time backwards")
+        self._cycle += cycles
+
+    # ---- compute -----------------------------------------------------------
+    def alu(self, count: int = 1) -> None:
+        """Execute ``count`` ALU instructions (constant time each)."""
+        if count < 0:
+            raise LaunchError("negative instruction count")
+        self.instructions += count
+        self.advance(ALU_CYCLES * count)
+
+    # ---- memory --------------------------------------------------------------
+    def coalesce(self, addresses) -> list[int]:
+        """Unique *sector* base addresses for the warp's lane addresses.
+
+        GPU memory coalescing operates at 32-byte sector granularity:
+        each unique sector touched by the warp becomes one memory request
+        (this is what makes AES T-table timing leak the paper's 12-18
+        unique-line counts, Fig 17a).
+        """
+        sector = self.memory.spec.sector_bytes
+        seen: dict[int, None] = {}
+        for address in addresses:
+            if address < 0:
+                raise LaunchError(f"negative address {address}")
+            seen.setdefault((int(address) // sector) * sector, None)
+        return list(seen)
+
+    def ldcg(self, addresses) -> float:
+        """L1-bypassing global load (``__ldcg``) for all active lanes.
+
+        ``addresses`` is one address per lane (any iterable; a single int
+        means a one-lane access, the paper's Algorithm 1 setup).  Returns
+        the cycles the warp stalled.
+        """
+        if isinstance(addresses, int):
+            addresses = [addresses]
+        lines = self.coalesce(addresses)
+        if not lines:
+            raise LaunchError("ldcg needs at least one address")
+        self.instructions += 1
+        self.requests += len(lines)
+        completion = 0.0
+        for i, base in enumerate(lines):
+            result = self.memory.access(self.sm, base, trial=self.trial)
+            completion = max(completion,
+                             ISSUE_SLOT_CYCLES * i + result.latency_cycles)
+        stall = MEM_ISSUE_OVERHEAD_CYCLES + completion
+        self.advance(stall)
+        return stall
+
+    def ldcg_async(self, addresses) -> float:
+        """Non-blocking L1-bypassing load: issue now, stall later.
+
+        Returns a *completion cycle*; the warp only pays the issue slots
+        now and stalls when :meth:`wait_until` is called with the token.
+        Multiple in-flight loads overlap their NoC round trips — the
+        memory-level parallelism real streaming kernels rely on.
+        """
+        if isinstance(addresses, int):
+            addresses = [addresses]
+        lines = self.coalesce(addresses)
+        if not lines:
+            raise LaunchError("ldcg_async needs at least one address")
+        self.instructions += 1
+        self.requests += len(lines)
+        completion = 0.0
+        issue_base = self._cycle + MEM_ISSUE_OVERHEAD_CYCLES
+        for i, base in enumerate(lines):
+            result = self.memory.access(self.sm, base, trial=self.trial)
+            completion = max(completion, issue_base + ISSUE_SLOT_CYCLES * i
+                             + result.latency_cycles)
+        # the warp itself only pays the issue time
+        self.advance(MEM_ISSUE_OVERHEAD_CYCLES
+                     + ISSUE_SLOT_CYCLES * (len(lines) - 1))
+        return completion
+
+    def wait_until(self, completion_cycle: float) -> float:
+        """Stall until an async load's completion; returns stall cycles."""
+        stall = max(0.0, completion_cycle - self._cycle)
+        self.advance(stall)
+        return stall
+
+    def ld(self, addresses) -> float:
+        """Default *cached* global load (no ``-dlcm=cg``): L1 first.
+
+        Exists to demonstrate the methodology trap the paper's bypass
+        flag avoids — after a warm-up, ``ld`` times the L1, not the NoC.
+        """
+        if isinstance(addresses, int):
+            addresses = [addresses]
+        lines = self.coalesce(addresses)
+        if not lines:
+            raise LaunchError("ld needs at least one address")
+        self.instructions += 1
+        self.requests += len(lines)
+        completion = 0.0
+        for i, base in enumerate(lines):
+            result = self.memory.access(self.sm, base, trial=self.trial,
+                                        bypass_l1=False)
+            completion = max(completion,
+                             ISSUE_SLOT_CYCLES * i + result.latency_cycles)
+        stall = MEM_ISSUE_OVERHEAD_CYCLES + completion
+        self.advance(stall)
+        return stall
+
+    def ld_shared_remote(self, dst_sm: int) -> float:
+        """Distributed-shared-memory load from another SM's shared memory.
+
+        H100-only (paper Fig 7); round trip through the SM-to-SM network
+        of the GPC.  Returns the stall cycles.
+        """
+        if not self.memory.spec.has_dsmem:
+            raise LaunchError(
+                f"{self.memory.spec.name} has no SM-to-SM (dsmem) network")
+        latency = self.memory.latency.sm_to_sm_latency(self.sm, dst_sm)
+        stall = MEM_ISSUE_OVERHEAD_CYCLES + latency
+        self.instructions += 1
+        self.advance(stall)
+        return stall
+
+    def stg(self, addresses) -> float:
+        """Global store; same coalescing/timing skeleton as :meth:`ldcg`,
+        but stores retire once the request wins an issue slot (the write
+        itself completes asynchronously)."""
+        if isinstance(addresses, int):
+            addresses = [addresses]
+        lines = self.coalesce(addresses)
+        if not lines:
+            raise LaunchError("stg needs at least one address")
+        self.instructions += 1
+        self.requests += len(lines)
+        for base in lines:
+            self.memory.access(self.sm, base, trial=self.trial)
+        stall = MEM_ISSUE_OVERHEAD_CYCLES + ISSUE_SLOT_CYCLES * len(lines)
+        self.advance(stall)
+        return stall

@@ -1,0 +1,86 @@
+"""Kernel and thread-block abstractions.
+
+A kernel is a Python callable ``fn(block: BlockContext, *args)`` executed
+once per thread block.  The block context exposes CUDA-style coordinates
+(``blockIdx``, ``blockDim``, ``gridDim``), the ``%smid`` register, and
+warp handles for issuing timed device operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LaunchError
+from repro.runtime.device_api import WARP_SIZE, Warp
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Launch geometry of a kernel."""
+    grid_dim: int          # number of thread blocks
+    block_dim: int         # threads per block
+    name: str = "kernel"
+
+    def __post_init__(self):
+        if self.grid_dim <= 0:
+            raise LaunchError(f"grid_dim must be positive, got {self.grid_dim}")
+        if self.block_dim <= 0:
+            raise LaunchError(f"block_dim must be positive, got {self.block_dim}")
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.block_dim + WARP_SIZE - 1) // WARP_SIZE
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid_dim * self.block_dim
+
+
+@dataclass
+class BlockContext:
+    """Execution context of one thread block on its assigned SM."""
+    spec: KernelSpec
+    block_idx: int
+    sm: int                 # %smid
+    start_cycle: float = 0.0
+    warps: list = field(default_factory=list)
+
+    @property
+    def block_dim(self) -> int:
+        return self.spec.block_dim
+
+    @property
+    def grid_dim(self) -> int:
+        return self.spec.grid_dim
+
+    @property
+    def smid(self) -> int:
+        return self.sm
+
+    def warp(self, warp_idx: int = 0) -> Warp:
+        """Warp handle ``warp_idx`` within this block."""
+        try:
+            return self.warps[warp_idx]
+        except IndexError:
+            raise LaunchError(
+                f"warp {warp_idx} out of range "
+                f"(block has {len(self.warps)} warps)") from None
+
+    def thread_global_ids(self, warp_idx: int = 0) -> range:
+        """Global thread ids covered by one warp (Algorithm 2's ``tid``)."""
+        start = self.block_idx * self.block_dim + warp_idx * WARP_SIZE
+        end = min(start + WARP_SIZE,
+                  self.block_idx * self.block_dim + self.block_dim)
+        return range(start, end)
+
+    @property
+    def end_cycle(self) -> float:
+        """Cycle at which the slowest warp of the block finished."""
+        if not self.warps:
+            return self.start_cycle
+        return max(w.cycle for w in self.warps)
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Block completion time (slowest warp, from block start)."""
+        return self.end_cycle - self.start_cycle

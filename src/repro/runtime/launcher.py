@@ -1,0 +1,108 @@
+"""Kernel launcher: schedule blocks onto SMs, execute, time the grid.
+
+``launch()`` is the simulated ``<<<grid, block>>>`` call.  The returned
+:class:`LaunchResult` carries per-block assignments and timings plus the
+grid completion time, including a final inter-SM synchronisation cost that
+grows with the physical spread of the SMs used — this is the
+"synchronization overhead" that makes the RSA square kernel up to 1.7x
+slower when its two SMs land on different partitions (paper Fig 17b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.device_api import Warp
+from repro.runtime.kernel import BlockContext, KernelSpec
+from repro.runtime.sm import SMContext
+
+#: cycles of barrier cost per mm of wire separation between cooperating SMs
+SYNC_CYCLES_PER_MM = 3.0
+#: fixed grid-completion overhead (driver + kernel retire)
+GRID_OVERHEAD_CYCLES = 20.0
+
+
+@dataclass
+class LaunchResult:
+    """Timing outcome of one kernel launch."""
+    spec: KernelSpec
+    assignments: list          # block_idx -> sm
+    blocks: list               # BlockContext per block
+    sync_cycles: float
+    elapsed_cycles: float
+
+    @property
+    def sms_used(self) -> list:
+        return sorted(set(self.assignments))
+
+    def block_on_sm(self, sm: int) -> list:
+        return [b for b, s in zip(self.blocks, self.assignments) if s == sm]
+
+
+def _sync_cost(gpu: SimulatedGPU, sms) -> float:
+    """Inter-SM synchronisation cost for a cooperating grid.
+
+    Modelled as wire distance between the two farthest-apart SMs used
+    (plus the partition-crossing penalty when they straddle the bridge).
+    """
+    sms = sorted(set(sms))
+    if len(sms) < 2:
+        return 0.0
+    worst = 0.0
+    fp = gpu.floorplan
+    spec = gpu.spec
+    for i, a in enumerate(sms):
+        pa = fp.sm_position(a)
+        part_a = gpu.hier.sm_info(a).partition
+        for b in sms[i + 1:]:
+            dist = fp.wire_distance(pa, fp.sm_position(b))
+            cost = SYNC_CYCLES_PER_MM * dist
+            if gpu.hier.sm_info(b).partition != part_a:
+                cost += 2 * spec.partition_cross_oneway_cycles
+            worst = max(worst, cost)
+    return worst
+
+
+def launch(gpu: SimulatedGPU, kernel, spec: KernelSpec, scheduler,
+           args: tuple = (), launch_index: int = 0,
+           cooperative: bool = True) -> LaunchResult:
+    """Execute ``kernel(block, *args)`` for every block of the grid.
+
+    ``scheduler.assign`` picks the SM per block.  ``cooperative=True``
+    adds the grid-wide synchronisation cost to the completion time (use
+    False for independent-block kernels).
+    """
+    assignments = scheduler.assign(spec.grid_dim, launch_index)
+    if len(assignments) != spec.grid_dim:
+        raise LaunchError("scheduler returned wrong number of assignments")
+    for sm in assignments:
+        if not 0 <= sm < gpu.num_sms:
+            raise LaunchError(f"scheduler assigned invalid SM {sm}")
+
+    contexts = {sm: SMContext(sm) for sm in set(assignments)}
+    blocks: list[BlockContext] = []
+    for block_idx, sm in enumerate(assignments):
+        def make_block(start_cycle, _idx=block_idx, _sm=sm):
+            block = BlockContext(spec=spec, block_idx=_idx, sm=_sm,
+                                 start_cycle=start_cycle)
+            block.warps = [
+                Warp(_sm, gpu.memory, start_cycle, warp_id=w,
+                     trial=launch_index)
+                for w in range(spec.warps_per_block)]
+            return block
+
+        block = contexts[sm].run_block(make_block,
+                                       lambda b: kernel(b, *args))
+        blocks.append(block)
+
+    busy = max(ctx.cycle for ctx in contexts.values())
+    sync = _sync_cost(gpu, assignments) if cooperative else 0.0
+    return LaunchResult(
+        spec=spec,
+        assignments=assignments,
+        blocks=blocks,
+        sync_cycles=sync,
+        elapsed_cycles=busy + sync + GRID_OVERHEAD_CYCLES,
+    )

@@ -1,0 +1,105 @@
+"""Warp-level occupancy and memory-level parallelism (MLP).
+
+Fig 14's saturation story at one level down: within a single SM, each
+*warp* holds one outstanding cache line in this runtime, so per-SM streaming
+bandwidth grows linearly with resident warps (Little's law at warp
+granularity) until a shared hardware limit binds — the per-flow sector
+throughput, the SM's MSHR budget, or the slice's ingress bandwidth.
+
+``occupancy_sweep`` measures the runtime's warp-parallel bandwidth and
+clips it against the device's hard limits (from the flow solver's
+calibration), returning both the measured curve and the binding regime
+per point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import LaunchError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.launcher import launch
+from repro.runtime.scheduler import PinnedScheduler
+
+
+@dataclass(frozen=True)
+class OccupancyPoint:
+    """Per-SM streaming bandwidth at one warp count."""
+    warps: int
+    unclipped_gbps: float      # pure warp-MLP scaling (runtime timing)
+    achieved_gbps: float       # after the device's hard limits
+    regime: str                # "latency-bound" or name of the limiter
+
+
+def _stream_kernel(block, lane_addresses, loads_per_warp):
+    for warp_idx in range(len(block.warps)):
+        warp = block.warp(warp_idx)
+        for _ in range(loads_per_warp):
+            warp.ldcg(lane_addresses)      # all 32 lanes: one full line
+
+
+def occupancy_sweep(gpu: SimulatedGPU, sm: int, slice_id: int,
+                    warp_counts=(1, 2, 4, 8, 16),
+                    loads_per_warp: int = 24) -> list:
+    """Per-SM bandwidth to one slice vs resident warp count."""
+    if loads_per_warp <= 0:
+        raise LaunchError("loads_per_warp must be positive")
+    spec = gpu.spec
+    address = gpu.memory.addresses_for_slice(slice_id, 1)[0]
+    word = spec.cache_line_bytes // 32
+    lane_addresses = [address + i * word for i in range(32)]
+    gpu.memory.warm(sm, [address])
+    limits = {
+        "flow sector throughput": spec.flow_cap_gbps,
+        "SM MSHR budget": units.littles_law_bandwidth(
+            spec.sm_mshr_bytes, gpu.latency.hit_latency(sm, slice_id),
+            spec.core_clock_hz),
+        "slice ingress": spec.slice_bw_gbps,
+    }
+    points = []
+    for warps in warp_counts:
+        if warps <= 0:
+            raise LaunchError("warp counts must be positive")
+        result = launch(gpu, _stream_kernel,
+                        KernelSpec(grid_dim=1, block_dim=32 * warps,
+                                   name="occupancy"),
+                        PinnedScheduler([sm]),
+                        args=(lane_addresses, loads_per_warp),
+                        cooperative=False)
+        block = result.blocks[0]
+        seconds = units.cycles_to_seconds(block.elapsed_cycles,
+                                          spec.core_clock_hz)
+        moved = warps * loads_per_warp * spec.cache_line_bytes
+        raw = units.bandwidth_gbps(moved, seconds)
+        limiter = min(limits, key=limits.get)
+        if raw < limits[limiter]:
+            achieved, regime = raw, "latency-bound"
+        else:
+            achieved, regime = limits[limiter], limiter
+        points.append(OccupancyPoint(warps=warps, unclipped_gbps=raw,
+                                     achieved_gbps=achieved, regime=regime))
+    return points
+
+
+def warps_to_saturate(gpu: SimulatedGPU, sm: int, slice_id: int) -> int:
+    """Resident warps needed before a hard limit, not latency, binds."""
+    from repro.runtime.device_api import (ISSUE_SLOT_CYCLES,
+                                          MEM_ISSUE_OVERHEAD_CYCLES)
+    spec = gpu.spec
+    sectors = spec.cache_line_bytes // spec.sector_bytes
+    per_load_cycles = (gpu.latency.hit_latency(sm, slice_id)
+                       + MEM_ISSUE_OVERHEAD_CYCLES
+                       + ISSUE_SLOT_CYCLES * (sectors - 1))
+    per_warp = units.littles_law_bandwidth(spec.cache_line_bytes,
+                                           per_load_cycles,
+                                           spec.core_clock_hz)
+    target = min(spec.flow_cap_gbps, spec.slice_bw_gbps,
+                 units.littles_law_bandwidth(spec.sm_mshr_bytes,
+                                             per_load_cycles,
+                                             spec.core_clock_hz))
+    warps = 1
+    while per_warp * warps < target:
+        warps += 1
+    return warps

@@ -1,0 +1,68 @@
+"""Thread-block (CTA) schedulers.
+
+Real GPUs assign thread blocks to SMs with an effectively *static* policy:
+launching the same kernel repeatedly lands blocks on the same SMs, which is
+what makes NoC-latency timing side channels repeatable (paper Section V).
+The paper's proposed defence is *random-seed* scheduling: the round-robin
+assignment starts at a random SM each launch, costing no extra hardware.
+
+Schedulers map ``block_idx -> sm`` for one launch; :class:`RandomScheduler`
+draws a fresh seed offset per launch from a deterministic stream.
+"""
+
+from __future__ import annotations
+
+from repro import rng
+from repro.errors import LaunchError
+
+
+class StaticScheduler:
+    """Deterministic round-robin over all (or a subset of) SMs."""
+
+    def __init__(self, num_sms: int, start: int = 0):
+        if num_sms <= 0:
+            raise LaunchError("num_sms must be positive")
+        if not 0 <= start < num_sms:
+            raise LaunchError(f"start SM {start} out of range")
+        self.num_sms = num_sms
+        self.start = start
+
+    def assign(self, grid_dim: int, launch_index: int = 0) -> list[int]:
+        """SM for each block of a launch.  Static: ignores launch_index."""
+        return [(self.start + b) % self.num_sms for b in range(grid_dim)]
+
+
+class RandomScheduler:
+    """Random-*seed* round-robin (the paper's defence, Section V-C).
+
+    Only the starting SM is randomised per launch; blocks still go round
+    robin, so occupancy behaviour matches the hardware scheduler.
+    """
+
+    def __init__(self, num_sms: int, seed: int = 0):
+        if num_sms <= 0:
+            raise LaunchError("num_sms must be positive")
+        self.num_sms = num_sms
+        self.seed = seed
+
+    def assign(self, grid_dim: int, launch_index: int = 0) -> list[int]:
+        gen = rng.generator_for(self.seed, "cta-random", launch_index)
+        start = int(gen.integers(self.num_sms))
+        return [(start + b) % self.num_sms for b in range(grid_dim)]
+
+
+class PinnedScheduler:
+    """Explicit block->SM pinning (the paper's ``smid``-checked kernels).
+
+    The paper pins measurement kernels to chosen SMs by launching enough
+    blocks and early-exiting all but the one whose ``%smid`` matches; this
+    scheduler expresses the end effect directly.
+    """
+
+    def __init__(self, sms: list):
+        if not sms:
+            raise LaunchError("need at least one pinned SM")
+        self.sms = list(sms)
+
+    def assign(self, grid_dim: int, launch_index: int = 0) -> list[int]:
+        return [self.sms[b % len(self.sms)] for b in range(grid_dim)]

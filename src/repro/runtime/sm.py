@@ -1,0 +1,38 @@
+"""Per-SM execution context: cycle counter and block queue.
+
+Each SM executes its assigned blocks back to back (single-block occupancy;
+the paper's microbenchmarks deliberately avoid co-resident blocks to keep
+measurements contention-free).  The SM's cycle counter is what ``clock()``
+reads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LaunchError
+
+
+class SMContext:
+    """One streaming multiprocessor's timeline."""
+
+    def __init__(self, sm: int):
+        if sm < 0:
+            raise LaunchError(f"invalid SM id {sm}")
+        self.sm = sm
+        self.cycle = 0.0
+        self.blocks_run = 0
+
+    def run_block(self, make_block, run):
+        """Execute a block starting at this SM's current cycle.
+
+        ``make_block(start_cycle)`` builds the block context;
+        ``run(block)`` executes the kernel body.  The SM's clock advances
+        to the block's completion.
+        """
+        block = make_block(self.cycle)
+        run(block)
+        end = block.end_cycle
+        if end < self.cycle:
+            raise LaunchError("block finished before it started")
+        self.cycle = end
+        self.blocks_run += 1
+        return block

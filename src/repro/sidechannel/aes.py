@@ -1,0 +1,189 @@
+"""AES-128 (real, vectorised) and its GPU timing oracle.
+
+The encryption is a complete FIPS-197 AES-128, vectorised with numpy so a
+warp's 32 blocks encrypt in one call.  The *timing oracle* executes the
+last round's T-table lookups through the simulated warp LSU, so measured
+time = (SM-placement-dependent intercept) + (issue slots x unique cache
+lines) — the linear relationship prior GPU attacks exploit [Jiang et al.]
+and Fig 17(a) plots per SM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.launcher import launch
+from repro.runtime.scheduler import PinnedScheduler
+
+# ---- AES-128 ----------------------------------------------------------------
+
+_SBOX = np.array([
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16], dtype=np.uint8)
+
+_INV_SBOX = np.zeros(256, dtype=np.uint8)
+_INV_SBOX[_SBOX] = np.arange(256, dtype=np.uint8)
+
+_RCON = np.array([0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b,
+                  0x36], dtype=np.uint8)
+
+# row-major byte order within the 16-byte block, column-major AES state
+_SHIFT_ROWS = np.array([0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6,
+                        11])
+
+
+def _xtime(values: np.ndarray) -> np.ndarray:
+    """Multiply by x in GF(2^8)."""
+    v = values.astype(np.uint16) << 1
+    v ^= np.where(values & 0x80, 0x1B, 0).astype(np.uint16)
+    return (v & 0xFF).astype(np.uint8)
+
+
+def expand_key(key: bytes) -> np.ndarray:
+    """AES-128 key schedule: 11 round keys of 16 bytes."""
+    if len(key) != 16:
+        raise AttackError("AES-128 key must be 16 bytes")
+    words = [np.frombuffer(key, dtype=np.uint8)[i * 4:(i + 1) * 4].copy()
+             for i in range(4)]
+    for i in range(4, 44):
+        temp = words[i - 1].copy()
+        if i % 4 == 0:
+            temp = np.roll(temp, -1)
+            temp = _SBOX[temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append(words[i - 4] ^ temp)
+    return np.concatenate(words).reshape(11, 16)
+
+
+def aes_encrypt(plaintexts: np.ndarray, round_keys: np.ndarray) -> np.ndarray:
+    """Encrypt [N x 16] uint8 blocks; returns ciphertexts."""
+    state = np.atleast_2d(np.asarray(plaintexts, dtype=np.uint8)).copy()
+    if state.shape[1] != 16:
+        raise AttackError("blocks must be 16 bytes")
+    state ^= round_keys[0]
+    for rnd in range(1, 10):
+        state = _SBOX[state]
+        state = state[:, _SHIFT_ROWS]
+        # MixColumns on column-major state: bytes 4c..4c+3 form a column
+        s = state.reshape(-1, 4, 4)
+        t = s[:, :, 0] ^ s[:, :, 1] ^ s[:, :, 2] ^ s[:, :, 3]
+        mixed = np.empty_like(s)
+        for c in range(4):
+            mixed[:, :, c] = (s[:, :, c] ^ t
+                              ^ _xtime(s[:, :, c] ^ s[:, :, (c + 1) % 4]))
+        state = mixed.reshape(-1, 16)
+        state ^= round_keys[rnd]
+    state = _SBOX[state]
+    state = state[:, _SHIFT_ROWS]
+    state ^= round_keys[10]
+    return state
+
+
+def last_round_inputs(ciphertexts: np.ndarray, key_byte_guess: int,
+                      position: int) -> np.ndarray:
+    """State bytes entering the last-round S-box at one position.
+
+    The last round has no MixColumns: ``C[pos] = SBOX[s] ^ k10[pos]``, so
+    a guess of the last-round-key byte inverts to the table index ``s``.
+    This is the quantity the attacker predicts cache lines from.
+    """
+    c = np.asarray(ciphertexts, dtype=np.uint8)
+    return _INV_SBOX[c[:, position] ^ np.uint8(key_byte_guess)]
+
+
+# ---- GPU timing oracle --------------------------------------------------------
+
+#: bytes per T-table entry (32-bit words, as in OpenSSL-style GPU AES)
+_TABLE_ENTRY_BYTES = 4
+
+
+class AESTimingOracle:
+    """Runs warp-sized AES batches on the simulated GPU and times them.
+
+    Each sample encrypts 32 random blocks (one per lane) and issues the
+    last round's 16 T-table lookup instructions through the warp LSU; the
+    returned time is what an attacker measures.  The T-table lives at a
+    fixed device address, so its cache lines map to fixed L2 slices and
+    the timing intercept depends on which SM the scheduler picked.
+    """
+
+    def __init__(self, gpu: SimulatedGPU, key: bytes, seed: int = 7,
+                 table_base: int = 1 << 20):
+        self.gpu = gpu
+        self.round_keys = expand_key(key)
+        self.seed = seed
+        self.table_base = table_base
+        self._gen = rng.generator_for(seed, "aes-plaintexts")
+        # warm the T-table into L2 from every partition once
+        line = gpu.spec.cache_line_bytes
+        table_lines = range(table_base, table_base + 256 * _TABLE_ENTRY_BYTES,
+                            line)
+        for partition in range(gpu.spec.num_partitions):
+            probe_sm = gpu.hier.sms_in_partition(partition)[0]
+            gpu.memory.warm(probe_sm, table_lines)
+
+    def _kernel(self, block, plaintexts, out):
+        warp = block.warp(0)
+        ciphertexts = aes_encrypt(plaintexts, self.round_keys)
+        # rounds 1..9 are compute + earlier table rounds, constant time
+        warp.alu(900)
+        start = warp.clock()
+        for pos in range(16):
+            # the device looks up T[s] at the true last-round inputs
+            true_idx = last_round_inputs(ciphertexts,
+                                         int(self.round_keys[10][pos]), pos)
+            addresses = self.table_base + true_idx.astype(np.int64) \
+                * _TABLE_ENTRY_BYTES
+            warp.ldcg(list(addresses))
+        elapsed = warp.clock() - start
+        out.append((ciphertexts, elapsed))
+
+    def sample(self, scheduler, launch_index: int = 0) -> tuple:
+        """One measurement: (ciphertexts [32x16], time_cycles, sm_used)."""
+        plaintexts = self._gen.integers(0, 256, size=(32, 16),
+                                        dtype=np.uint8)
+        out: list = []
+        result = launch(self.gpu, self._kernel,
+                        KernelSpec(grid_dim=1, block_dim=32, name="aes"),
+                        scheduler, args=(plaintexts, out),
+                        launch_index=launch_index, cooperative=False)
+        ciphertexts, elapsed = out[0]
+        return ciphertexts, float(elapsed), result.assignments[0]
+
+    def collect(self, scheduler, num_samples: int) -> tuple:
+        """(all ciphertexts [N x 32 x 16], times [N]) under a scheduler."""
+        if num_samples <= 0:
+            raise AttackError("num_samples must be positive")
+        ciphertexts, times = [], []
+        for i in range(num_samples):
+            c, t, _sm = self.sample(scheduler, launch_index=i)
+            ciphertexts.append(c)
+            times.append(t)
+        return np.stack(ciphertexts), np.array(times)
+
+    def pinned_scheduler(self, sm: int) -> PinnedScheduler:
+        return PinnedScheduler([sm])

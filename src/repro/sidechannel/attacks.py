@@ -1,0 +1,176 @@
+"""Attack harnesses: Fig 17 timing structure, AES and RSA key recovery.
+
+``coalescing_timing_sweep`` reproduces Fig 17(a): warp latency vs number
+of unique cache lines, per SM — linear with an SM-dependent intercept.
+``aes_key_byte_attack`` is the correlation attack of [Jiang et al.]:
+guess a last-round key byte, predict per-sample unique-line counts,
+correlate with measured time; the true byte maximises Pearson r (Fig 18).
+``rsa_ones_attack`` fits the #1-bits <-> time line of [Luo et al.]
+(Fig 19) and reports how precisely timing reveals the key weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import pearson
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.launcher import launch
+from repro.runtime.scheduler import PinnedScheduler
+from repro.sidechannel.aes import (_TABLE_ENTRY_BYTES, AESTimingOracle,
+                                   last_round_inputs)
+from repro.sidechannel.rsa import RSATimingOracle
+
+
+# ---- Fig 17(a): latency vs unique cache lines ------------------------------
+
+def coalescing_timing_sweep(gpu: SimulatedGPU, sms, max_lines: int = 18,
+                            samples: int = 4, slice_id: int = 0) -> dict:
+    """Average warp load latency vs unique-line count, per SM.
+
+    Returns {sm: np.ndarray of length max_lines} (index i = i+1 unique
+    lines).  All lines map to one controlled L2 slice (the paper's
+    ``M[s]`` technique), so the relationship is cleanly linear with an
+    SM-placement-dependent intercept — Fig 17(a)'s shifted parallel
+    lines.
+    """
+    if max_lines <= 0 or samples <= 0:
+        raise AttackError("max_lines and samples must be positive")
+    addresses = gpu.memory.addresses_for_slice(slice_id, max_lines)
+    for partition in range(gpu.spec.num_partitions):
+        gpu.memory.warm(gpu.hier.sms_in_partition(partition)[0], addresses)
+
+    def kernel(block, n, out):
+        warp = block.warp(0)
+        for _ in range(samples):
+            out.append(warp.ldcg(addresses[:n]))
+
+    results = {}
+    for sm in sms:
+        curve = np.empty(max_lines)
+        for n in range(1, max_lines + 1):
+            out: list = []
+            launch(gpu, kernel, KernelSpec(1, 32, name="coalesce"),
+                   PinnedScheduler([sm]), args=(n, out), cooperative=False)
+            curve[n - 1] = float(np.mean(out))
+        results[sm] = curve
+    return results
+
+
+# ---- AES key recovery (Fig 18) ------------------------------------------------
+
+def _predicted_line_counts(ciphertexts: np.ndarray, guess: int,
+                           position: int, sector_bytes: int) -> np.ndarray:
+    """Per-sample unique T-table sectors implied by a key-byte guess."""
+    entries_per_line = sector_bytes // _TABLE_ENTRY_BYTES
+    counts = np.empty(ciphertexts.shape[0])
+    for i, warp_ciphertexts in enumerate(ciphertexts):
+        idx = last_round_inputs(warp_ciphertexts, guess, position)
+        counts[i] = len(np.unique(idx // entries_per_line))
+    return counts
+
+
+@dataclass(frozen=True)
+class AESAttackResult:
+    """Correlation attack outcome for one key-byte position."""
+    position: int
+    correlations: np.ndarray     # per guess (0..255)
+    best_guess: int
+    true_byte: int
+
+    @property
+    def recovered(self) -> bool:
+        return self.best_guess == self.true_byte
+
+    @property
+    def peak_correlation(self) -> float:
+        return float(self.correlations[self.best_guess])
+
+
+def aes_key_byte_attack(oracle: AESTimingOracle, ciphertexts: np.ndarray,
+                        times: np.ndarray, position: int,
+                        guesses=range(256)) -> AESAttackResult:
+    """Correlate measured times against per-guess predicted line counts."""
+    if ciphertexts.shape[0] != times.shape[0]:
+        raise AttackError("ciphertexts/times length mismatch")
+    if ciphertexts.shape[0] < 8:
+        raise AttackError("need at least 8 samples")
+    sector_bytes = oracle.gpu.spec.sector_bytes
+    correlations = np.full(256, -np.inf)
+    for guess in guesses:
+        counts = _predicted_line_counts(ciphertexts, guess, position,
+                                        sector_bytes)
+        if counts.std() == 0:
+            correlations[guess] = 0.0
+        else:
+            correlations[guess] = pearson(counts, times)
+    best = int(np.argmax(correlations))
+    return AESAttackResult(
+        position=position,
+        correlations=correlations,
+        best_guess=best,
+        true_byte=int(oracle.round_keys[10][position]),
+    )
+
+
+# ---- RSA (Fig 17b / Fig 19) ---------------------------------------------------
+
+def square_kernel_timing(gpu: SimulatedGPU, fixed_sm: int, other_sms,
+                         num_squares: int = 32) -> dict:
+    """Square-kernel runtime with one SM fixed and the other varied.
+
+    Reproduces Fig 17(b): cross-partition pairs pay bridge latency plus
+    synchronisation overhead.
+    """
+    oracle = RSATimingOracle(gpu, modulus=(1 << 64) - 59)
+    trace = ["square", "reduce"] * num_squares
+    times = {}
+    for idx, sm in enumerate(other_sms):
+        if sm == fixed_sm:
+            continue
+        run = launch(gpu, oracle._kernel,
+                     KernelSpec(grid_dim=2, block_dim=32, name="square"),
+                     PinnedScheduler([fixed_sm, sm]), args=(trace,),
+                     launch_index=idx, cooperative=True)
+        times[sm] = run.elapsed_cycles
+    return times
+
+
+@dataclass(frozen=True)
+class RSAAttackResult:
+    """Linear-fit attack on the #1-bits <-> time relationship."""
+    slope: float
+    intercept: float
+    r_squared: float
+    ones: np.ndarray
+    times: np.ndarray
+
+    def infer_ones(self, measured_cycles: float) -> float:
+        if self.slope <= 0:
+            raise AttackError("no usable positive slope")
+        return (measured_cycles - self.intercept) / self.slope
+
+    def inference_spread(self) -> float:
+        """Uncertainty (in 1-bits) induced by the timing residuals."""
+        residuals = self.times - (self.intercept + self.slope * self.ones)
+        return float((residuals.max() - residuals.min()) / self.slope) \
+            if self.slope > 0 else np.inf
+
+
+def rsa_ones_attack(ones: np.ndarray, times: np.ndarray) -> RSAAttackResult:
+    """Least-squares fit of execution time against the number of 1-bits."""
+    ones = np.asarray(ones, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if ones.size != times.size or ones.size < 3:
+        raise AttackError("need >=3 matched samples")
+    slope, intercept = np.polyfit(ones, times, 1)
+    predicted = intercept + slope * ones
+    ss_res = float(((times - predicted) ** 2).sum())
+    ss_tot = float(((times - times.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+    return RSAAttackResult(slope=float(slope), intercept=float(intercept),
+                           r_squared=r_squared, ones=ones, times=times)

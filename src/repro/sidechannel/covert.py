@@ -1,0 +1,117 @@
+"""NoC-contention covert channel (paper Sec V-A, extension).
+
+The paper notes that SM placement knowledge "can establish a covert
+channel at the GPU NoC input" and L2-slice placement "at the output of
+the GPU NoC".  This module implements that channel on the simulated
+device: a *sender* modulates load on one L2 slice (streaming = bit 1,
+idle = bit 0) while a *receiver* on other SMs continuously streams to
+the same slice and decodes bits from its own achieved bandwidth — the
+slice's ingress bandwidth is the shared resource.
+
+Placement matters exactly as the paper predicts: the channel needs
+enough sender SMs to push the slice into contention, which the
+co-location fingerprinting of :mod:`repro.sidechannel.colocation`
+provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import rng
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+
+#: relative bandwidth-measurement noise of the receiver (timer jitter)
+_MEASURE_SIGMA = 0.01
+
+
+@dataclass(frozen=True)
+class CovertTransmission:
+    """Outcome of sending one bit string through the channel."""
+    sent: tuple
+    received: tuple
+    quiet_gbps: float      # receiver bandwidth while sender idle
+    busy_gbps: float       # receiver bandwidth while sender streams
+    threshold_gbps: float
+
+    @property
+    def accuracy(self) -> float:
+        matches = sum(a == b for a, b in zip(self.sent, self.received))
+        return matches / len(self.sent)
+
+    @property
+    def contrast(self) -> float:
+        """Relative bandwidth swing the sender induces at the receiver."""
+        return (self.quiet_gbps - self.busy_gbps) / self.quiet_gbps
+
+
+class CovertChannel:
+    """One-slice contention channel between two SM groups."""
+
+    def __init__(self, gpu: SimulatedGPU, slice_id: int, sender_sms,
+                 receiver_sms, seed: int = 0):
+        self.gpu = gpu
+        self.slice_id = slice_id
+        self.sender_sms = list(sender_sms)
+        self.receiver_sms = list(receiver_sms)
+        self.seed = seed
+        if not self.sender_sms or not self.receiver_sms:
+            raise AttackError("need sender and receiver SMs")
+        if set(self.sender_sms) & set(self.receiver_sms):
+            raise AttackError("sender and receiver SMs must be disjoint")
+        if not 0 <= slice_id < gpu.num_slices:
+            raise AttackError(f"slice {slice_id} out of range")
+
+    def _receiver_bandwidth(self, sender_active: bool, symbol: int) -> float:
+        traffic = {sm: [self.slice_id] for sm in self.receiver_sms}
+        if sender_active:
+            traffic.update({sm: [self.slice_id] for sm in self.sender_sms})
+        report = self.gpu.topology.solve(traffic)
+        bw = sum(report.sm_gbps(sm) for sm in self.receiver_sms)
+        noise = rng.jitter(self.seed, "covert-measure", symbol,
+                           sender_active, sigma=_MEASURE_SIGMA * bw)[0]
+        return float(bw + noise)
+
+    def calibrate(self) -> tuple:
+        """(quiet, busy, threshold) receiver bandwidth levels."""
+        quiet = self._receiver_bandwidth(False, symbol=-1)
+        busy = self._receiver_bandwidth(True, symbol=-2)
+        if quiet - busy < 0.05 * quiet:
+            raise AttackError(
+                "no contention contrast: sender cannot modulate the slice "
+                "(co-locate more sender SMs or pick a shared slice)")
+        return quiet, busy, (quiet + busy) / 2.0
+
+    def transmit(self, bits) -> CovertTransmission:
+        """Send a bit string; returns the decoded result."""
+        bits = tuple(int(b) for b in bits)
+        if not bits:
+            raise AttackError("nothing to transmit")
+        if any(b not in (0, 1) for b in bits):
+            raise AttackError("bits must be 0/1")
+        quiet, busy, threshold = self.calibrate()
+        received = []
+        for i, bit in enumerate(bits):
+            bw = self._receiver_bandwidth(bool(bit), symbol=i)
+            received.append(1 if bw < threshold else 0)
+        return CovertTransmission(sent=bits, received=tuple(received),
+                                  quiet_gbps=quiet, busy_gbps=busy,
+                                  threshold_gbps=threshold)
+
+
+def best_effort_channel(gpu: SimulatedGPU, slice_id: int = 0,
+                        sender_count: int = 4, receiver_count: int = 2,
+                        seed: int = 0) -> CovertChannel:
+    """Build a channel with sender SMs co-located near the target slice.
+
+    Uses ground-truth placement for convenience; an attacker would use
+    :mod:`repro.sidechannel.colocation` to find these SMs.
+    """
+    partition = gpu.hier.slice_info(slice_id).partition
+    pool = gpu.hier.sms_in_partition(partition)
+    if len(pool) < sender_count + receiver_count:
+        raise AttackError("not enough SMs in the slice's partition")
+    return CovertChannel(gpu, slice_id, pool[:sender_count],
+                         pool[sender_count:sender_count + receiver_count],
+                         seed=seed)

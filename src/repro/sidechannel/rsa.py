@@ -1,0 +1,122 @@
+"""RSA square-and-multiply with a GPU timing oracle (paper Sec V-B2/Fig 19).
+
+The decryption loop runs a real left-to-right square-and-multiply modular
+exponentiation (verified against ``pow``); the GPU oracle charges device
+time per operation — each ``square()``/``multiply()``/``reduction()`` is a
+fixed block of ALU work plus operand loads through the NoC, and the grid
+runs cooperatively on two SMs (the paper's square-kernel setup), so
+execution time is linear in the number of 1-bits *and* shifted by the SM
+placement (sync overhead up to 1.7x across partitions, Fig 17b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.launcher import launch
+
+#: ALU instructions per big-number primitive (square/multiply/reduce);
+#: GPU big-number kernels are memory-bound, so the operand loads dominate
+_ALU_PER_OP = 150
+#: operand words fetched per primitive (spread over the working set)
+_LOADS_PER_OP = 3
+
+
+def modexp_square_multiply(base: int, exponent: int, modulus: int
+                           ) -> tuple[int, list]:
+    """Left-to-right square-and-multiply; returns (result, op trace).
+
+    The trace lists the primitives executed ("square", "multiply",
+    "reduce"), which is exactly what leaks through time.
+    """
+    if modulus <= 0:
+        raise AttackError("modulus must be positive")
+    if exponent < 0:
+        raise AttackError("exponent must be non-negative")
+    result = 1
+    trace = []
+    for bit in bin(exponent)[2:] if exponent else "0":
+        result = result * result
+        trace.append("square")
+        result %= modulus
+        trace.append("reduce")
+        if bit == "1":
+            result = result * base
+            trace.append("multiply")
+            result %= modulus
+            trace.append("reduce")
+    return result, trace
+
+
+def random_exponent(bits: int, ones: int, seed: int = 0) -> int:
+    """An exponent with exactly ``ones`` 1-bits (MSB always set)."""
+    if bits <= 0:
+        raise AttackError("bits must be positive")
+    if not 1 <= ones <= bits:
+        raise AttackError(f"ones must be in [1, {bits}]")
+    gen = rng.generator_for(seed, "rsa-exponent", bits, ones)
+    positions = gen.choice(bits - 1, size=ones - 1, replace=False) \
+        if ones > 1 else []
+    exponent = 1 << (bits - 1)
+    for p in positions:
+        exponent |= 1 << int(p)
+    return exponent
+
+
+class RSATimingOracle:
+    """Times RSA decryptions on the simulated GPU."""
+
+    def __init__(self, gpu: SimulatedGPU, modulus: int, base: int = 0x10001,
+                 operand_base: int = 1 << 22, seed: int = 11):
+        if modulus <= 1:
+            raise AttackError("modulus must exceed 1")
+        self.gpu = gpu
+        self.modulus = modulus
+        self.base = base
+        self.operand_base = operand_base
+        # operand working set: a few cache lines, warmed into L2
+        line = gpu.spec.cache_line_bytes
+        self.operand_addresses = [operand_base + i * line
+                                  for i in range(_LOADS_PER_OP)]
+        for partition in range(gpu.spec.num_partitions):
+            probe = gpu.hier.sms_in_partition(partition)[0]
+            gpu.memory.warm(probe, self.operand_addresses)
+
+    def _kernel(self, block, trace):
+        warp = block.warp(0)
+        for op in trace:
+            warp.alu(_ALU_PER_OP)
+            warp.ldcg(self.operand_addresses[block.block_idx
+                                             % _LOADS_PER_OP])
+
+    def decrypt_timed(self, exponent: int, scheduler,
+                      launch_index: int = 0) -> tuple:
+        """(plaintext, cycles, sms) for one decryption."""
+        result, trace = modexp_square_multiply(self.base, exponent,
+                                               self.modulus)
+        run = launch(self.gpu, self._kernel,
+                     KernelSpec(grid_dim=2, block_dim=32, name="rsa"),
+                     scheduler, args=(trace,), launch_index=launch_index,
+                     cooperative=True)
+        return result, run.elapsed_cycles, run.sms_used
+
+    def timing_curve(self, scheduler, bits: int = 256, ones_values=None,
+                     samples_per_point: int = 3) -> tuple:
+        """(ones array, times array) across exponents (Fig 19 raw data)."""
+        ones_values = list(ones_values) if ones_values is not None else \
+            list(range(bits // 8, bits, bits // 8))
+        xs, ys = [], []
+        index = 0
+        for ones in ones_values:
+            for s in range(samples_per_point):
+                exponent = random_exponent(bits, ones, seed=s)
+                _, cycles, _ = self.decrypt_timed(exponent, scheduler,
+                                                  launch_index=index)
+                xs.append(ones)
+                ys.append(cycles)
+                index += 1
+        return np.array(xs), np.array(ys)

@@ -1,0 +1,52 @@
+"""Unit helpers: cycles, seconds, bytes and bandwidth conversions.
+
+The paper reports latency in *core clock cycles* (measured with ``clock()``)
+and bandwidth in GB/s.  These helpers keep the conversions in one place so
+device models and benchmarks agree on what a "GB" is (10**9 bytes, matching
+vendor bandwidth specs and the paper's figures).
+"""
+
+from __future__ import annotations
+
+GB = 1e9  # vendor-style gigabyte used for bandwidth figures
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count at ``clock_hz`` to seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to (fractional) cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def bandwidth_gbps(bytes_moved: float, seconds: float) -> float:
+    """Bandwidth in GB/s for ``bytes_moved`` transferred in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return bytes_moved / seconds / GB
+
+
+def bytes_in_flight(bandwidth_gb_s: float, round_trip_cycles: float,
+                    clock_hz: float) -> float:
+    """Little's law: outstanding bytes needed to sustain a bandwidth.
+
+    ``N = X * R`` with throughput ``X`` in bytes/s and residence time ``R``
+    in seconds.  Used to reason about MSHR-limited single-SM bandwidth
+    (paper Section IV-B, Figure 14).
+    """
+    return bandwidth_gb_s * GB * cycles_to_seconds(round_trip_cycles, clock_hz)
+
+
+def littles_law_bandwidth(outstanding_bytes: float, round_trip_cycles: float,
+                          clock_hz: float) -> float:
+    """Little's law solved for bandwidth (GB/s) given outstanding bytes."""
+    seconds = cycles_to_seconds(round_trip_cycles, clock_hz)
+    return bandwidth_gbps(outstanding_bytes, seconds)

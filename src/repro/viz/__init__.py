@@ -1,0 +1,10 @@
+"""Text rendering of tables, bar charts, histograms and heatmaps.
+
+The benchmark harness prints every reproduced table/figure as text so the
+paper-vs-measured comparison is readable straight from the bench output.
+"""
+
+from repro.viz.table import render_table
+from repro.viz.ascii_chart import bar_chart, histogram_chart, heatmap
+
+__all__ = ["render_table", "bar_chart", "histogram_chart", "heatmap"]

@@ -1,0 +1,54 @@
+"""Bar charts, histograms and heatmaps rendered as text."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def bar_chart(labels, values, width: int = 40,
+              title: str | None = None) -> str:
+    """Horizontal bar chart; bar length proportional to value."""
+    labels = [str(l) for l in labels]
+    values = np.asarray(list(values), dtype=float)
+    if len(labels) != values.size or values.size == 0:
+        raise ReproError("labels and values must be equal-length, non-empty")
+    vmax = values.max()
+    scale = width / vmax if vmax > 0 else 0.0
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(value * scale))
+        lines.append(f"{label.rjust(label_w)} | {bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def histogram_chart(values, bins: int = 20, width: int = 40,
+                    title: str | None = None) -> str:
+    """Text histogram (Fig 2/9/13 style)."""
+    arr = np.asarray(list(values), dtype=float).ravel()
+    if arr.size == 0:
+        raise ReproError("cannot histogram an empty sample")
+    counts, edges = np.histogram(arr, bins=bins)
+    labels = [f"{edges[i]:8.1f}-{edges[i + 1]:8.1f}" for i in range(bins)]
+    return bar_chart(labels, counts, width=width, title=title)
+
+
+def heatmap(matrix, title: str | None = None, vmin: float | None = None,
+            vmax: float | None = None) -> str:
+    """Dense character heatmap (Fig 6/16 style); darker = larger."""
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        raise ReproError("heatmap needs a non-empty 2-D matrix")
+    lo = m.min() if vmin is None else vmin
+    hi = m.max() if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    norm = np.clip((m - lo) / span, 0.0, 1.0)
+    idx = (norm * (len(_BLOCKS) - 1)).round().astype(int)
+    lines = [title] if title else []
+    lines.extend("".join(_BLOCKS[i] for i in row) for row in idx)
+    lines.append(f"scale: '{_BLOCKS[0]}'={lo:.3g} .. '{_BLOCKS[-1]}'={hi:.3g}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Text renderings of the paper's explanatory block diagrams.
+
+Fig 11 (the input-speedup hierarchy) and Fig 20 (the many-to-few-to-many
+request/reply structure) are diagrams, not measurements; these renderers
+generate them from a device spec so the benchmark suite covers every
+figure literally.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import GPUSpec
+from repro.noc.speedup import SpeedupConfig
+
+
+def speedup_hierarchy_diagram(spec: GPUSpec) -> str:
+    """Fig 11: where input speedup sits in the hierarchy."""
+    config = SpeedupConfig.for_spec(spec)
+    lines = [f"{spec.name} NoC input-speedup hierarchy (paper Fig 11)", ""]
+    indent = ""
+    lines.append(f"{indent}SM x{spec.num_sms}")
+    indent += "  "
+    lines.append(f"{indent}|-- TPC mux ({spec.sms_per_tpc} SMs share; "
+                 f"full speedup needs {config.required('TPC')}x; "
+                 f"{spec.tpc_out_read_gbps:.0f} GB/s read)")
+    if spec.tpcs_per_cpc:
+        lines.append(f"{indent}|-- CPC mux ({spec.sms_per_cpc} SMs; needs "
+                     f"{config.required('CPC')}x; "
+                     f"{spec.cpc_out_read_gbps:.0f} GB/s read)")
+    lines.append(f"{indent}|-- GPC port ({spec.sms_per_gpc} SMs; GPC_l "
+                 f"needs {config.required('GPC_l')}x, GPC_g "
+                 f"{config.required('GPC_g')}x; {spec.gpc_out_gbps:.0f} "
+                 "GB/s)")
+    lines.append(f"{indent}|-- GPC->MP channels (x{spec.num_mps} per GPC; "
+                 f"{spec.gpc_mp_channel_gbps:.0f} GB/s each)")
+    if spec.num_partitions > 1:
+        lines.append(f"{indent}|-- partition bridge "
+                     f"({spec.partition_bridge_gbps:.0f} GB/s)")
+    lines.append(f"{indent}`-- NoC->MP interface + L2 input speedup "
+                 f"({spec.mp_input_gbps:.0f} GB/s per MP, "
+                 f"{spec.slices_per_mp} slices x "
+                 f"{spec.slice_bw_gbps:.0f} GB/s)")
+    return "\n".join(lines)
+
+
+def many_to_few_diagram(spec: GPUSpec) -> str:
+    """Fig 20: request/reply networks and the critical bandwidths."""
+    n, c = spec.num_sms, spec.num_mps
+    return "\n".join([
+        f"{spec.name} many-to-few-to-many structure (paper Fig 20)", "",
+        f"  {n} cores ==[request network: small packets]==> {c} MPs",
+        f"  {n} cores <==[reply network: cache lines]====== {c} MPs", "",
+        "  BW_NoC-Bc  : bisection bandwidth (only binds if injection",
+        "               can saturate it)",
+        f"  BW_NoC-MEM : terminal/interface bandwidth at the {c} MPs",
+        "               <- the actual bottleneck candidate (Impl. 5)",
+        f"  BW_MEM     : {spec.mem_bandwidth_gbps:.0f} GB/s DRAM;",
+        "               series system: min(cores, NoC iface, MEM) wins",
+    ])

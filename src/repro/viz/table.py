@@ -1,0 +1,41 @@
+"""Aligned text tables."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def render_table(rows, headers=None, title: str | None = None) -> str:
+    """Render rows (sequences or dicts) as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        raise ReproError("cannot render an empty table")
+    if isinstance(rows[0], dict):
+        headers = headers or list(rows[0])
+        rows = [[row.get(h, "") for h in headers] for row in rows]
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    if headers is not None:
+        header_cells = [_format_cell(h) for h in headers]
+        widths = [max(len(header_cells[i]),
+                      max((len(r[i]) for r in cells), default=0))
+                  for i in range(len(header_cells))]
+    else:
+        widths = [max(len(r[i]) for r in cells) for i in range(len(cells[0]))]
+
+    def fmt_row(row):
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    if headers is not None:
+        lines.append(fmt_row(header_cells))
+        lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)

@@ -1,0 +1,14 @@
+"""Workload address-trace generators (synthetic + Rodinia-style)."""
+
+from repro.workloads.synthetic import (streaming_trace, random_trace,
+                                       camping_trace)
+from repro.workloads.rodinia import (bfs_trace, gaussian_trace,
+                                     hotspot_trace, kmeans_trace,
+                                     pathfinder_trace,
+                                     slice_traffic_over_time, TimestepTrace)
+from repro.workloads.replay import replay_trace, ReplayResult, StepResult
+
+__all__ = ["streaming_trace", "random_trace", "camping_trace",
+           "bfs_trace", "gaussian_trace", "hotspot_trace", "kmeans_trace",
+           "pathfinder_trace", "slice_traffic_over_time", "TimestepTrace",
+           "replay_trace", "ReplayResult", "StepResult"]

@@ -1,0 +1,47 @@
+"""Synthetic memory-access traces.
+
+Used to exercise the address hash: streaming (sequential strided, like the
+bandwidth microbenchmark), uniform random, and an adversarial *camping*
+pattern that strides in a way that would hammer one channel on an
+unhashed (modulo-interleaved) GPU — the failure mode address hashing
+exists to prevent (paper Section IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng
+from repro.errors import ConfigurationError
+
+
+def streaming_trace(num_accesses: int, line_bytes: int = 128,
+                    stride_lines: int = 1, start: int = 0) -> np.ndarray:
+    """Sequential strided line addresses (Algorithm 2's access pattern)."""
+    if num_accesses <= 0 or stride_lines <= 0:
+        raise ConfigurationError("num_accesses and stride must be positive")
+    idx = np.arange(num_accesses, dtype=np.uint64)
+    return (np.uint64(start)
+            + idx * np.uint64(stride_lines) * np.uint64(line_bytes))
+
+
+def random_trace(num_accesses: int, region_bytes: int,
+                 line_bytes: int = 128, seed: int = 0) -> np.ndarray:
+    """Uniform random line-aligned addresses within a region."""
+    if num_accesses <= 0 or region_bytes < line_bytes:
+        raise ConfigurationError("need a positive count and a region "
+                                 ">= one line")
+    gen = rng.generator_for(seed, "random-trace", num_accesses, region_bytes)
+    lines = gen.integers(0, region_bytes // line_bytes, size=num_accesses,
+                         dtype=np.uint64)
+    return lines * np.uint64(line_bytes)
+
+
+def camping_trace(num_accesses: int, num_channels: int,
+                  line_bytes: int = 128) -> np.ndarray:
+    """Adversarial stride: every access lands on channel 0 under naive
+    modulo interleaving (``line % C == 0``).  A hashed GPU spreads it."""
+    if num_accesses <= 0 or num_channels <= 0:
+        raise ConfigurationError("counts must be positive")
+    idx = np.arange(num_accesses, dtype=np.uint64)
+    return idx * np.uint64(num_channels) * np.uint64(line_bytes)

@@ -1,0 +1,71 @@
+"""Access-pattern inference attack (the paper's suggested follow-on)."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.sidechannel.access_pattern import AccessPatternAttack
+
+
+@pytest.fixture(scope="module")
+def attack():
+    gpu = SimulatedGPU("V100", seed=23)
+    return AccessPatternAttack(gpu, victim_sm=4)
+
+
+def test_recovers_slice_sequence(attack):
+    sequence = [0, 17, 5, 30, 9, 0, 22]
+    result = attack.observe_victim(sequence, repeats=4)
+    assert result.accuracy >= 0.7
+    assert result.inferred_slices[0] == result.inferred_slices[5]
+
+
+def test_ambiguity_reported(attack):
+    result = attack.observe_victim([3, 11], repeats=3)
+    assert result.mean_ambiguity >= 1.0
+    assert all(c >= 1 for c in result.candidates_per_access)
+
+
+def test_classify_exact_table_value(attack):
+    for s in (0, 15, 31):
+        best, _ = attack.classify(float(attack.table[s]))
+        # the nearest-latency slice has (at worst) the same latency
+        assert abs(attack.table[best] - attack.table[s]) < 1e-9
+
+
+def test_validation():
+    gpu = SimulatedGPU("V100", seed=23)
+    with pytest.raises(AttackError):
+        AccessPatternAttack(gpu, victim_sm=999)
+    with pytest.raises(AttackError):
+        AccessPatternAttack(gpu, victim_sm=0, noise_margin_cycles=0)
+    attack = AccessPatternAttack(gpu, victim_sm=0)
+    with pytest.raises(AttackError):
+        attack.observe_victim([])
+    with pytest.raises(AttackError):
+        attack.observe_victim([0], repeats=0)
+
+
+def test_wrong_sm_table_degrades_accuracy():
+    """Using another SM's latency table breaks the classifier —
+    the attack genuinely depends on placement knowledge."""
+    import numpy as np
+
+    from repro.runtime.device_api import Warp
+
+    gpu = SimulatedGPU("V100", seed=23)
+    right = AccessPatternAttack(gpu, victim_sm=4)
+    wrong = AccessPatternAttack(gpu, victim_sm=70)   # far-away SM's table
+    sequence = list(range(0, 32, 3))
+    good = right.observe_victim(sequence, repeats=4).accuracy
+    # classify the same victim (SM 4) with the wrong table
+    memory = gpu.memory
+    warp = Warp(4, memory, start_cycle=0.0)
+    hits = 0
+    for s in sequence:
+        address = memory.addresses_for_slice(s, 1)[0]
+        memory.warm(4, [address])
+        obs = np.mean([warp.ldcg(address) for _ in range(4)])
+        best, _ = wrong.classify(float(obs))
+        hits += best == s
+    assert good > hits / len(sequence)

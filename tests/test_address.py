@@ -1,0 +1,105 @@
+"""Address hashing: balance, determinism, M[s] discovery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.address import AddressHasher, camping_index
+
+
+def test_slice_in_range():
+    h = AddressHasher(32)
+    for addr in range(0, 128 * 1000, 128):
+        assert 0 <= h.slice_of(addr) < 32
+
+
+def test_scalar_matches_vector():
+    h = AddressHasher(80)
+    addrs = np.arange(0, 128 * 512, 128, dtype=np.uint64)
+    vec = h.slice_of_array(addrs)
+    for a, s in zip(addrs, vec):
+        assert h.slice_of(int(a)) == s
+
+
+def test_same_line_same_slice():
+    h = AddressHasher(32, line_bytes=128)
+    assert h.slice_of(1000 * 128) == h.slice_of(1000 * 128 + 127)
+
+
+def test_sequential_lines_balanced():
+    """Streaming (the common case) must spread near-uniformly."""
+    h = AddressHasher(32)
+    addrs = np.arange(0, 128 * 32 * 256, 128, dtype=np.uint64)
+    counts = np.bincount(h.slice_of_array(addrs), minlength=32)
+    assert camping_index(counts) < 1.3
+
+
+def test_strided_pattern_balanced():
+    """The adversarial camping stride is defeated by hashing."""
+    h = AddressHasher(32)
+    addrs = np.arange(0, 32 * 128 * 4096, 32 * 128, dtype=np.uint64)
+    counts = np.bincount(h.slice_of_array(addrs), minlength=32)
+    assert camping_index(counts) < 1.6
+
+
+def test_non_power_of_two_slices_balanced():
+    h = AddressHasher(80)   # A100
+    addrs = np.arange(0, 128 * 80 * 128, 128, dtype=np.uint64)
+    counts = np.bincount(h.slice_of_array(addrs), minlength=80)
+    assert camping_index(counts) < 1.4
+
+
+def test_addresses_for_slice():
+    h = AddressHasher(32)
+    found = h.addresses_for_slice(5, 10)
+    assert len(found) == 10
+    assert all(h.slice_of(a) == 5 for a in found)
+    assert len(set(found)) == 10
+
+
+def test_addresses_for_slice_region_too_small():
+    h = AddressHasher(32)
+    with pytest.raises(ConfigurationError):
+        h.addresses_for_slice(5, 100, region_bytes=128 * 10)
+
+
+def test_invalid_geometry():
+    with pytest.raises(ConfigurationError):
+        AddressHasher(0)
+    with pytest.raises(ConfigurationError):
+        AddressHasher(32, line_bytes=100)   # not a power of two
+    with pytest.raises(ConfigurationError):
+        AddressHasher(32).slice_of(-1)
+
+
+def test_camping_index_bounds():
+    assert camping_index(np.ones(8)) == pytest.approx(1.0)
+    hot = np.zeros(8)
+    hot[0] = 80
+    assert camping_index(hot) == pytest.approx(8.0)
+    with pytest.raises(ConfigurationError):
+        camping_index(np.array([]))
+
+
+def test_camping_index_all_zero_traffic():
+    assert camping_index(np.zeros(8)) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(address=st.integers(0, 2 ** 48), num_slices=st.integers(1, 96))
+def test_hash_deterministic_and_in_range(address, num_slices):
+    h = AddressHasher(num_slices)
+    s = h.slice_of(address)
+    assert 0 <= s < num_slices
+    assert s == h.slice_of(address)
+
+
+@settings(max_examples=20, deadline=None)
+@given(start=st.integers(0, 2 ** 30))
+def test_region_coverage_property(start):
+    """Every slice is reachable from any starting region (hash mixes)."""
+    h = AddressHasher(16)
+    addrs = np.arange(start, start + 128 * 16 * 64, 128, dtype=np.uint64)
+    slices = set(h.slice_of_array(addrs).tolist())
+    assert len(slices) == 16

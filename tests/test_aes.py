@@ -1,0 +1,113 @@
+"""AES-128 correctness (FIPS-197) and the GPU timing oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.scheduler import StaticScheduler
+from repro.sidechannel.aes import (AESTimingOracle, aes_encrypt, expand_key,
+                                   last_round_inputs, _INV_SBOX, _SBOX)
+
+
+def test_fips197_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    pt = np.frombuffer(bytes.fromhex("00112233445566778899aabbccddeeff"),
+                       dtype=np.uint8).reshape(1, 16)
+    ct = aes_encrypt(pt, expand_key(key))
+    assert ct.tobytes().hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_fips197_appendix_b_vector():
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    pt = np.frombuffer(bytes.fromhex("3243f6a8885a308d313198a2e0370734"),
+                       dtype=np.uint8).reshape(1, 16)
+    ct = aes_encrypt(pt, expand_key(key))
+    assert ct.tobytes().hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+def test_key_schedule_known_first_round():
+    """FIPS-197 A.1: first round key of the appendix key."""
+    rk = expand_key(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+    assert rk.shape == (11, 16)
+    assert bytes(rk[1]).hex() == "a0fafe1788542cb123a339392a6c7605"
+
+
+def test_key_length_validated():
+    with pytest.raises(AttackError):
+        expand_key(b"short")
+
+
+def test_block_shape_validated():
+    with pytest.raises(AttackError):
+        aes_encrypt(np.zeros((1, 8), dtype=np.uint8), expand_key(bytes(16)))
+
+
+def test_batch_matches_single():
+    rk = expand_key(bytes(range(16)))
+    gen = np.random.default_rng(0)
+    blocks = gen.integers(0, 256, size=(8, 16), dtype=np.uint8)
+    batch = aes_encrypt(blocks, rk)
+    for i in range(8):
+        single = aes_encrypt(blocks[i:i + 1], rk)
+        assert np.array_equal(batch[i], single[0])
+
+
+def test_sbox_inverse():
+    assert np.array_equal(_INV_SBOX[_SBOX], np.arange(256, dtype=np.uint8))
+
+
+def test_last_round_inputs_inverts_correctly():
+    """With the true key byte, the recovered state feeds SBOX back to C."""
+    key = bytes(range(16))
+    rk = expand_key(key)
+    gen = np.random.default_rng(1)
+    pts = gen.integers(0, 256, size=(16, 16), dtype=np.uint8)
+    cts = aes_encrypt(pts, rk)
+    for pos in (0, 7, 15):
+        s = last_round_inputs(cts, int(rk[10][pos]), pos)
+        assert np.array_equal(_SBOX[s] ^ rk[10][pos], cts[:, pos])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=16, max_size=16), st.binary(min_size=16,
+                                                      max_size=16))
+def test_encryption_is_key_and_plaintext_sensitive(key, pt):
+    rk = expand_key(key)
+    block = np.frombuffer(pt, dtype=np.uint8).reshape(1, 16)
+    ct = aes_encrypt(block, rk)
+    assert ct.shape == (1, 16)
+    # flipping one plaintext bit changes the ciphertext (injectivity probe)
+    flipped = block.copy()
+    flipped[0, 0] ^= 1
+    assert not np.array_equal(aes_encrypt(flipped, rk), ct)
+
+
+def test_oracle_sample_timing_and_ciphertexts(tiny):
+    oracle = AESTimingOracle(tiny, bytes(range(16)))
+    scheduler = StaticScheduler(tiny.num_sms)
+    c, t, sm = oracle.sample(scheduler)
+    assert c.shape == (32, 16)
+    assert t > 0
+    assert 0 <= sm < tiny.num_sms
+
+
+def test_oracle_collect_shapes(tiny):
+    oracle = AESTimingOracle(tiny, bytes(range(16)))
+    c, t = oracle.collect(StaticScheduler(tiny.num_sms), 5)
+    assert c.shape == (5, 32, 16)
+    assert t.shape == (5,)
+    with pytest.raises(AttackError):
+        oracle.collect(StaticScheduler(tiny.num_sms), 0)
+
+
+def test_oracle_timing_depends_on_sm():
+    """The timing intercept shifts with the executing SM (Fig 17a)."""
+    gpu = SimulatedGPU("V100", seed=6)
+    oracle = AESTimingOracle(gpu, bytes(range(16)))
+    t_a = np.mean([oracle.sample(oracle.pinned_scheduler(0), i)[1]
+                   for i in range(5)])
+    t_b = np.mean([oracle.sample(oracle.pinned_scheduler(70), i)[1]
+                   for i in range(5)])
+    assert abs(t_a - t_b) > 20

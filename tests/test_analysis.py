@@ -1,0 +1,105 @@
+"""Little's law, bottleneck analysis, network-wall survey."""
+
+import math
+
+import pytest
+
+from repro.analysis.bottleneck import series_throughput
+from repro.analysis.littles_law import (achievable_bandwidth_gbps,
+                                        required_outstanding_bytes,
+                                        sms_to_saturate)
+from repro.analysis.network_wall import (PRIOR_WORK, PriorWorkConfig,
+                                         classify_network_wall,
+                                         interface_bandwidth_gbps)
+from repro.errors import ReproError
+
+
+# ---- Little's law ---------------------------------------------------------
+
+def test_littles_roundtrip():
+    bw = achievable_bandwidth_gbps(5223, 212, 1.38e9)
+    assert bw == pytest.approx(34.0, rel=1e-2)
+    assert required_outstanding_bytes(bw, 212, 1.38e9) == pytest.approx(
+        5223, rel=1e-6)
+
+
+def test_a100_far_partition_arithmetic():
+    """The paper's Fig 14 story: same budget, longer RT, lower bandwidth."""
+    near = achievable_bandwidth_gbps(7376, 212, 1.41e9)
+    far = achievable_bandwidth_gbps(7376, 387, 1.41e9)
+    assert far / near == pytest.approx(212 / 387, rel=1e-9)
+    assert far < near
+
+
+def test_sms_to_saturate():
+    assert sms_to_saturate(85.0, 34.0) == 3
+    assert sms_to_saturate(170.0, 26.0) == 7
+    assert sms_to_saturate(10.0, 40.0) == 1
+    with pytest.raises(ReproError):
+        sms_to_saturate(0, 10)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ReproError):
+        achievable_bandwidth_gbps(-1, 100, 1e9)
+    with pytest.raises(ReproError):
+        required_outstanding_bytes(-1, 100, 1e9)
+
+
+# ---- bottleneck -------------------------------------------------------------
+
+def test_series_throughput_min():
+    report = series_throughput({"cores": 3000.0, "noc": 1200.0,
+                                "memory": 900.0})
+    assert report.throughput == 900.0
+    assert report.bottleneck == "memory"
+    assert report.headroom("noc") == 300.0
+
+
+def test_series_noc_wall():
+    """A walled NoC makes the NoC, not DRAM, the bottleneck."""
+    report = series_throughput({"cores": 3000.0, "noc": 700.0,
+                                "memory": 900.0})
+    assert report.bottleneck == "noc"
+
+
+def test_series_validation():
+    with pytest.raises(ReproError):
+        series_throughput({})
+    with pytest.raises(ReproError):
+        series_throughput({"x": 0.0})
+    with pytest.raises(ReproError):
+        series_throughput({"x": 1.0}).headroom("y")
+
+
+# ---- network wall (Fig 22) ---------------------------------------------------
+
+def test_interface_bandwidth_formula():
+    assert interface_bandwidth_gbps(0.7, 16, 8) == pytest.approx(89.6)
+    with pytest.raises(ReproError):
+        interface_bandwidth_gbps(0, 16, 8)
+
+
+def test_prior_work_survey_has_both_regimes():
+    split = classify_network_wall()
+    assert split["walled"]
+    assert split["memory_bound"]
+    assert 0 < split["walled_fraction"] < 1
+
+
+def test_below_wall_predicate():
+    walled = PriorWorkConfig("x", "[x]", 0.6, 16, 6, 179.2)
+    assert walled.interface_bandwidth_gbps == pytest.approx(57.6)
+    assert walled.below_wall
+    healthy = PriorWorkConfig("y", "[y]", 1.0, 32, 8, 179.2)
+    assert not healthy.below_wall
+
+
+def test_survey_is_nonempty_and_unique():
+    names = [c.name for c in PRIOR_WORK]
+    assert len(names) == len(set(names)) >= 10
+
+
+def test_classify_validates():
+    with pytest.raises(ReproError):
+        classify_network_wall(())

@@ -1,0 +1,130 @@
+"""Attack harnesses and the random-scheduling defence (Fig 17-19)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.scheduler import (PinnedScheduler, RandomScheduler,
+                                     StaticScheduler)
+from repro.sidechannel.aes import AESTimingOracle
+from repro.sidechannel.attacks import (aes_key_byte_attack,
+                                       coalescing_timing_sweep,
+                                       rsa_ones_attack,
+                                       square_kernel_timing)
+from repro.sidechannel.colocation import (build_fingerprint_library,
+                                          colocation_success_rate,
+                                          fingerprint_sm, identify_sm)
+from repro.sidechannel.rsa import RSATimingOracle
+
+
+@pytest.fixture(scope="module")
+def v100_sc():
+    return SimulatedGPU("V100", seed=9)
+
+
+@pytest.fixture(scope="module")
+def a100_sc():
+    return SimulatedGPU("A100", seed=9)
+
+
+# ---- Fig 17(a) -----------------------------------------------------------
+
+def test_coalescing_sweep_linear_and_shifted(v100_sc):
+    curves = coalescing_timing_sweep(v100_sc, sms=[0, 70], max_lines=16,
+                                     samples=3)
+    for sm, curve in curves.items():
+        # linear: strong fit to a line
+        n = np.arange(1, 17)
+        slope, intercept = np.polyfit(n, curve, 1)
+        residual = curve - (slope * n + intercept)
+        assert slope > 4
+        assert np.abs(residual).max() < 12
+    # different SMs have shifted intercepts (the paper's key point)
+    assert abs(curves[0][0] - curves[70][0]) > 10
+
+
+def test_coalescing_sweep_validation(v100_sc):
+    with pytest.raises(AttackError):
+        coalescing_timing_sweep(v100_sc, sms=[0], max_lines=0)
+
+
+# ---- AES (Fig 18) -------------------------------------------------------------
+
+def test_aes_attack_recovers_under_static(v100_sc):
+    key = bytes(range(16))
+    oracle = AESTimingOracle(v100_sc, key)
+    c, t = oracle.collect(StaticScheduler(v100_sc.num_sms, start=5), 300)
+    result = aes_key_byte_attack(oracle, c, t, position=0)
+    # true byte ranks at or near the top under static scheduling
+    rank = int((result.correlations > result.correlations[
+        result.true_byte]).sum())
+    assert rank <= 5
+
+
+def test_aes_attack_validation(v100_sc):
+    oracle = AESTimingOracle(v100_sc, bytes(16))
+    with pytest.raises(AttackError):
+        aes_key_byte_attack(oracle, np.zeros((2, 32, 16), dtype=np.uint8),
+                            np.zeros(2), 0)
+    with pytest.raises(AttackError):
+        aes_key_byte_attack(oracle, np.zeros((4, 32, 16), dtype=np.uint8),
+                            np.zeros(3), 0)
+
+
+# ---- RSA (Fig 17b / 19) ----------------------------------------------------------
+
+def test_square_kernel_cross_partition_slowdown(a100_sc):
+    """Fig 17b: pairing across partitions costs up to ~1.7x."""
+    fixed = a100_sc.hier.sms_in_partition(0)[0]
+    same = a100_sc.hier.sms_in_partition(0)[2]
+    other = a100_sc.hier.sms_in_partition(1)[0]
+    times = square_kernel_timing(a100_sc, fixed, [same, other])
+    assert times[other] > times[same]
+    assert 1.1 <= times[other] / times[same] <= 2.2
+
+
+def test_rsa_static_linear_random_noisy(a100_sc):
+    """Fig 19: static R^2 ~ 1; random scheduling destroys the fit."""
+    oracle = RSATimingOracle(a100_sc, (1 << 127) - 1)
+    ones_s, times_s = oracle.timing_curve(
+        StaticScheduler(a100_sc.num_sms, start=3), bits=128,
+        samples_per_point=2)
+    ones_r, times_r = oracle.timing_curve(
+        RandomScheduler(a100_sc.num_sms, seed=7), bits=128,
+        samples_per_point=2)
+    static_fit = rsa_ones_attack(ones_s, times_s)
+    random_fit = rsa_ones_attack(ones_r, times_r)
+    assert static_fit.r_squared > 0.98
+    assert random_fit.r_squared < 0.9
+    assert random_fit.inference_spread() > 2 * static_fit.inference_spread()
+
+
+def test_rsa_fit_validation():
+    with pytest.raises(AttackError):
+        rsa_ones_attack(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+    fit = rsa_ones_attack(np.array([1.0, 2, 3, 4]),
+                          np.array([10.0, 20, 30, 40]))
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.infer_ones(25.0) == pytest.approx(2.5)
+
+
+# ---- co-location (Implication 1) ----------------------------------------------
+
+def test_fingerprint_identifies_sm(v100_sc):
+    library = build_fingerprint_library(v100_sc)
+    probe = fingerprint_sm(v100_sc, 24, samples=2)
+    matched, r = identify_sm(library, probe)
+    assert v100_sc.hier.sm_info(matched).gpc \
+        == v100_sc.hier.sm_info(24).gpc
+    assert r > 0.9
+
+
+def test_colocation_success_rate(v100_sc):
+    rate = colocation_success_rate(v100_sc, probe_sms=[3, 24, 40, 61, 80])
+    assert rate >= 0.8
+
+
+def test_identify_requires_library():
+    with pytest.raises(AttackError):
+        identify_sm({}, np.zeros(4))

@@ -1,0 +1,69 @@
+"""CLI: each subcommand runs and prints the expected structure."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_specs(capsys):
+    assert main(["specs"]) == 0
+    out = capsys.readouterr().out
+    assert "V100" in out and "H100" in out and "Table I" in out
+
+
+def test_floorplan(capsys):
+    assert main(["floorplan", "V100"]) == 0
+    assert "floorplan" in capsys.readouterr().out
+
+
+def test_floorplan_lowercase_gpu(capsys):
+    assert main(["floorplan", "v100"]) == 0
+
+
+def test_latency(capsys):
+    assert main(["latency", "V100", "--sm", "24"]) == 0
+    out = capsys.readouterr().out
+    assert "SM24" in out and "mean" in out
+
+
+def test_bandwidth(capsys):
+    assert main(["bandwidth", "V100"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregate L2 fabric" in out
+    assert "ratio" in out
+
+
+def test_speedup(capsys):
+    assert main(["speedup", "H100"]) == 0
+    out = capsys.readouterr().out
+    assert "CPC" in out and "GPC_l" in out
+
+
+def test_unknown_gpu_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["latency", "P100"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_seed_flag(capsys):
+    assert main(["--seed", "5", "latency", "V100"]) == 0
+
+
+def test_spec_json_accepted(tmp_path, capsys):
+    from repro.gpu.serialization import dump_spec
+    from repro.gpu.specs import V100
+    path = tmp_path / "v100.json"
+    dump_spec(V100, path)
+    assert main(["bandwidth", str(path)]) == 0
+    assert "aggregate" in capsys.readouterr().out
+
+
+def test_bad_spec_json_rejected(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    with pytest.raises(SystemExit):
+        main(["latency", str(bad)])

@@ -1,0 +1,59 @@
+"""NoC-contention covert channel."""
+
+import pytest
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.sidechannel.covert import (CovertChannel, best_effort_channel)
+
+
+@pytest.fixture(scope="module")
+def v100_cc():
+    return SimulatedGPU("V100", seed=13)
+
+
+def test_calibration_shows_contrast(v100_cc):
+    channel = best_effort_channel(v100_cc, slice_id=0, sender_count=4,
+                                  receiver_count=2)
+    quiet, busy, threshold = channel.calibrate()
+    assert busy < threshold < quiet
+
+
+def test_transmit_bits_accurately(v100_cc):
+    channel = best_effort_channel(v100_cc, slice_id=0)
+    message = (1, 0, 1, 1, 0, 0, 1, 0)
+    result = channel.transmit(message)
+    assert result.accuracy == 1.0
+    assert result.received == message
+    assert result.contrast > 0.1
+
+
+def test_insufficient_senders_fail_loudly(v100_cc):
+    """One sender SM cannot contend the slice: the channel refuses."""
+    channel = CovertChannel(v100_cc, 0, sender_sms=[0],
+                            receiver_sms=[2])
+    with pytest.raises(AttackError):
+        channel.calibrate()
+
+
+def test_channel_validation(v100_cc):
+    with pytest.raises(AttackError):
+        CovertChannel(v100_cc, 0, [], [1])
+    with pytest.raises(AttackError):
+        CovertChannel(v100_cc, 0, [0, 1], [1, 2])     # overlap
+    with pytest.raises(AttackError):
+        CovertChannel(v100_cc, 999, [0], [1])
+    channel = best_effort_channel(v100_cc)
+    with pytest.raises(AttackError):
+        channel.transmit([])
+    with pytest.raises(AttackError):
+        channel.transmit([0, 2])
+
+
+def test_a100_channel_within_partition():
+    """On A100 a same-partition channel works like on V100."""
+    a100 = SimulatedGPU("A100", seed=13)
+    channel = best_effort_channel(a100, slice_id=0, sender_count=6,
+                                  receiver_count=2)
+    result = channel.transmit((1, 0, 1))
+    assert result.accuracy == 1.0

@@ -1,0 +1,80 @@
+"""Hierarchical crossbar paths: stages, service slices, crossing."""
+
+import pytest
+
+from repro.noc.crossbar import HierarchicalCrossbar
+from repro.gpu.specs import A100, H100, V100
+
+
+@pytest.fixture(scope="module")
+def v():
+    return HierarchicalCrossbar(V100)
+
+
+@pytest.fixture(scope="module")
+def a():
+    return HierarchicalCrossbar(A100)
+
+
+@pytest.fixture(scope="module")
+def h():
+    return HierarchicalCrossbar(H100)
+
+
+def test_v100_path_stages(v):
+    path = v.path(0, 0)
+    assert path.stages == ("sm_out", "tpc_mux", "gpc_port", "xbar",
+                           "mp_iface", "slice_in")
+    assert not path.crosses_partition
+
+
+def test_h100_path_has_cpc_stage(h):
+    assert "cpc_mux" in h.path(0, 0).stages
+
+
+def test_a100_cross_partition_path(a):
+    sm = a.hier.sms_in_partition(0)[0]
+    remote = a.hier.slices_in_partition(1)[0]
+    path = a.path(sm, remote)
+    assert path.crosses_partition
+    assert "bridge" in path.stages
+    local = a.hier.slices_in_partition(0)[0]
+    assert "bridge" not in a.path(sm, local).stages
+
+
+def test_h100_hits_never_cross(h):
+    """Partition-local caching: every hit is serviced locally."""
+    for sm in (0, h.hier.sms_in_partition(1)[0]):
+        for s in range(0, h.spec.num_slices, 7):
+            assert not h.path(sm, s, for_hit=True).crosses_partition
+
+
+def test_h100_miss_path_goes_home(h):
+    sm = h.hier.sms_in_partition(0)[0]
+    remote = h.hier.slices_in_partition(1)[0]
+    miss_path = h.path(sm, remote, for_hit=False)
+    assert miss_path.slice_id == remote
+    assert miss_path.crosses_partition
+
+
+def test_service_slice_identity_without_local_policy(v, a):
+    assert v.service_slice(0, 13) == 13
+    sm = a.hier.sms_in_partition(0)[0]
+    assert a.service_slice(sm, 79) == 79    # A100 hits travel to the slice
+
+
+def test_oneway_cycles_monotone_in_distance(v):
+    """Farther slices cost more cycles from the same SM."""
+    sm = 0
+    pairs = [(v.floorplan.sm_slice_distance_mm(sm, s),
+              v.oneway_cycles(v.path(sm, s))) for s in range(32)]
+    pairs.sort()
+    distances, cycles = zip(*pairs)
+    assert all(c2 >= c1 for c1, c2 in zip(cycles, cycles[1:]))
+
+
+def test_crossing_penalty_added(a):
+    sm = a.hier.sms_in_partition(0)[0]
+    near = a.path(sm, a.hier.slices_in_partition(0)[0])
+    far = a.path(sm, a.hier.slices_in_partition(1)[0])
+    assert a.oneway_cycles(far) > a.oneway_cycles(near)

@@ -1,0 +1,60 @@
+"""SimulatedGPU facade: wiring, seeding, memory lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.specs import V100
+
+
+def test_construct_by_name_and_spec():
+    by_name = SimulatedGPU("v100")
+    by_spec = SimulatedGPU(V100)
+    assert by_name.spec is by_spec.spec is V100
+    assert by_name.num_sms == 84
+    assert by_name.num_slices == 32
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        SimulatedGPU("TITAN")
+
+
+def test_components_share_floorplan(tiny):
+    assert tiny.latency.floorplan is tiny.floorplan
+    assert tiny.topology.latency is tiny.latency
+    assert tiny.memory.latency is tiny.latency
+
+
+def test_same_seed_same_device():
+    a = SimulatedGPU("V100", seed=7)
+    b = SimulatedGPU("V100", seed=7)
+    assert a.latency.hit_latency(10, 3) == b.latency.hit_latency(10, 3)
+
+
+def test_different_seed_different_offsets():
+    a = SimulatedGPU("V100", seed=7)
+    b = SimulatedGPU("V100", seed=8)
+    profiles_equal = all(
+        a.latency.hit_latency(10, s) == b.latency.hit_latency(10, s)
+        for s in range(8))
+    assert not profiles_equal
+
+
+def test_fresh_memory_drops_cache(tiny):
+    addr = tiny.memory.addresses_for_slice(0, 1)[0]
+    tiny.memory.access(0, addr)
+    assert tiny.memory.access(0, addr).hit
+    fresh = tiny.fresh_memory()
+    assert not fresh.access(0, addr).hit
+    assert tiny.memory is fresh
+
+
+def test_repr_mentions_name_and_size(tiny):
+    text = repr(tiny)
+    assert "TINY" in text and "sms=8" in text
+
+
+def test_lazy_components_cached(tiny):
+    assert tiny.latency is tiny.latency
+    assert tiny.topology is tiny.topology

@@ -1,0 +1,35 @@
+"""Fig 11 / Fig 20 diagram generators."""
+
+from repro.gpu.specs import A100, H100, V100
+from repro.viz.diagrams import many_to_few_diagram, speedup_hierarchy_diagram
+
+
+def test_fig11_reflects_hierarchy_levels():
+    v = speedup_hierarchy_diagram(V100)
+    h = speedup_hierarchy_diagram(H100)
+    assert "CPC mux" not in v
+    assert "CPC mux" in h
+    assert "partition bridge" not in v
+    assert "partition bridge" in speedup_hierarchy_diagram(A100)
+
+
+def test_fig11_numbers_come_from_spec():
+    text = speedup_hierarchy_diagram(V100)
+    assert f"SM x{V100.num_sms}" in text
+    assert f"{V100.gpc_out_gbps:.0f}" in text
+    assert f"needs {V100.tpcs_per_gpc}x" in text      # GPC_l requirement
+
+
+def test_fig20_structure():
+    text = many_to_few_diagram(A100)
+    assert f"{A100.num_sms} cores" in text
+    assert f"{A100.num_mps} MPs" in text
+    assert "BW_NoC-Bc" in text and "BW_NoC-MEM" in text and "BW_MEM" in text
+
+
+def test_diagrams_are_multiline_text():
+    for spec in (V100, A100, H100):
+        for render in (speedup_hierarchy_diagram, many_to_few_diagram):
+            text = render(spec)
+            assert isinstance(text, str)
+            assert len(text.splitlines()) >= 5

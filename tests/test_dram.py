@@ -1,0 +1,53 @@
+"""DRAM channels: capacity accounting and efficiency."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import DRAMChannel, DRAMSystem
+
+
+def test_achievable_below_peak():
+    c = DRAMChannel(225.0, efficiency=0.87)
+    assert c.achievable_gbps == pytest.approx(195.75)
+
+
+def test_service_accounting():
+    c = DRAMChannel(100.0)
+    c.service(128)
+    c.service(128)
+    assert c.bytes_serviced == 256
+    c.reset()
+    assert c.bytes_serviced == 0
+
+
+def test_negative_service_rejected():
+    with pytest.raises(ConfigurationError):
+        DRAMChannel(100.0).service(-1)
+
+
+def test_invalid_channel_params():
+    with pytest.raises(ConfigurationError):
+        DRAMChannel(0.0)
+    with pytest.raises(ConfigurationError):
+        DRAMChannel(100.0, efficiency=1.5)
+
+
+def test_system_splits_bandwidth():
+    sys = DRAMSystem(4, 900.0, efficiency=0.9)
+    assert sys.total_peak_gbps == pytest.approx(900.0)
+    assert sys.channel(0).peak_gbps == pytest.approx(225.0)
+    assert sys.total_achievable_gbps == pytest.approx(810.0)
+
+
+def test_traffic_by_channel():
+    sys = DRAMSystem(2, 100.0)
+    sys.channel(1).service(128)
+    assert sys.traffic_by_channel() == [0, 128]
+    sys.reset()
+    assert sys.traffic_by_channel() == [0, 0]
+
+
+def test_channel_bounds():
+    sys = DRAMSystem(2, 100.0)
+    with pytest.raises(ConfigurationError):
+        sys.channel(2)

@@ -1,0 +1,24 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in ("ConfigurationError", "UnknownComponentError",
+                 "LaunchError", "ProfilerError", "SolverError",
+                 "MeshConfigError", "AttackError"):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_unknown_component_is_also_keyerror():
+    assert issubclass(errors.UnknownComponentError, KeyError)
+
+
+def test_single_catch_covers_package_errors(tiny):
+    with pytest.raises(errors.ReproError):
+        tiny.hier.sm_info(9999)
+    with pytest.raises(errors.ReproError):
+        tiny.memory.access(0, -1)

@@ -1,0 +1,47 @@
+"""The runnable examples execute end to end (fast subset).
+
+The two attack-heavy examples (side_channel_defense, noc_design_space)
+are exercised functionally by the benchmark suite; here we smoke-test
+the quick ones so `examples/` cannot rot.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "Observation 1" in out
+    assert "Observation 7" in out
+    assert "GB/s" in out
+
+
+def test_reverse_engineer_placement(capsys):
+    out = _run("reverse_engineer_placement.py", capsys)
+    assert "core groups" in out
+    assert "CPC-like groups" in out
+    assert "near slices recovered correctly: True" in out
+    assert "same GPC: True" in out
+
+
+def test_design_a_gpu(capsys):
+    out = _run("design_a_gpu.py", capsys)
+    assert "X100" in out
+    assert "no network wall" in out
+    assert "100%" in out            # fingerprint accuracy line
+
+
+def test_multi_tenant_interference(capsys):
+    out = _run("multi_tenant_interference.py", capsys)
+    assert "same-GPC aggressors" in out
+    assert "retained" in out

@@ -1,0 +1,120 @@
+"""Floorplan geometry: placement, distances, die symmetry."""
+
+import pytest
+
+from repro.errors import UnknownComponentError
+from repro.gpu.device import SimulatedGPU
+from repro.gpu.floorplan import Point
+
+
+@pytest.fixture(scope="module")
+def v100():
+    return SimulatedGPU("V100")
+
+
+@pytest.fixture(scope="module")
+def a100():
+    return SimulatedGPU("A100")
+
+
+def test_point_manhattan():
+    assert Point(0, 0).manhattan(Point(3, 4)) == 7
+
+
+def test_all_components_on_die(v100):
+    spec, fp = v100.spec, v100.floorplan
+    for sm in range(spec.num_sms):
+        p = fp.sm_position(sm)
+        assert 0 <= p.x <= spec.die_width_mm
+        assert 0 <= p.y <= spec.die_height_mm
+    for s in range(spec.num_slices):
+        p = fp.slice_position(s)
+        assert 0 <= p.x <= spec.die_width_mm
+        assert 0 <= p.y <= spec.die_height_mm
+
+
+def test_positions_distinct(v100):
+    positions = {(v100.floorplan.sm_position(sm).x,
+                  v100.floorplan.sm_position(sm).y)
+                 for sm in range(v100.num_sms)}
+    assert len(positions) == v100.num_sms
+
+
+def test_v100_mps_on_both_edges(v100):
+    """GV100: MP0/1 on the left die edge, MP2/3 on the right (Fig 4)."""
+    fp = v100.floorplan
+    mid = v100.spec.die_width_mm / 2
+    for s in v100.hier.slices_in_mp(0) + v100.hier.slices_in_mp(1):
+        assert fp.slice_position(s).x < mid
+    for s in v100.hier.slices_in_mp(2) + v100.hier.slices_in_mp(3):
+        assert fp.slice_position(s).x > mid
+
+
+def test_v100_gpc_column_layout(v100):
+    """GPC0&1 left column, GPC2&3 centre, GPC4&5 right (paper Fig 4)."""
+    centres = [v100.floorplan.gpc_block(g)[0].x for g in range(6)]
+    assert centres[0] == centres[1] < centres[2] == centres[3] \
+        < centres[4] == centres[5]
+
+
+def test_a100_partitions_split_die(a100):
+    fp = a100.floorplan
+    mid = a100.spec.die_width_mm / 2
+    for sm in a100.hier.sms_in_partition(0):
+        assert fp.sm_position(sm).x < mid
+    for sm in a100.hier.sms_in_partition(1):
+        assert fp.sm_position(sm).x > mid
+
+
+def test_cross_partition_distance_via_bridge(a100):
+    """Crossing paths route through the bridge, so they are longer than
+    the straight line."""
+    fp = a100.floorplan
+    sm = a100.hier.sms_in_partition(0)[0]
+    remote = a100.hier.slices_in_partition(1)[0]
+    direct = fp.wire_distance(fp.sm_position(sm), fp.slice_position(remote))
+    routed = fp.sm_slice_distance_mm(sm, remote)
+    assert routed >= direct
+
+
+def test_wire_distance_anisotropic(v100):
+    fp = v100.floorplan
+    horizontal = fp.wire_distance(Point(0, 0), Point(10, 0))
+    vertical = fp.wire_distance(Point(0, 0), Point(0, 10))
+    assert horizontal == pytest.approx(10.0)
+    assert vertical == pytest.approx(10.0 * v100.spec.wire_y_factor)
+
+
+def test_distance_symmetry(v100):
+    fp = v100.floorplan
+    for sm, s in [(0, 0), (24, 17), (83, 31)]:
+        d = fp.sm_slice_distance_mm(sm, s)
+        assert d > 0
+
+
+def test_dsmem_hub_via_routing():
+    h100 = SimulatedGPU("H100")
+    fp = h100.floorplan
+    sms = h100.hier.sms_in_gpc(0)
+    # two SMs in CPC0 (near hub) are dsmem-closer than two in CPC2
+    near = fp.sm_sm_distance_mm(sms[0], sms[1])
+    far_sms = h100.hier.sms_in_cpc(0, 2)
+    far = fp.sm_sm_distance_mm(far_sms[0], far_sms[1])
+    assert near < far
+
+
+def test_invalid_ids_raise(v100):
+    fp = v100.floorplan
+    with pytest.raises(UnknownComponentError):
+        fp.sm_position(84)
+    with pytest.raises(UnknownComponentError):
+        fp.slice_position(32)
+    with pytest.raises(UnknownComponentError):
+        fp.gpc_block(6)
+
+
+def test_render_floorplan(v100):
+    text = v100.floorplan.render()
+    assert "V100 floorplan" in text
+    assert "A" in text          # at least one SM marker
+    assert "0" in text          # at least one slice marker

@@ -1,0 +1,121 @@
+"""Hierarchy id arithmetic: SM/TPC/CPC/GPC/partition and slice lookups."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnknownComponentError
+from repro.gpu.hierarchy import Hierarchy
+from repro.gpu.specs import A100, H100, V100
+
+
+@pytest.fixture(scope="module")
+def v(): return Hierarchy(V100)
+
+
+@pytest.fixture(scope="module")
+def a(): return Hierarchy(A100)
+
+
+@pytest.fixture(scope="module")
+def h(): return Hierarchy(H100)
+
+
+def test_sm_info_roundtrip(v):
+    info = v.sm_info(24)
+    assert v.sm_id(info.gpc, info.tpc_in_gpc, info.sm_in_tpc) == 24
+
+
+@given(st.integers(min_value=0, max_value=143))
+def test_sm_info_roundtrip_property(sm):
+    h = Hierarchy(H100)
+    info = h.sm_info(sm)
+    assert h.sm_id(info.gpc, info.tpc_in_gpc, info.sm_in_tpc) == sm
+    assert info.sm_in_gpc == info.tpc_in_gpc * 2 + info.sm_in_tpc
+
+
+def test_sm_out_of_range(v):
+    with pytest.raises(UnknownComponentError):
+        v.sm_info(84)
+    with pytest.raises(UnknownComponentError):
+        v.sm_info(-1)
+
+
+def test_sms_in_gpc_partition_v100(v):
+    for g in range(6):
+        sms = v.sms_in_gpc(g)
+        assert len(sms) == 14
+        assert all(v.sm_info(sm).gpc == g for sm in sms)
+        assert all(v.sm_info(sm).partition == 0 for sm in sms)
+
+
+def test_sms_in_partition_a100(a):
+    left = a.sms_in_partition(0)
+    right = a.sms_in_partition(1)
+    assert len(left) == len(right) == 64
+    assert set(left) | set(right) == set(range(128))
+    assert not set(left) & set(right)
+
+
+def test_cpc_structure_h100(h):
+    for cpc in range(3):
+        sms = h.sms_in_cpc(0, cpc)
+        assert len(sms) == 6
+        infos = [h.sm_info(sm) for sm in sms]
+        assert all(i.cpc_in_gpc == cpc for i in infos)
+    # CPCs of one GPC tile all its SMs
+    covered = [sm for c in range(3) for sm in h.sms_in_cpc(0, c)]
+    assert sorted(covered) == h.sms_in_gpc(0)
+
+
+def test_no_cpc_on_v100(v):
+    assert v.sm_info(0).cpc == -1
+    with pytest.raises(UnknownComponentError):
+        v.sms_in_cpc(0, 0)
+
+
+def test_slice_info_roundtrip(v):
+    for s in (0, 7, 8, 31):
+        info = v.slice_info(s)
+        assert v.slice_id(info.mp, info.slice_in_mp) == s
+
+
+def test_slice_out_of_range(v):
+    with pytest.raises(UnknownComponentError):
+        v.slice_info(32)
+
+
+def test_slices_in_mp(v):
+    assert v.slices_in_mp(0) == list(range(8))
+    assert v.slices_in_mp(3) == list(range(24, 32))
+
+
+def test_slices_in_partition_a100(a):
+    assert a.slices_in_partition(0) == list(range(40))
+    assert a.slices_in_partition(1) == list(range(40, 80))
+
+
+def test_crosses_partition(a):
+    sm_left = a.sms_in_partition(0)[0]
+    assert not a.crosses_partition(sm_left, 0)
+    assert a.crosses_partition(sm_left, 79)
+
+
+def test_crosses_partition_single_partition(v):
+    assert not any(v.crosses_partition(0, s) for s in v.all_slices)
+
+
+def test_local_alias_slice(h):
+    sm_left = h.sms_in_partition(0)[0]
+    sm_right = h.sms_in_partition(1)[0]
+    remote = h.slices_in_partition(1)[3]
+    alias = h.local_alias_slice(sm_left, remote)
+    assert h.slice_info(alias).partition == 0
+    assert h.slice_info(alias).slice_in_mp == h.slice_info(remote).slice_in_mp
+    # already-local slices alias to themselves
+    assert h.local_alias_slice(sm_right, remote) == remote
+
+
+def test_tpc_ids_global(v):
+    assert v.sms_in_tpc(0) == [0, 1]
+    assert v.sms_in_tpc(41) == [82, 83]
+    assert v.sm_info(83).tpc == 41

@@ -1,0 +1,96 @@
+"""Per-SM L1 caches and the -dlcm=cg bypass methodology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro.memory.l1cache import L1Array, L1Cache
+from repro.runtime.device_api import Warp
+
+
+@pytest.fixture
+def v100_l1():
+    return SimulatedGPU("V100", seed=43)
+
+
+def test_l1_array_per_sm_isolation():
+    l1 = L1Array(num_sms=4)
+    assert not l1.access(0, 0)
+    assert l1.access(0, 0)
+    assert not l1.access(1, 0)       # other SM: its own cold cache
+
+
+def test_l1_array_invalidate():
+    l1 = L1Array(num_sms=2)
+    l1.access(0, 0)
+    l1.access(1, 0)
+    l1.invalidate(0)
+    assert not l1.access(0, 0)
+    assert l1.access(1, 0)
+    l1.invalidate()
+    assert not l1.access(1, 0)
+
+
+def test_l1_array_validation():
+    with pytest.raises(ConfigurationError):
+        L1Array(0)
+    with pytest.raises(ConfigurationError):
+        L1Array(2).access(2, 0)
+
+
+def test_l1_geometry():
+    cache = L1Cache()
+    assert cache.num_sets * cache.ways * cache.line_bytes == 128 * 1024
+
+
+def test_cached_load_hits_l1(v100_l1):
+    mem = v100_l1.memory
+    first = mem.access(0, 4096, bypass_l1=False)
+    second = mem.access(0, 4096, bypass_l1=False)
+    assert first.served_by in ("l2", "dram")
+    assert second.served_by == "l1"
+    assert second.latency_cycles < 0.3 * first.latency_cycles
+
+
+def test_bypass_never_touches_l1(v100_l1):
+    mem = v100_l1.memory
+    for _ in range(5):
+        result = mem.access(0, 8192, bypass_l1=True)
+        assert result.served_by != "l1"
+    # the line was never installed in L1
+    assert not mem.l1.cache(0).probe(8192)
+
+
+def test_why_the_paper_bypasses_l1(v100_l1):
+    """Without -dlcm=cg, the 'L2 latency' benchmark measures the L1.
+
+    This is the methodological trap of Section II-C: after warm-up, a
+    cached load returns in ~l1_hit_cycles and carries no placement
+    information, while the bypassed load still shows the NoC's
+    non-uniformity.
+    """
+    gpu = v100_l1
+    address = gpu.memory.addresses_for_slice(17, 1)[0]
+    warp = Warp(0, gpu.memory, start_cycle=0.0)
+    warp.ld(address)          # warm: installs in L1 (and L2)
+    cached = warp.ld(address)
+    bypassed = warp.ldcg(address)
+    assert cached < 50                        # ~ L1 hit + overhead
+    assert bypassed > 150                     # full NoC round trip
+    # and the cached time is the same regardless of the target slice
+    other = gpu.memory.addresses_for_slice(30, 1)[0]
+    warp.ld(other)
+    cached_other = warp.ld(other)
+    assert abs(cached_other - cached) < 5
+
+
+def test_l1_capacity_thrash(v100_l1):
+    """Working set beyond L1 capacity falls back to the NoC."""
+    mem = v100_l1.memory
+    lines = v100_l1.spec.l1_capacity_bytes // 128
+    footprint = [i * 128 for i in range(2 * lines)]
+    for address in footprint:
+        mem.access(3, address, bypass_l1=False)
+    hits = sum(mem.access(3, a, bypass_l1=False).served_by == "l1"
+               for a in footprint)
+    assert hits < len(footprint) * 0.5

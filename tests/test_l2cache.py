@@ -1,0 +1,116 @@
+"""Sliced L2 cache: hits, misses, LRU, warm-up."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.l2cache import L2Slice, SlicedL2
+
+
+def test_cold_miss_then_hit():
+    s = L2Slice(capacity_bytes=16 * 128 * 4, line_bytes=128, ways=4)
+    assert not s.access(0)
+    assert s.access(0)
+    assert s.hits == 1 and s.misses == 1
+
+
+def test_same_line_different_offsets_hit():
+    s = L2Slice(16 * 128 * 4, 128, 4)
+    s.access(256)
+    assert s.access(256 + 127)
+
+
+def test_lru_eviction_order():
+    s = L2Slice(capacity_bytes=128 * 2, line_bytes=128, ways=2)  # 1 set
+    a, b, c = 0, 128 * 1, 128 * 2
+    s.access(a)
+    s.access(b)
+    s.access(a)          # a most recent
+    s.access(c)          # evicts b (LRU)
+    assert s.probe(a)
+    assert not s.probe(b)
+    assert s.probe(c)
+    assert s.evictions == 1
+
+
+def test_probe_does_not_touch_state():
+    s = L2Slice(128 * 2, 128, 2)
+    s.access(0)
+    hits, misses = s.hits, s.misses
+    s.probe(0)
+    s.probe(99999)
+    assert (s.hits, s.misses) == (hits, misses)
+
+
+def test_invalidate_clears():
+    s = L2Slice(128 * 16, 128, 4)
+    for i in range(8):
+        s.access(i * 128)
+    assert s.resident_lines == 8
+    s.invalidate()
+    assert s.resident_lines == 0
+    assert not s.access(0)
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        L2Slice(0, 128, 4)
+    with pytest.raises(ConfigurationError):
+        L2Slice(100, 128, 4)      # not divisible by way size
+
+
+def test_sliced_l2_independent_slices():
+    l2 = SlicedL2(num_slices=4, capacity_bytes=4 * 128 * 64)
+    l2.access(0, 0)
+    assert not l2.access(1, 0)    # same address, other slice: cold
+    assert l2.access(0, 0)
+
+
+def test_sliced_l2_warm():
+    l2 = SlicedL2(4, 4 * 128 * 64)
+    addresses = [i * 128 for i in range(16)]
+    l2.warm(2, addresses)
+    assert all(l2.slice(2).probe(a) for a in addresses)
+
+
+def test_sliced_l2_counters():
+    l2 = SlicedL2(2, 2 * 128 * 64)
+    l2.access(0, 0)
+    l2.access(0, 0)
+    l2.access(1, 128)
+    assert l2.total_misses == 2
+    assert l2.total_hits == 1
+
+
+def test_slice_bounds():
+    l2 = SlicedL2(2, 2 * 128 * 64)
+    with pytest.raises(ConfigurationError):
+        l2.access(2, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+def test_working_set_within_capacity_never_evicts(lines):
+    """Any reuse within a capacity-sized working set must hit."""
+    ways = 4
+    num_sets = 16
+    s = L2Slice(128 * ways * num_sets, 128, ways)
+    seen = set()
+    for line in lines:
+        # map lines so that no set exceeds its ways (line % sets spreads)
+        address = (line % (ways * num_sets)) * 128
+        hit = s.access(address)
+        expected = address in seen
+        assert hit == expected
+        seen.add(address)
+    assert s.evictions == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 10 ** 9), min_size=1, max_size=300))
+def test_hits_plus_misses_equals_accesses(addresses):
+    s = L2Slice(128 * 4 * 8, 128, 4)
+    for a in addresses:
+        s.access(a)
+    assert s.hits + s.misses == len(addresses)
+    assert s.resident_lines <= 4 * 8

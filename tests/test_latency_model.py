@@ -1,0 +1,136 @@
+"""Latency model: structure, determinism, paper-calibrated bands."""
+
+import numpy as np
+import pytest
+
+from repro.noc.latency import LatencyModel
+from repro.gpu.specs import A100, H100, V100
+
+
+@pytest.fixture(scope="module")
+def vm():
+    return LatencyModel(V100)
+
+
+@pytest.fixture(scope="module")
+def am():
+    return LatencyModel(A100)
+
+
+@pytest.fixture(scope="module")
+def hm():
+    return LatencyModel(H100)
+
+
+def test_breakdown_sums_to_total(vm):
+    b = vm.hit_breakdown(24, 7)
+    assert b.total == pytest.approx(vm.hit_latency(24, 7))
+    assert b.dram == 0
+    assert b.noc_request == b.noc_reply        # symmetric round trip
+
+
+def test_structural_latency_deterministic(vm):
+    assert vm.hit_latency(24, 7) == vm.hit_latency(24, 7)
+    fresh = LatencyModel(V100)
+    assert fresh.hit_latency(24, 7) == vm.hit_latency(24, 7)
+
+
+def test_seed_changes_route_offsets():
+    a = LatencyModel(V100, seed=0).hit_latency(24, 7)
+    b = LatencyModel(V100, seed=99).hit_latency(24, 7)
+    assert a != b
+
+
+def test_v100_paper_band(vm):
+    """Fig 1: mean ~212 cycles, min ~175, max ~248."""
+    lat = vm.latency_matrix()
+    assert 203 <= lat.mean() <= 220
+    assert 158 <= lat.min() <= 185
+    assert 240 <= lat.max() <= 268
+
+
+def test_v100_gpc_means_similar_sigmas_differ(vm):
+    """Observation 2 / Fig 2: GPC means within ~2%, sigma contrast."""
+    lat = vm.latency_matrix()
+    means, sigmas = [], []
+    for g in range(6):
+        sub = lat[vm.hier.sms_in_gpc(g)]
+        means.append(sub.mean())
+        sigmas.append(sub.std())
+    assert (max(means) - min(means)) / np.mean(means) < 0.02
+    assert max(sigmas) / min(sigmas) > 1.5
+    # central GPCs (2, 3) are the narrow ones
+    assert sigmas[2] < sigmas[0]
+    assert sigmas[3] < sigmas[5]
+
+
+def test_a100_near_far_split(am):
+    """Fig 8b: far-partition hits ~2x near (approx 212 vs 400 cycles)."""
+    sm = am.hier.sms_in_partition(0)[0]
+    near = [am.hit_latency(sm, s) for s in am.hier.slices_in_partition(0)]
+    far = [am.hit_latency(sm, s) for s in am.hier.slices_in_partition(1)]
+    assert 195 <= np.mean(near) <= 230
+    assert 360 <= np.mean(far) <= 430
+
+
+def test_h100_hit_latency_uniform_across_gpcs(hm):
+    """Fig 8c: partition-local caching uniformises hit latency."""
+    lat = hm.latency_matrix()
+    means = [lat[hm.hier.sms_in_gpc(g)].mean() for g in range(8)]
+    assert (max(means) - min(means)) / np.mean(means) < 0.15
+
+
+def test_miss_penalty_constant_v100_a100(vm, am):
+    """Fig 8(d,e): miss penalty roughly constant pre-H100."""
+    for model in (vm, am):
+        penalties = [model.miss_penalty(0, s)
+                     for s in range(model.spec.num_slices)]
+        assert max(penalties) - min(penalties) < 1.0
+
+
+def test_miss_penalty_varies_h100(hm):
+    """Fig 8f: H100 miss penalty depends on where the line is cached."""
+    penalties = [hm.miss_penalty(0, s) for s in range(hm.spec.num_slices)]
+    assert max(penalties) - min(penalties) > 100
+
+
+def test_miss_latency_exceeds_hit(vm):
+    assert vm.miss_latency(0, 0) > vm.hit_latency(0, 0)
+
+
+def test_dsmem_only_on_h100(vm, hm):
+    with pytest.raises(NotImplementedError):
+        vm.sm_to_sm_latency(0, 1)
+    assert hm.sm_to_sm_latency(0, 1) > 0
+
+
+def test_dsmem_cpc_distance_ordering(hm):
+    """Fig 7b: within-CPC0 fastest, within-CPC2 slowest."""
+    cpc0 = hm.hier.sms_in_cpc(0, 0)
+    cpc2 = hm.hier.sms_in_cpc(0, 2)
+    near = np.mean([hm.sm_to_sm_latency(a, b)
+                    for a in cpc0 for b in cpc0 if a != b])
+    far = np.mean([hm.sm_to_sm_latency(a, b)
+                   for a in cpc2 for b in cpc2 if a != b])
+    assert 190 <= near <= 205
+    assert far > near
+    assert far <= 225
+
+
+def test_sample_jitter_rounds_to_cycles(vm):
+    samples = vm.sample(0, 0, n=32)
+    assert np.array_equal(samples, np.rint(samples))
+    assert samples.std() > 0 or vm.spec.measurement_jitter_cycles == 0
+
+
+def test_sample_trials_independent_but_deterministic(vm):
+    a = vm.sample(0, 0, n=8, trial=0)
+    b = vm.sample(0, 0, n=8, trial=1)
+    assert not np.array_equal(a, b)
+    assert np.array_equal(a, vm.sample(0, 0, n=8, trial=0))
+
+
+def test_latency_matrix_subset(vm):
+    sub = vm.latency_matrix(sms=[0, 1], slices=[3, 4, 5])
+    assert sub.shape == (2, 3)
+    assert sub[0, 0] == vm.hit_latency(0, 3)

@@ -1,0 +1,48 @@
+"""Mesh load-latency curves."""
+
+import pytest
+
+from repro.errors import MeshConfigError
+from repro.noc.mesh.loadcurve import (LoadPoint, measure_load_point,
+                                      sweep_load)
+
+
+def test_low_load_unsaturated():
+    point = measure_load_point(0.02, cycles=4000, warmup=1000)
+    assert not point.saturated
+    assert point.accepted_rate == pytest.approx(0.02, rel=0.25)
+    assert point.avg_latency < 100
+
+
+def test_overload_saturates():
+    """Offered load beyond ejection capacity (6 MCs / 30 nodes = 0.2)."""
+    point = measure_load_point(0.5, cycles=4000, warmup=1000)
+    assert point.saturated
+    assert point.accepted_rate < 0.25
+
+
+def test_latency_rises_with_load():
+    low = measure_load_point(0.02, cycles=4000, warmup=1000)
+    high = measure_load_point(0.18, cycles=4000, warmup=1000)
+    assert high.avg_latency > low.avg_latency
+
+
+def test_sweep_finds_saturation_rate():
+    curve = sweep_load([0.05, 0.15, 0.4], cycles=4000, warmup=1000)
+    assert curve.saturation_rate() <= 0.4
+    accepted = [p.accepted_rate for p in curve.points]
+    assert accepted == sorted(accepted)       # accepted is monotone
+
+
+def test_sweep_validation():
+    with pytest.raises(MeshConfigError):
+        sweep_load([])
+    with pytest.raises(MeshConfigError):
+        measure_load_point(0.0)
+    with pytest.raises(MeshConfigError):
+        measure_load_point(0.1, cycles=100, warmup=100)
+
+
+def test_load_point_saturated_predicate():
+    assert not LoadPoint(0.1, 0.099, 40.0).saturated
+    assert LoadPoint(0.4, 0.2, 400.0).saturated

@@ -1,0 +1,42 @@
+"""Latency under load: queueing inflation from background traffic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.loaded_latency import interference_matrix, loaded_latency
+
+
+def test_light_background_no_inflation(v100):
+    result = loaded_latency(v100, sm=0, slice_id=0, background={40: [20]})
+    assert result.inflation == pytest.approx(1.0, abs=0.05)
+    assert result.unloaded_cycles == v100.latency.hit_latency(0, 0)
+
+
+def test_same_gpc_streaming_inflates(v100):
+    """Thirteen same-GPC aggressors saturating the GPC port hurt the
+    victim's latency; a far-away GPC's traffic does not."""
+    victim = 0
+    same_gpc = [sm for sm in v100.hier.sms_in_gpc(0) if sm != victim]
+    other_gpc = v100.hier.sms_in_gpc(5)
+    near = loaded_latency(v100, victim, 0,
+                          {a: v100.hier.all_slices for a in same_gpc})
+    far = loaded_latency(v100, victim, 0,
+                         {a: v100.hier.all_slices for a in other_gpc})
+    assert near.inflation > 1.3
+    assert far.inflation < near.inflation
+    assert far.inflation < 1.1
+
+
+def test_interference_monotone(v100):
+    aggressors = v100.hier.sms_in_gpc(0)[1:9]
+    curve = interference_matrix(v100, victim_sm=0, aggressor_sms=aggressors)
+    values = [curve[n] for n in sorted(curve)]
+    assert all(b >= a - 1e-6 for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0]
+
+
+def test_validation(v100):
+    with pytest.raises(ConfigurationError):
+        loaded_latency(v100, 0, 0, background={})
+    with pytest.raises(ConfigurationError):
+        interference_matrix(v100, 0, [0, 1])

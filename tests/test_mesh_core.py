@@ -1,0 +1,169 @@
+"""Mesh simulator core: flits, routing, arbiters, router mechanics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeshConfigError
+from repro.noc.mesh.arbiter import AgeArbiter, RoundRobinArbiter, make_arbiter
+from repro.noc.mesh.flit import Packet, PacketKind
+from repro.noc.mesh.router import Router
+from repro.noc.mesh.routing import Port, neighbor, node_xy, xy_route
+
+
+# ---- packets/flits -----------------------------------------------------------
+
+def test_packet_flit_train():
+    p = Packet(src=0, dst=5, size=3)
+    flits = p.flits()
+    assert len(flits) == 3
+    assert flits[0].is_head and not flits[0].is_tail
+    assert flits[-1].is_tail and not flits[-1].is_head
+
+
+def test_single_flit_packet_is_head_and_tail():
+    f = Packet(src=0, dst=1, size=1).flits()[0]
+    assert f.is_head and f.is_tail
+
+
+def test_packet_latency_requires_delivery():
+    p = Packet(src=0, dst=1, size=1, birth_cycle=10)
+    with pytest.raises(MeshConfigError):
+        _ = p.latency
+    p.delivered_cycle = 25
+    assert p.latency == 15
+
+
+def test_packet_validation():
+    with pytest.raises(MeshConfigError):
+        Packet(src=0, dst=1, size=0)
+    with pytest.raises(MeshConfigError):
+        Packet(src=-1, dst=1, size=1)
+
+
+def test_packet_ids_unique():
+    ids = {Packet(src=0, dst=1, size=1).pid for _ in range(100)}
+    assert len(ids) == 100
+
+
+# ---- routing -----------------------------------------------------------------
+
+def test_xy_route_resolves_x_first():
+    # node 0 -> node 8 on a 6-wide mesh: dst (2, 1): go EAST first
+    assert xy_route(0, 8, width=6) is Port.EAST
+    # same column: go SOUTH
+    assert xy_route(2, 8, width=6) is Port.SOUTH
+    assert xy_route(8, 8, width=6) is Port.LOCAL
+
+
+def test_xy_route_west_north():
+    assert xy_route(8, 7, width=6) is Port.WEST
+    assert xy_route(8, 2, width=6) is Port.NORTH
+
+
+def test_node_xy():
+    assert node_xy(8, 6) == (2, 1)
+    with pytest.raises(MeshConfigError):
+        node_xy(-1, 6)
+
+
+def test_neighbor_edges():
+    assert neighbor(0, Port.EAST, 6, 6) == 1
+    assert neighbor(7, Port.NORTH, 6, 6) == 1
+    with pytest.raises(MeshConfigError):
+        neighbor(0, Port.WEST, 6, 6)
+    with pytest.raises(MeshConfigError):
+        neighbor(0, Port.NORTH, 6, 6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(src=st.integers(0, 35), dst=st.integers(0, 35))
+def test_xy_route_always_makes_progress(src, dst):
+    """Following XY hops always reaches the destination (no livelock)."""
+    node = src
+    for _ in range(12):     # max Manhattan distance on 6x6 is 10
+        port = xy_route(node, dst, width=6)
+        if port is Port.LOCAL:
+            break
+        node = neighbor(node, port, 6, 6)
+    assert node == dst
+
+
+# ---- arbiters -----------------------------------------------------------------
+
+def _flit(birth, pid_src=0):
+    p = Packet(src=pid_src, dst=1, size=1)
+    p.birth_cycle = birth
+    return p.flits()[0]
+
+
+def test_round_robin_rotates():
+    arb = RoundRobinArbiter(4)
+    candidates = {0: _flit(0), 2: _flit(0)}
+    grants = [arb.grant(candidates) for _ in range(4)]
+    assert grants == [0, 2, 0, 2]
+
+
+def test_round_robin_validation():
+    with pytest.raises(MeshConfigError):
+        RoundRobinArbiter(0)
+    with pytest.raises(MeshConfigError):
+        RoundRobinArbiter(2).grant({})
+
+
+def test_age_arbiter_prefers_oldest():
+    arb = AgeArbiter(4)
+    assert arb.grant({0: _flit(50), 3: _flit(10)}) == 3
+
+
+def test_age_arbiter_tie_break_deterministic():
+    arb = AgeArbiter(4)
+    a, b = _flit(5), _flit(5)
+    winner = arb.grant({0: a, 1: b})
+    expected = 0 if a.packet.pid < b.packet.pid else 1
+    assert winner == expected
+
+
+def test_make_arbiter():
+    assert isinstance(make_arbiter("rr", 5), RoundRobinArbiter)
+    assert isinstance(make_arbiter("age", 5), AgeArbiter)
+    with pytest.raises(MeshConfigError):
+        make_arbiter("lottery", 5)
+
+
+# ---- router -------------------------------------------------------------------
+
+def test_router_accept_and_space():
+    r = Router(0, buffer_flits=2)
+    f = _flit(0)
+    r.accept(Port.LOCAL, f)
+    assert r.space(Port.LOCAL) == 1
+    r.accept(Port.LOCAL, _flit(0))
+    with pytest.raises(MeshConfigError):
+        r.accept(Port.LOCAL, _flit(0))
+
+
+def test_router_wormhole_lock():
+    r = Router(0, buffer_flits=8)
+    p = Packet(src=0, dst=1, size=3)
+    for f in p.flits():
+        r.accept(Port.WEST, f)
+    route = lambda flit: Port.EAST
+    # head wins and locks the output
+    cands = r.candidates_for(Port.EAST, route)
+    assert list(cands) == [int(Port.WEST)]
+    r.pop(Port.WEST, Port.EAST)
+    assert r.out_lock[Port.EAST] is p
+    # a competing head is not eligible while locked
+    other = Packet(src=2, dst=1, size=1)
+    r.accept(Port.NORTH, other.flits()[0])
+    cands = r.candidates_for(Port.EAST, route)
+    assert list(cands) == [int(Port.WEST)]
+    # drain body + tail releases the lock
+    r.pop(Port.WEST, Port.EAST)
+    r.pop(Port.WEST, Port.EAST)
+    assert r.out_lock[Port.EAST] is None
+
+
+def test_router_pop_empty_raises():
+    with pytest.raises(MeshConfigError):
+        Router(0).pop(Port.LOCAL, Port.EAST)

@@ -1,0 +1,151 @@
+"""Mesh network: delivery, conservation, backpressure, experiments."""
+
+import pytest
+
+from repro.errors import MeshConfigError
+from repro.noc.mesh.flit import Packet
+from repro.noc.mesh.network import Mesh2D
+from repro.noc.mesh.interfaces import MemoryNode, run_reply_bottleneck
+from repro.noc.mesh.traffic import (ManyToFewTraffic, default_mc_nodes,
+                                    run_fairness_experiment)
+
+
+def test_single_packet_delivered():
+    mesh = Mesh2D(4, 4)
+    p = Packet(src=0, dst=15, size=3)
+    mesh.inject(p)
+    mesh.run(40)
+    assert p.delivered_cycle is not None
+    assert p.latency >= 6        # at least hop count x pipeline
+
+
+def test_latency_grows_with_distance():
+    mesh = Mesh2D(6, 6)
+    near = Packet(src=0, dst=1, size=1)
+    far = Packet(src=0, dst=35, size=1)
+    mesh.inject(near)
+    mesh.inject(far)
+    mesh.run(80)
+    assert far.latency > near.latency
+
+
+def test_flit_conservation():
+    """Injected flits = delivered flits + in-flight + source backlog."""
+    mesh = Mesh2D(4, 4)
+    total_flits = 0
+    for i in range(20):
+        p = Packet(src=i % 16, dst=(i * 7) % 16, size=2)
+        if p.src == p.dst:
+            continue
+        mesh.inject(p)
+        total_flits += p.size
+    for _ in range(10):
+        mesh.step()
+        in_system = (mesh.flits_delivered + mesh.in_flight_flits()
+                     + sum(mesh.source_backlog(n) for n in range(16)))
+        assert in_system == total_flits
+    mesh.run(200)
+    assert mesh.flits_delivered == total_flits
+    # per-packet conservation: every delivered packet ejected whole
+    assert sum(p.size for p in mesh.delivered) == mesh.flits_delivered
+
+
+def test_multi_flit_packets_arrive_whole():
+    mesh = Mesh2D(4, 4)
+    packets = [Packet(src=0, dst=15, size=5) for _ in range(4)]
+    for p in packets:
+        mesh.inject(p)
+    mesh.run(300)
+    assert all(p.delivered_cycle is not None for p in packets)
+
+
+def test_per_flow_in_order_delivery():
+    """Same src->dst packets deliver in injection order (wormhole+FIFO)."""
+    mesh = Mesh2D(4, 4)
+    packets = []
+    for i in range(10):
+        p = Packet(src=1, dst=14, size=2)
+        mesh.inject(p)
+        packets.append(p)
+    mesh.run(400)
+    times = [p.delivered_cycle for p in packets]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+
+
+def test_inject_validation():
+    mesh = Mesh2D(2, 2)
+    with pytest.raises(MeshConfigError):
+        mesh.inject(Packet(src=0, dst=4, size=1))
+    with pytest.raises(MeshConfigError):
+        mesh.run(-1)
+    with pytest.raises(MeshConfigError):
+        Mesh2D(0, 3)
+
+
+def test_sink_callback():
+    mesh = Mesh2D(3, 3)
+    seen = []
+    mesh.add_sink(8, lambda pkt, cycle: seen.append((pkt.pid, cycle)))
+    p = Packet(src=0, dst=8, size=1)
+    mesh.inject(p)
+    mesh.run(40)
+    assert seen and seen[0][0] == p.pid
+
+
+def test_mc_placement_on_edges():
+    for n in default_mc_nodes(6, 6):
+        assert n < 6 or n >= 30
+
+
+def test_traffic_validation():
+    mesh = Mesh2D(6, 6)
+    with pytest.raises(MeshConfigError):
+        ManyToFewTraffic(mesh, [])
+    with pytest.raises(MeshConfigError):
+        ManyToFewTraffic(mesh, [99])
+    with pytest.raises(MeshConfigError):
+        ManyToFewTraffic(mesh, [0], injection_rate=2.0)
+
+
+def test_fairness_rr_vs_age_small():
+    """Round-robin is measurably less fair than age-based (Fig 23)."""
+    rr = run_fairness_experiment("rr", cycles=6000, warmup=1500)
+    age = run_fairness_experiment("age", cycles=6000, warmup=1500)
+    cv = lambda r: r.values.std() / r.values.mean()
+    assert cv(rr) > cv(age)
+    assert rr.unfairness > age.unfairness
+    # totals are comparable: fairness does not cost throughput here
+    assert age.total_throughput > 0.8 * rr.total_throughput
+
+
+def test_fairness_validation():
+    with pytest.raises(MeshConfigError):
+        run_fairness_experiment(cycles=100, warmup=100)
+
+
+def test_memory_node_backpressure():
+    """A full reply interface stalls the memory channel."""
+    req = Mesh2D(3, 3)
+    rep = Mesh2D(3, 3)
+    mc = MemoryNode(req, rep, node=4, reply_flits=5, reply_queue_limit=1)
+    # deliver many requests instantly via the sink path
+    for i in range(10):
+        mc._on_delivery(Packet(src=0, dst=4, size=1), i)
+    worked = [mc.tick() for _ in range(4)]
+    # first tick services; then the reply queue limit blocks
+    assert worked[0] is True
+    assert worked[1] is False
+    assert mc.serviced == 1
+
+
+def test_reply_bottleneck_utilisation_band():
+    """Fig 21: ~1/reply_flits mean utilisation with bursts above it."""
+    result = run_reply_bottleneck(cycles=4000, window=50, reply_flits=5)
+    assert 0.12 <= result.mean_utilization <= 0.3
+    assert result.peak_utilization > result.mean_utilization * 1.3
+
+
+def test_reply_bottleneck_validation():
+    with pytest.raises(MeshConfigError):
+        run_reply_bottleneck(cycles=10, window=100)

@@ -1,0 +1,82 @@
+"""End-to-end: the paper's twelve observations hold on the devices.
+
+This is the integration test of the whole stack — latency model,
+bandwidth solver, workloads and analyses together.  Individual
+observations are split out so a failure names the observation.
+"""
+
+import pytest
+
+from repro.analysis.stats import pearson_matrix
+from repro.core import observations as obs
+
+
+@pytest.fixture(scope="module")
+def v100_corr(v100_latency_matrix):
+    return pearson_matrix(v100_latency_matrix)
+
+
+def test_obs1_nonuniform(v100, v100_latency_matrix):
+    assert obs.observation_1(v100, v100_latency_matrix).holds
+
+
+def test_obs2_gpc_means_vs_sigma(v100, v100_latency_matrix):
+    assert obs.observation_2(v100, v100_latency_matrix).holds
+
+
+def test_obs3_placement(v100, v100_latency_matrix):
+    result = obs.observation_3(v100, v100_latency_matrix)
+    assert result.holds
+    assert result.evidence["pearson_distance_vs_latency"] > 0.9
+
+
+def test_obs4_correlation_placement(v100, v100_corr):
+    assert obs.observation_4(v100, v100_corr).holds
+
+
+def test_obs5_partitions_and_cpc(a100, h100, a100_latency_matrix,
+                                 h100_latency_matrix):
+    result = obs.observation_5(a100, h100, a100_latency_matrix,
+                               h100_latency_matrix)
+    assert result.holds
+    assert result.evidence["h100_cpcs_detected"] == 3
+
+
+def test_obs6_h100_l2_policy(h100, h100_latency_matrix):
+    assert obs.observation_6(h100, h100_latency_matrix).holds
+
+
+def test_obs8_uniform_bandwidth(v100):
+    assert obs.observation_8(v100).holds
+
+
+def test_obs9_input_speedup(v100):
+    assert obs.observation_9(v100).holds
+
+
+def test_obs10_bimodal_bandwidth(v100, a100):
+    assert obs.observation_10(v100, a100).holds
+
+
+def test_obs11_sm_balancing(v100):
+    result = obs.observation_11(v100)
+    assert result.holds
+    assert result.evidence["degradation"] > 0.3
+
+
+def test_obs12_hashed_traffic(v100):
+    assert obs.observation_12(v100).holds
+
+
+def test_obs7_l2_exceeds_memory(v100, a100, h100):
+    from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
+                                            aggregate_memory_bandwidth)
+    aggregates = {}
+    for gpu in (v100, a100, h100):
+        aggregates[gpu.name] = {"l2": aggregate_l2_bandwidth(gpu),
+                                "mem": aggregate_memory_bandwidth(gpu)}
+    result = obs.observation_7({g.name: g for g in (v100, a100, h100)},
+                               aggregates)
+    assert result.holds
+    ratios = result.evidence["l2_over_mem"]
+    assert all(2.0 <= r <= 4.0 for r in ratios.values())

@@ -1,0 +1,52 @@
+"""Warp-level occupancy / MLP model."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.occupancy import (occupancy_sweep, warps_to_saturate)
+
+
+@pytest.fixture(scope="module")
+def v100_occ():
+    return SimulatedGPU("V100", seed=31)
+
+
+def test_bandwidth_scales_with_warps(v100_occ):
+    points = occupancy_sweep(v100_occ, sm=0, slice_id=0,
+                             warp_counts=(1, 2, 4))
+    raw = [p.unclipped_gbps for p in points]
+    # near-linear MLP scaling while latency-bound
+    assert raw[1] == pytest.approx(2 * raw[0], rel=0.1)
+    assert raw[2] == pytest.approx(4 * raw[0], rel=0.15)
+
+
+def test_hard_limit_clips(v100_occ):
+    points = occupancy_sweep(v100_occ, sm=0, slice_id=0,
+                             warp_counts=(1, 64))
+    low, high = points
+    assert low.regime == "latency-bound"
+    assert high.regime != "latency-bound"
+    assert high.achieved_gbps <= v100_occ.spec.flow_cap_gbps + 1e-9
+
+
+def test_achieved_monotone(v100_occ):
+    points = occupancy_sweep(v100_occ, sm=0, slice_id=0,
+                             warp_counts=(1, 2, 8, 32))
+    achieved = [p.achieved_gbps for p in points]
+    assert achieved == sorted(achieved)
+
+
+def test_warps_to_saturate_consistent(v100_occ):
+    warps = warps_to_saturate(v100_occ, sm=0, slice_id=0)
+    assert warps >= 2
+    points = occupancy_sweep(v100_occ, sm=0, slice_id=0,
+                             warp_counts=(warps + 2,))
+    assert points[0].regime != "latency-bound"
+
+
+def test_validation(v100_occ):
+    with pytest.raises(LaunchError):
+        occupancy_sweep(v100_occ, 0, 0, loads_per_warp=0)
+    with pytest.raises(LaunchError):
+        occupancy_sweep(v100_occ, 0, 0, warp_counts=(0,))

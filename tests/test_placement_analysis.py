@@ -1,0 +1,149 @@
+"""Placement reverse-engineering: correlation, clustering, CPC, partitions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import pearson_matrix
+from repro.core.correlation import correlation_heatmap, gpc_block_summary
+from repro.core.cpc_detect import detect_cpcs
+from repro.core.partitions import (classify_partition_by_bandwidth,
+                                   classify_partition_by_latency)
+from repro.core.placement import (cluster_sms_by_correlation,
+                                  grouping_accuracy,
+                                  infer_slice_order_consistency,
+                                  sorted_slice_order)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def v100_corr(v100, v100_latency_matrix):
+    return pearson_matrix(v100_latency_matrix)
+
+
+def test_same_gpc_high_correlation(v100, v100_corr):
+    """Observation 4 / Fig 6a block structure."""
+    blocks = gpc_block_summary(v100, v100_corr)
+    for g in range(6):
+        # central GPCs (2, 3) have flat profiles, hence slightly weaker
+        # same-GPC correlation — still clearly above cross-GPC levels
+        assert blocks[(g, g)] > 0.7
+    # neighbouring column pairs correlate strongly
+    assert blocks[(0, 1)] > 0.6
+    assert blocks[(4, 5)] > 0.6
+    # opposite die edges anti-correlate
+    assert blocks[(0, 5)] < -0.3
+    assert blocks[(1, 4)] < -0.3
+
+
+def test_nearest_neighbour_recovers_gpc(v100, v100_corr):
+    c = v100_corr.copy()
+    np.fill_diagonal(c, -2)
+    nn = c.argmax(axis=1)
+    gpcs = np.array([v100.hier.sm_info(i).gpc for i in range(v100.num_sms)])
+    assert (gpcs[nn] == gpcs).all()
+
+
+def test_cluster_sms_never_splits_edge_tpcs(v100, v100_corr):
+    """Edge-GPC TPCs (sharp profiles) always cluster together; central
+    GPCs' flat profiles may fragment (the paper's GPC2/3 are the odd
+    ones out too)."""
+    clusters = cluster_sms_by_correlation(v100_corr, threshold=0.85)
+    cluster_of = {}
+    for ci, cluster in enumerate(clusters):
+        for sm in cluster:
+            cluster_of[sm] = ci
+    for gpc in (0, 1, 4, 5):
+        for sm in v100.hier.sms_in_gpc(gpc):
+            info = v100.hier.sm_info(sm)
+            partner = v100.hier.sm_id(info.gpc, info.tpc_in_gpc,
+                                      1 - info.sm_in_tpc)
+            assert cluster_of[sm] == cluster_of[partner]
+
+
+def test_cluster_validation():
+    with pytest.raises(ReproError):
+        cluster_sms_by_correlation(np.zeros((2, 3)))
+
+
+def test_grouping_accuracy_perfect_and_none():
+    assert grouping_accuracy([[0, 1], [2, 3]], [[0, 1], [2, 3]]) == 1.0
+    assert grouping_accuracy([[0, 2], [1, 3]], [[0, 1], [2, 3]]) \
+        == pytest.approx(1 / 3)
+    with pytest.raises(ReproError):
+        grouping_accuracy([[0, 0]], [[0]])
+    with pytest.raises(ReproError):
+        grouping_accuracy([[0]], [[1]])
+
+
+def test_sorted_slice_order_identical_within_gpc(v100, v100_latency_matrix):
+    """Fig 3: the per-MP latency-sorted slice order is the same for all
+    SMs of a GPC."""
+    for gpc in (0, 4):
+        sms = v100.hier.sms_in_gpc(gpc)
+        for mp in range(4):
+            rate = infer_slice_order_consistency(
+                v100_latency_matrix, v100.hier.slices_in_mp(mp), sms)
+            assert rate > 0.7
+    orders = sorted_slice_order(v100_latency_matrix[v100.hier.sms_in_gpc(0)],
+                                v100.hier.slices_in_mp(0))
+    assert all(len(o) == 8 for o in orders)
+
+
+def test_sorted_slice_order_validation(v100_latency_matrix):
+    with pytest.raises(ReproError):
+        sorted_slice_order(v100_latency_matrix, [])
+    with pytest.raises(ReproError):
+        infer_slice_order_consistency(v100_latency_matrix, [0, 1], [0])
+
+
+def test_cpc_detection_h100(h100, h100_latency_matrix):
+    """Fig 6c: H100 GPCs decompose into 3 CPCs of 6 SMs."""
+    for gpc in (0, 5):
+        groups = detect_cpcs(h100, h100_latency_matrix, gpc=gpc)
+        assert len(groups) == 3
+        truth = [h100.hier.sms_in_cpc(gpc, c) for c in range(3)]
+        assert grouping_accuracy(groups, truth) == 1.0
+
+
+def test_cpc_detection_fails_on_v100(v100, v100_latency_matrix):
+    """V100 has no CPC level; detection reports no clean sub-structure."""
+    groups = detect_cpcs(v100, v100_latency_matrix, gpc=0, threshold=0.999)
+    assert len(groups) != 3 or grouping_accuracy(
+        groups, [v100.hier.sms_in_gpc(0)[i::3] for i in range(3)]) < 1.0
+
+
+def test_partition_by_latency_a100(a100, a100_latency_matrix):
+    sm = a100.hier.sms_in_partition(0)[0]
+    split = classify_partition_by_latency(a100_latency_matrix[sm])
+    assert split["split"]
+    assert sorted(split["near"]) == a100.hier.slices_in_partition(0)
+    assert sorted(split["far"]) == a100.hier.slices_in_partition(1)
+
+
+def test_partition_by_latency_v100_no_split(v100, v100_latency_matrix):
+    split = classify_partition_by_latency(v100_latency_matrix[0])
+    assert not split["split"]
+
+
+def test_partition_by_latency_h100_hits_hidden(h100, h100_latency_matrix):
+    """H100's local caching hides the partition from hit latency."""
+    split = classify_partition_by_latency(h100_latency_matrix[0])
+    assert not split["split"]
+
+
+def test_partition_by_bandwidth_a100(a100):
+    split = classify_partition_by_bandwidth(a100, slice_id=0)
+    assert split["split"]
+    assert set(split["near"]) == set(a100.hier.sms_in_partition(0))
+
+
+def test_partition_validation():
+    with pytest.raises(ReproError):
+        classify_partition_by_latency(np.array([212.0]))
+
+
+def test_correlation_heatmap_shapes(v100, v100_latency_matrix):
+    corr = correlation_heatmap(v100, latencies=v100_latency_matrix)
+    assert corr.shape == (84, 84)
+    with pytest.raises(ReproError):
+        correlation_heatmap(v100, latencies=v100_latency_matrix[:10])

@@ -1,0 +1,98 @@
+"""Profiler facade: per-slice counters (V100) vs aggregate-only (A100+)."""
+
+import pytest
+
+from repro.errors import ProfilerError
+from repro.gpu.device import SimulatedGPU
+from repro.profiling import Profiler, ProfilerMode, SliceCounters
+from repro.profiling.discovery import discover_slice_addresses, probe_contention
+
+
+@pytest.fixture
+def v100_fresh():
+    return SimulatedGPU("V100", seed=5)
+
+
+def test_mode_defaults_by_generation(v100_fresh):
+    assert Profiler(v100_fresh).mode is ProfilerMode.PER_SLICE
+    assert Profiler(SimulatedGPU("A100")).mode is ProfilerMode.AGGREGATE
+    assert Profiler(SimulatedGPU("H100")).mode is ProfilerMode.AGGREGATE
+
+
+def test_per_slice_counters_v100(v100_fresh):
+    prof = Profiler(v100_fresh)
+    addr = v100_fresh.memory.addresses_for_slice(9, 1)[0]
+    prof.start()
+    v100_fresh.memory.access(0, addr)
+    counters = prof.stop_per_slice()
+    assert counters.counts[9] == 1
+    assert counters.total == 1
+
+
+def test_aggregate_only_on_a100():
+    a100 = SimulatedGPU("A100", seed=5)
+    prof = Profiler(a100)
+    prof.start()
+    a100.memory.access(0, 0)
+    with pytest.raises(ProfilerError):
+        prof.stop_per_slice()
+    assert prof.stop_aggregate() == 1
+
+
+def test_profiler_requires_start(v100_fresh):
+    with pytest.raises(ProfilerError):
+        Profiler(v100_fresh).stop_aggregate()
+
+
+def test_slice_of_address_matches_hasher(v100_fresh):
+    prof = Profiler(v100_fresh)
+    for addr in (0, 128 * 57, 128 * 999):
+        expected = v100_fresh.memory.home_slice(addr)
+        assert prof.slice_of_address(addr) == expected
+
+
+def test_counters_delta_validation():
+    a = SliceCounters((1, 2, 3))
+    b = SliceCounters((2, 2, 4))
+    assert b.delta(a).counts == (1, 0, 1)
+    with pytest.raises(ValueError):
+        b.delta(SliceCounters((0, 0)))
+
+
+def test_hottest_slice():
+    assert SliceCounters((0, 9, 3)).hottest_slice() == 1
+
+
+# ---- contention-based discovery (A100/H100 methodology) ---------------------
+
+def test_probe_contention_same_slice_drops():
+    a100 = SimulatedGPU("A100", seed=5)
+    addr = a100.memory.addresses_for_slice(0, 2)
+    drop = probe_contention(a100, addr[0], addr[1],
+                            hammer_sms=range(8), probe_sms=range(8, 16))
+    assert drop > 0.15
+
+
+def test_probe_contention_different_slice_minimal():
+    a100 = SimulatedGPU("A100", seed=5)
+    a = a100.memory.addresses_for_slice(0, 1)[0]
+    b = a100.memory.addresses_for_slice(5, 1)[0]
+    drop = probe_contention(a100, a, b,
+                            hammer_sms=range(8), probe_sms=range(8, 16))
+    assert abs(drop) < 0.1
+
+
+def test_discover_slice_addresses():
+    a100 = SimulatedGPU("A100", seed=5)
+    same = a100.memory.addresses_for_slice(3, 2)
+    other = a100.memory.addresses_for_slice(11, 1)
+    found = discover_slice_addresses(a100, same[0], [same[1], other[0]])
+    assert found == [same[1]]
+
+
+def test_discovery_validates_sm_budget():
+    a100 = SimulatedGPU("A100", seed=5)
+    with pytest.raises(ProfilerError):
+        discover_slice_addresses(a100, 0, [128], sms_per_kernel=0)
+    with pytest.raises(ProfilerError):
+        discover_slice_addresses(a100, 0, [128], sms_per_kernel=65)

@@ -1,0 +1,88 @@
+"""RSA square-and-multiply: correctness and timing-oracle structure."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.scheduler import PinnedScheduler, StaticScheduler
+from repro.sidechannel.rsa import (RSATimingOracle, modexp_square_multiply,
+                                   random_exponent)
+
+
+def test_modexp_matches_pow():
+    assert modexp_square_multiply(7, 65537, 991)[0] == pow(7, 65537, 991)
+
+
+@settings(max_examples=60, deadline=None)
+@given(base=st.integers(0, 10 ** 6), exp=st.integers(0, 10 ** 5),
+       mod=st.integers(2, 10 ** 6))
+def test_modexp_property(base, exp, mod):
+    result, trace = modexp_square_multiply(base, exp, mod)
+    assert result == pow(base, exp, mod)
+    # trace structure: one square+reduce per bit, plus multiply+reduce
+    # per 1-bit
+    bits = len(bin(exp)[2:]) if exp else 1
+    ones = bin(exp).count("1") if exp else 0
+    assert trace.count("square") == bits
+    assert trace.count("multiply") == ones
+    assert trace.count("reduce") == bits + ones
+
+
+def test_modexp_validation():
+    with pytest.raises(AttackError):
+        modexp_square_multiply(2, 3, 0)
+    with pytest.raises(AttackError):
+        modexp_square_multiply(2, -1, 5)
+
+
+def test_random_exponent_weight():
+    for ones in (1, 5, 32):
+        e = random_exponent(64, ones, seed=2)
+        assert bin(e).count("1") == ones
+        assert e >> 63 == 1          # MSB set: fixed bit-length
+
+
+def test_random_exponent_deterministic():
+    assert random_exponent(64, 9, seed=4) == random_exponent(64, 9, seed=4)
+    assert random_exponent(64, 9, seed=4) != random_exponent(64, 9, seed=5)
+
+
+def test_random_exponent_validation():
+    with pytest.raises(AttackError):
+        random_exponent(0, 1)
+    with pytest.raises(AttackError):
+        random_exponent(8, 9)
+
+
+def test_oracle_decrypt_correct(tiny):
+    oracle = RSATimingOracle(tiny, modulus=9973)
+    result, cycles, sms = oracle.decrypt_timed(
+        1023, StaticScheduler(tiny.num_sms))
+    assert result == pow(oracle.base, 1023, 9973)
+    assert cycles > 0
+    assert len(sms) == 2
+
+
+def test_time_increases_with_ones(tiny):
+    """More 1-bits -> more multiplies -> more time (the leak)."""
+    oracle = RSATimingOracle(tiny, modulus=(1 << 61) - 1)
+    sched = PinnedScheduler([0, 1])
+    light = random_exponent(64, 4, seed=1)
+    heavy = random_exponent(64, 56, seed=1)
+    _, t_light, _ = oracle.decrypt_timed(light, sched)
+    _, t_heavy, _ = oracle.decrypt_timed(heavy, sched)
+    assert t_heavy > t_light
+
+
+def test_timing_curve_shapes(tiny):
+    oracle = RSATimingOracle(tiny, modulus=(1 << 61) - 1)
+    ones, times = oracle.timing_curve(PinnedScheduler([0, 1]), bits=64,
+                                      ones_values=[8, 32, 56],
+                                      samples_per_point=2)
+    assert ones.shape == times.shape == (6,)
+
+
+def test_oracle_validation(tiny):
+    with pytest.raises(AttackError):
+        RSATimingOracle(tiny, modulus=1)

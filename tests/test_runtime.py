@@ -1,0 +1,239 @@
+"""Runtime: kernels, warps, schedulers, launches, clock semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LaunchError
+from repro.runtime.device_api import (ISSUE_SLOT_CYCLES,
+                                      MEM_ISSUE_OVERHEAD_CYCLES, Warp)
+from repro.runtime.kernel import KernelSpec
+from repro.runtime.launcher import launch
+from repro.runtime.scheduler import (PinnedScheduler, RandomScheduler,
+                                     StaticScheduler)
+
+
+# ---- KernelSpec --------------------------------------------------------------
+
+def test_kernel_spec_warps():
+    assert KernelSpec(2, 32).warps_per_block == 1
+    assert KernelSpec(2, 33).warps_per_block == 2
+    assert KernelSpec(4, 64).total_threads == 256
+
+
+def test_kernel_spec_validation():
+    with pytest.raises(LaunchError):
+        KernelSpec(0, 32)
+    with pytest.raises(LaunchError):
+        KernelSpec(1, 0)
+
+
+# ---- schedulers ------------------------------------------------------------
+
+def test_static_scheduler_round_robin():
+    s = StaticScheduler(4, start=2)
+    assert s.assign(6) == [2, 3, 0, 1, 2, 3]
+    # static: identical across launches
+    assert s.assign(6, launch_index=9) == s.assign(6, launch_index=0)
+
+
+def test_random_scheduler_varies_by_launch():
+    s = RandomScheduler(84, seed=1)
+    starts = {s.assign(1, launch_index=i)[0] for i in range(64)}
+    assert len(starts) > 10
+
+
+def test_random_scheduler_deterministic_per_index():
+    s = RandomScheduler(84, seed=1)
+    assert s.assign(3, launch_index=5) == s.assign(3, launch_index=5)
+
+
+def test_random_scheduler_round_robin_within_launch():
+    s = RandomScheduler(10, seed=0)
+    blocks = s.assign(4, launch_index=0)
+    start = blocks[0]
+    assert blocks == [(start + i) % 10 for i in range(4)]
+
+
+def test_pinned_scheduler():
+    s = PinnedScheduler([7, 9])
+    assert s.assign(4) == [7, 9, 7, 9]
+    with pytest.raises(LaunchError):
+        PinnedScheduler([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_sms=st.integers(1, 128), grid=st.integers(1, 64),
+       idx=st.integers(0, 50))
+def test_random_scheduler_assignments_valid(num_sms, grid, idx):
+    blocks = RandomScheduler(num_sms, seed=2).assign(grid, idx)
+    assert len(blocks) == grid
+    assert all(0 <= b < num_sms for b in blocks)
+
+
+# ---- warp API ------------------------------------------------------------------
+
+def test_warp_clock_advances_with_alu(tiny):
+    warp = Warp(0, tiny.memory, start_cycle=100.0)
+    t0 = warp.clock()
+    warp.alu(50)
+    assert warp.clock() == t0 + 50
+
+
+def test_warp_coalescing_sector_granularity(tiny):
+    warp = Warp(0, tiny.memory, 0.0)
+    sector = tiny.spec.sector_bytes
+    lanes = [0, 1, 2, sector, sector + 4, 3 * sector]
+    assert len(warp.coalesce(lanes)) == 3
+
+
+def test_warp_ldcg_latency_linear_in_sectors(tiny):
+    sector = tiny.spec.sector_bytes
+    mem = tiny.memory
+    addrs = [i * sector for i in range(16)]
+    mem.warm(0, addrs)
+    warp = Warp(0, mem, 0.0)
+    one = warp.ldcg(addrs[:1])
+    many = warp.ldcg(addrs)
+    # issue slots dominate the difference (latency jitter is ~1 cycle)
+    assert many - one > ISSUE_SLOT_CYCLES * 10
+
+
+def test_warp_single_int_address(tiny):
+    warp = Warp(0, tiny.memory, 0.0)
+    stall = warp.ldcg(128)
+    assert stall > MEM_ISSUE_OVERHEAD_CYCLES
+
+
+def test_warp_rejects_bad_input(tiny):
+    warp = Warp(0, tiny.memory, 0.0)
+    with pytest.raises(LaunchError):
+        warp.ldcg([])
+    with pytest.raises(LaunchError):
+        warp.ldcg([-1])
+    with pytest.raises(LaunchError):
+        warp.alu(-1)
+    with pytest.raises(LaunchError):
+        warp.advance(-1)
+
+
+def test_warp_store_counts_requests(tiny):
+    warp = Warp(0, tiny.memory, 0.0)
+    warp.stg([0, 32, 64])
+    assert warp.requests == 3
+    assert warp.instructions == 1
+
+
+# ---- launcher -----------------------------------------------------------------
+
+def _touch_kernel(block, addresses):
+    block.warp(0).ldcg(addresses)
+
+
+def test_launch_assigns_and_times(tiny):
+    result = launch(tiny, _touch_kernel, KernelSpec(2, 32),
+                    StaticScheduler(tiny.num_sms), args=([0, 128],))
+    assert len(result.assignments) == 2
+    assert result.elapsed_cycles > 0
+    assert result.sms_used == [0, 1]
+
+
+def test_launch_pinned_smid(tiny):
+    seen = []
+
+    def kernel(block):
+        seen.append(block.smid)
+
+    launch(tiny, kernel, KernelSpec(3, 32), PinnedScheduler([5]))
+    assert seen == [5, 5, 5]
+
+
+def test_blocks_on_same_sm_serialise(tiny):
+    result = launch(tiny, _touch_kernel, KernelSpec(2, 32),
+                    PinnedScheduler([0]), args=([0],))
+    b0, b1 = result.blocks
+    assert b1.start_cycle >= b0.end_cycle
+
+
+def test_cooperative_sync_cost(tiny2p):
+    """Cross-partition grids pay extra synchronisation (Fig 17b)."""
+    left = tiny2p.hier.sms_in_partition(0)[0]
+    right = tiny2p.hier.sms_in_partition(1)[0]
+    near = launch(tiny2p, _touch_kernel, KernelSpec(2, 32),
+                  PinnedScheduler([left, left + 1]), args=([0],))
+    far = launch(tiny2p, _touch_kernel, KernelSpec(2, 32),
+                 PinnedScheduler([left, right]), args=([0],))
+    assert far.sync_cycles > near.sync_cycles
+
+
+def test_noncooperative_no_sync(tiny):
+    result = launch(tiny, _touch_kernel, KernelSpec(2, 32),
+                    StaticScheduler(tiny.num_sms), args=([0],),
+                    cooperative=False)
+    assert result.sync_cycles == 0.0
+
+
+def test_launch_validates_scheduler(tiny):
+    class Bad:
+        def assign(self, grid, launch_index=0):
+            return [999] * grid
+
+    with pytest.raises(LaunchError):
+        launch(tiny, _touch_kernel, KernelSpec(1, 32), Bad(), args=([0],))
+
+
+def test_warp_index_bounds(tiny):
+    def kernel(block):
+        with pytest.raises(LaunchError):
+            block.warp(5)
+
+    launch(tiny, kernel, KernelSpec(1, 32), PinnedScheduler([0]))
+
+
+def test_thread_global_ids(tiny):
+    ids = {}
+
+    def kernel(block):
+        ids[block.block_idx] = list(block.thread_global_ids(0))
+
+    launch(tiny, kernel, KernelSpec(2, 32), PinnedScheduler([0]))
+    assert ids[0] == list(range(32))
+    assert ids[1] == list(range(32, 64))
+
+
+def test_partial_warp_block(tiny):
+    """block_dim not a multiple of 32: last warp covers the remainder."""
+    spec = KernelSpec(1, 48)
+    assert spec.warps_per_block == 2
+    seen = {}
+
+    def kernel(block):
+        seen["w0"] = list(block.thread_global_ids(0))
+        seen["w1"] = list(block.thread_global_ids(1))
+        assert len(block.warps) == 2
+
+    launch(tiny, kernel, spec, PinnedScheduler([0]))
+    assert seen["w0"] == list(range(32))
+    assert seen["w1"] == list(range(32, 48))     # 16 active lanes
+
+
+def test_ld_shared_remote_requires_dsmem(tiny, tiny2p):
+    from repro.errors import LaunchError
+    from repro.runtime.device_api import Warp
+    warp = Warp(0, tiny.memory, 0.0)
+    with pytest.raises(LaunchError):
+        warp.ld_shared_remote(1)
+    # tiny2p has dsmem enabled
+    warp2 = Warp(0, tiny2p.memory, 0.0)
+    stall = warp2.ld_shared_remote(1)
+    assert stall > 0
+
+
+def test_grid_overhead_constant(tiny):
+    """Two identical launches on a fresh device time identically apart
+    from memory-state effects (warm-up)."""
+    def kernel(block):
+        block.warp(0).alu(100)
+
+    a = launch(tiny, kernel, KernelSpec(1, 32), PinnedScheduler([0]))
+    b = launch(tiny, kernel, KernelSpec(1, 32), PinnedScheduler([0]))
+    assert a.elapsed_cycles == b.elapsed_cycles

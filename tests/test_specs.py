@@ -1,0 +1,91 @@
+"""GPU specs: Table I values, derived counts, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.specs import A100, H100, V100, GPUSpec, get_spec, known_specs
+
+
+def test_known_specs_cover_table1():
+    assert set(known_specs()) == {"V100", "A100", "H100"}
+
+
+def test_get_spec_case_insensitive():
+    assert get_spec("v100") is V100
+    assert get_spec("H100") is H100
+
+
+def test_get_spec_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        get_spec("P100")
+
+
+def test_v100_organisation():
+    assert V100.num_sms == 84
+    assert V100.num_gpcs == 6
+    assert V100.sms_per_gpc == 14
+    assert V100.num_slices == 32
+    assert V100.num_partitions == 1
+    assert V100.cpcs_per_gpc == 0
+
+
+def test_a100_organisation():
+    assert A100.num_sms == 128
+    assert A100.num_partitions == 2
+    assert A100.num_slices == 80
+    assert A100.slices_per_partition == 40
+    assert A100.gpc_partition == (0, 0, 0, 0, 1, 1, 1, 1)
+
+
+def test_h100_organisation():
+    assert H100.num_sms == 144
+    assert H100.cpcs_per_gpc == 3
+    assert H100.sms_per_cpc == 6
+    assert H100.has_dsmem
+    assert H100.local_l2_policy
+
+
+def test_memory_bandwidth_ordering():
+    assert V100.mem_bandwidth_gbps < A100.mem_bandwidth_gbps \
+        < H100.mem_bandwidth_gbps
+
+
+def test_partition_of_mp():
+    assert [A100.partition_of_mp(m) for m in range(8)] == [0] * 4 + [1] * 4
+    with pytest.raises(ConfigurationError):
+        A100.partition_of_mp(8)
+
+
+def test_table1_row_fields():
+    row = V100.table1_row()
+    assert row["GPU"] == "V100"
+    assert row["SMs"] == 84
+    assert row["L2 (MB)"] == 6.0
+
+
+def test_invalid_hierarchy_rejected():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", num_gpcs=0, tpcs_per_gpc=7)
+
+
+def test_cpc_divisibility_enforced():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", num_gpcs=2, tpcs_per_gpc=7, tpcs_per_cpc=3)
+
+
+def test_mps_must_divide_partitions():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", num_gpcs=2, tpcs_per_gpc=2, num_partitions=2,
+                num_mps=3)
+
+
+def test_explicit_partition_map_validated():
+    with pytest.raises(ConfigurationError):
+        GPUSpec(name="bad", num_gpcs=2, tpcs_per_gpc=2, num_partitions=2,
+                num_mps=2, gpc_partition=(0, 5))
+
+
+def test_default_partition_map_balanced():
+    spec = GPUSpec(name="ok", num_gpcs=4, tpcs_per_gpc=2, num_partitions=2,
+                   num_mps=2)
+    assert spec.gpc_partition == (0, 0, 1, 1)

@@ -1,0 +1,89 @@
+"""Input speedup measurement (Fig 10) against paper values."""
+
+import pytest
+
+from repro.core.speedup_bench import measure_speedups
+from repro.errors import ConfigurationError
+from repro.noc.speedup import SpeedupConfig
+from repro.noc.topology_graph import AccessKind
+from repro.gpu.specs import H100, V100
+
+
+def _by_level(results, kind):
+    return {m.level: m for m in results if m.kind is kind}
+
+
+@pytest.fixture(scope="module")
+def v100_speedups(v100):
+    return measure_speedups(v100)
+
+
+def test_speedup_config_levels():
+    v = SpeedupConfig.for_spec(V100)
+    assert v.levels() == ["TPC", "GPC_l", "GPC_g"]
+    assert v.required("TPC") == 2
+    assert v.required("GPC_l") == 7
+    assert v.required("GPC_g") == 14
+    h = SpeedupConfig.for_spec(H100)
+    assert h.levels() == ["TPC", "CPC", "GPC_l", "GPC_g"]
+    assert h.required("CPC") == 6
+    with pytest.raises(ValueError):
+        v.required("MYSTERY")
+
+
+def test_v100_tpc_read_near_full(v100_speedups):
+    reads = _by_level(v100_speedups, AccessKind.READ)
+    assert reads["TPC"].speedup == pytest.approx(2.0, abs=0.2)
+
+
+def test_v100_tpc_write_limited(v100_speedups):
+    """Fig 10: V100 TPC write speedup only ~1.09."""
+    writes = _by_level(v100_speedups, AccessKind.WRITE)
+    assert writes["TPC"].speedup == pytest.approx(1.09, abs=0.12)
+
+
+def test_v100_gpc_l_partial(v100_speedups):
+    """Fig 10: V100 reaches ~50% of the needed GPC_l speedup of 7."""
+    reads = _by_level(v100_speedups, AccessKind.READ)
+    assert 0.4 <= reads["GPC_l"].fraction_of_full <= 0.65
+    assert reads["GPC_l"].required == 7
+
+
+def test_v100_gpc_g_adds_speedup(v100_speedups):
+    reads = _by_level(v100_speedups, AccessKind.READ)
+    assert reads["GPC_g"].speedup > reads["GPC_l"].speedup
+
+
+def test_h100_cpc_speedups(h100):
+    """Fig 10: CPC read ~full (6), CPC write ~4.6."""
+    results = measure_speedups(h100)
+    reads = _by_level(results, AccessKind.READ)
+    writes = _by_level(results, AccessKind.WRITE)
+    assert reads["CPC"].speedup == pytest.approx(6.0, abs=0.5)
+    assert writes["CPC"].speedup == pytest.approx(4.6, abs=0.5)
+
+
+def test_gpc_l_fraction_ordering(v100_speedups, a100, h100):
+    """V100 < A100 <= H100 in GPC_l fraction-of-full (paper: 50%->85%)."""
+    v = _by_level(v100_speedups, AccessKind.READ)["GPC_l"].fraction_of_full
+    a = _by_level(measure_speedups(a100, kinds=(AccessKind.READ,)),
+                  AccessKind.READ)["GPC_l"].fraction_of_full
+    h = _by_level(measure_speedups(h100, kinds=(AccessKind.READ,)),
+                  AccessKind.READ)["GPC_l"].fraction_of_full
+    assert v < a
+    assert v < h
+
+
+def test_tpc_read_full_everywhere(a100, h100):
+    for gpu in (a100, h100):
+        reads = _by_level(measure_speedups(gpu, kinds=(AccessKind.READ,)),
+                          AccessKind.READ)
+        assert reads["TPC"].speedup == pytest.approx(2.0, abs=0.25)
+
+
+def test_unknown_level_rejected(v100):
+    from repro.core.speedup_bench import _level_sms
+    with pytest.raises(ConfigurationError):
+        _level_sms(v100, "NOPE")
+    with pytest.raises(ConfigurationError):
+        _level_sms(v100, "CPC")

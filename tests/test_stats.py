@@ -1,0 +1,105 @@
+"""Statistics: Pearson (paper Eq. 1), summaries, modality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (Summary, histogram, modality, pearson,
+                                  pearson_matrix, summarize)
+from repro.errors import ReproError
+
+
+def test_pearson_perfect_positive():
+    x = np.arange(10.0)
+    assert pearson(x, 3 * x + 2) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    x = np.arange(10.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+def test_pearson_independent_near_zero():
+    gen = np.random.default_rng(0)
+    x, y = gen.normal(size=4000), gen.normal(size=4000)
+    assert abs(pearson(x, y)) < 0.05
+
+
+def test_pearson_validation():
+    with pytest.raises(ReproError):
+        pearson([1, 2], [1, 2, 3])
+    with pytest.raises(ReproError):
+        pearson([1], [2])
+    with pytest.raises(ReproError):
+        pearson([1, 1, 1], [1, 2, 3])
+
+
+def test_pearson_matrix_diag_one():
+    rows = np.random.default_rng(1).normal(size=(5, 40))
+    m = pearson_matrix(rows)
+    assert np.allclose(np.diag(m), 1.0)
+    assert np.allclose(m, m.T)
+
+
+def test_pearson_matrix_matches_pairwise():
+    rows = np.random.default_rng(2).normal(size=(4, 30))
+    m = pearson_matrix(rows)
+    assert m[1, 3] == pytest.approx(pearson(rows[1], rows[3]))
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s == Summary(mean=2.0, std=pytest.approx(np.std([1, 2, 3])),
+                        minimum=1.0, maximum=3.0, count=3)
+    assert s.spread == 2.0
+    with pytest.raises(ReproError):
+        summarize([])
+
+
+def test_histogram_validation():
+    with pytest.raises(ReproError):
+        histogram([], 10)
+    with pytest.raises(ReproError):
+        histogram([1.0], 0)
+
+
+def test_modality_unimodal():
+    gen = np.random.default_rng(3)
+    assert modality(gen.normal(50, 2, size=500)) == 1
+
+
+def test_modality_bimodal():
+    gen = np.random.default_rng(4)
+    sample = np.concatenate([gen.normal(26, 1, 200), gen.normal(40, 0.3, 200)])
+    assert modality(sample) == 2
+
+
+def test_modality_constantish():
+    assert modality(np.full(50, 34.0) + 1e-9) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=2, max_size=50),
+       st.floats(0.1, 10), st.floats(-50, 50))
+def test_pearson_affine_invariance(xs, scale, shift):
+    """r(x, a*x+b) == 1 for a > 0; and r is symmetric."""
+    x = np.asarray(xs)
+    y = scale * x + shift
+    if x.std() < 1e-6 or y.std() < 1e-6:   # avoid float-collapse cases
+        return
+    assert pearson(x, y) == pytest.approx(1.0, abs=1e-6)
+    gen = np.random.default_rng(5)
+    z = gen.normal(size=x.size)
+    if z.std() > 0:
+        assert pearson(x, z) == pytest.approx(pearson(z, x), abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(-1000, 1000), min_size=2, max_size=60))
+def test_pearson_bounded(xs):
+    x = np.asarray(xs)
+    gen = np.random.default_rng(int(abs(x.sum())) % 2 ** 31)
+    y = gen.normal(size=x.size)
+    if x.std() == 0 or y.std() == 0:
+        return
+    assert -1.0 - 1e-9 <= pearson(x, y) <= 1.0 + 1e-9

@@ -1,0 +1,91 @@
+"""Memory subsystem: hash -> slice -> L2 -> DRAM with latency."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+
+
+def test_access_miss_then_hit(tiny):
+    mem = tiny.memory
+    first = mem.access(0, 0)
+    second = mem.access(0, 0)
+    assert not first.hit
+    assert second.hit
+    assert second.latency_cycles < first.latency_cycles
+
+
+def test_home_slice_matches_hasher(tiny):
+    mem = tiny.memory
+    for addr in range(0, 128 * 64, 128):
+        assert mem.home_slice(addr) == mem.hasher.slice_of(addr)
+
+
+def test_miss_refills_dram_channel(tiny):
+    mem = tiny.memory
+    addr = mem.addresses_for_slice(0, 1)[0]
+    mp = tiny.hier.slice_info(0).mp
+    before = mem.dram.channel(mp).bytes_serviced
+    mem.access(0, addr)
+    assert mem.dram.channel(mp).bytes_serviced \
+        == before + tiny.spec.cache_line_bytes
+    # a hit does not touch DRAM
+    mid = mem.dram.channel(mp).bytes_serviced
+    mem.access(0, addr)
+    assert mem.dram.channel(mp).bytes_serviced == mid
+
+
+def test_slice_request_counters(tiny):
+    mem = tiny.memory
+    addr = mem.addresses_for_slice(1, 1)[0]
+    before = mem.slice_requests[1]
+    mem.access(0, addr)
+    assert mem.slice_requests[1] == before + 1
+
+
+def test_warm_installs_lines(tiny):
+    mem = tiny.memory
+    addrs = mem.addresses_for_slice(0, 4)
+    mem.warm(0, addrs)
+    assert all(mem.access(0, a).hit for a in addrs)
+
+
+def test_negative_address_rejected(tiny):
+    with pytest.raises(ConfigurationError):
+        tiny.memory.access(0, -5)
+
+
+def test_h100_alias_servicing():
+    h100 = SimulatedGPU("H100", seed=3)
+    mem = h100.memory
+    sm_left = h100.hier.sms_in_partition(0)[0]
+    remote_addr = mem.addresses_for_slice(
+        h100.hier.slices_in_partition(1)[0], 1)[0]
+    result = mem.access(sm_left, remote_addr)
+    assert h100.hier.slice_info(result.home_slice).partition == 1
+    assert h100.hier.slice_info(result.service_slice).partition == 0
+
+
+def test_reset_counters(tiny):
+    mem = tiny.memory
+    mem.access(0, 0)
+    mem.reset_counters()
+    assert sum(mem.slice_requests) == 0
+    assert all(b == 0 for b in mem.dram.traffic_by_channel())
+
+
+def test_sample_jitter_varies_between_accesses(tiny):
+    mem = tiny.memory
+    addr = mem.addresses_for_slice(0, 1)[0]
+    mem.access(0, addr)   # warm
+    lats = {mem.access(0, addr).latency_cycles for _ in range(20)}
+    assert len(lats) > 1
+
+
+def test_structural_latency_without_jitter(tiny):
+    mem = tiny.memory
+    addr = mem.addresses_for_slice(0, 1)[0]
+    mem.warm(0, [addr])
+    result = mem.access(0, addr, sample_jitter=False)
+    assert result.latency_cycles == pytest.approx(
+        tiny.latency.hit_latency(0, result.home_slice))

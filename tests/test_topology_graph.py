@@ -1,0 +1,81 @@
+"""Traffic -> flow-network construction and solved bandwidth shapes."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.noc.topology_graph import AccessKind
+
+
+def test_empty_traffic_rejected(tiny):
+    with pytest.raises(SolverError):
+        tiny.topology.solve({})
+
+
+def test_sm_without_targets_rejected(tiny):
+    with pytest.raises(SolverError):
+        tiny.topology.solve({0: []})
+
+
+def test_report_accessors(tiny):
+    report = tiny.topology.solve({0: [0, 1], 1: [0]})
+    assert report.total_gbps > 0
+    assert report.sm_gbps(0) == pytest.approx(
+        report.flow_gbps(0, 0) + report.flow_gbps(0, 1))
+    assert report.slice_gbps(0) == pytest.approx(
+        report.flow_gbps(0, 0) + report.flow_gbps(1, 0))
+
+
+def test_single_flow_capped_by_flow_cap(tiny):
+    bw = tiny.topology.solve({0: [0]}).total_gbps
+    assert bw == pytest.approx(tiny.spec.flow_cap_gbps, rel=0.02)
+
+
+def test_slice_saturates_with_many_sms(tiny):
+    traffic = {sm: [0] for sm in tiny.hier.all_sms}
+    bw = tiny.topology.solve(traffic).total_gbps
+    assert bw <= tiny.spec.slice_bw_gbps * 1.05
+    assert bw >= tiny.spec.slice_bw_gbps * 0.85
+
+
+def test_writes_slower_than_reads(tiny):
+    traffic = {0: tiny.hier.all_slices}
+    read = tiny.topology.solve(traffic, kind=AccessKind.READ).total_gbps
+    write = tiny.topology.solve(traffic, kind=AccessKind.WRITE).total_gbps
+    assert write < read
+
+
+def test_misses_bound_by_dram(tiny):
+    traffic = {sm: tiny.hier.all_slices for sm in tiny.hier.all_sms}
+    mem_bw = tiny.topology.solve(traffic, l2_hit=False).total_gbps
+    achievable = tiny.spec.mem_bandwidth_gbps * tiny.spec.dram_efficiency
+    assert mem_bw <= achievable * 1.01
+    assert mem_bw >= achievable * 0.8
+
+
+def test_hits_beat_misses(tiny):
+    traffic = {sm: tiny.hier.all_slices for sm in tiny.hier.all_sms}
+    hit = tiny.topology.solve(traffic).total_gbps
+    miss = tiny.topology.solve(traffic, l2_hit=False).total_gbps
+    assert hit > miss
+
+
+def test_partition_crossing_reduces_flow(tiny2p):
+    sm = tiny2p.hier.sms_in_partition(0)[0]
+    near = tiny2p.hier.slices_in_partition(0)[0]
+    far = tiny2p.hier.slices_in_partition(1)[0]
+    bw_near = tiny2p.topology.solve({sm: [near]}).total_gbps
+    bw_far = tiny2p.topology.solve({sm: [far]}).total_gbps
+    assert bw_far < bw_near
+
+
+def test_deterministic_solve(tiny):
+    traffic = {sm: tiny.hier.all_slices for sm in tiny.hier.all_sms}
+    a = tiny.topology.solve(traffic).total_gbps
+    b = tiny.topology.solve(traffic).total_gbps
+    assert a == b
+
+
+def test_slice_capacity_jitter_small(v100):
+    caps = [v100.topology._slice_capacity(s) for s in range(32)]
+    spread = max(caps) - min(caps)
+    assert spread < 1.0      # sigma 0.06 GB/s (Fig 9c)

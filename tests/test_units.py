@@ -1,0 +1,45 @@
+"""Unit conversions and Little's-law helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_cycles_to_seconds():
+    assert units.cycles_to_seconds(1.38e9, 1.38e9) == pytest.approx(1.0)
+
+
+def test_seconds_to_cycles_roundtrip():
+    cycles = 212.0
+    sec = units.cycles_to_seconds(cycles, 1.38e9)
+    assert units.seconds_to_cycles(sec, 1.38e9) == pytest.approx(cycles)
+
+
+def test_cycles_to_seconds_rejects_bad_clock():
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(100, 0)
+    with pytest.raises(ValueError):
+        units.seconds_to_cycles(1.0, -1)
+
+
+def test_bandwidth_gbps():
+    assert units.bandwidth_gbps(2e9, 1.0) == pytest.approx(2.0)
+
+
+def test_bandwidth_rejects_zero_time():
+    with pytest.raises(ValueError):
+        units.bandwidth_gbps(1.0, 0.0)
+
+
+def test_littles_law_self_consistent():
+    # V100-like numbers: 34 GB/s at 212 cycles @ 1.38 GHz
+    outstanding = units.bytes_in_flight(34.0, 212, 1.38e9)
+    assert outstanding == pytest.approx(5223, rel=1e-3)
+    back = units.littles_law_bandwidth(outstanding, 212, 1.38e9)
+    assert back == pytest.approx(34.0)
+
+
+def test_littles_law_scales_inversely_with_latency():
+    fast = units.littles_law_bandwidth(8000, 200, 1e9)
+    slow = units.littles_law_bandwidth(8000, 400, 1e9)
+    assert fast == pytest.approx(2 * slow)

@@ -1,0 +1,70 @@
+"""Text rendering of tables and charts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.viz import bar_chart, heatmap, histogram_chart, render_table
+
+
+def test_render_table_dicts():
+    text = render_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 3.25}],
+                        title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "10" in text and "3.25" in text
+
+
+def test_render_table_rows_aligned():
+    text = render_table([[1, "x"], [222, "yy"]], headers=["n", "s"])
+    lines = text.splitlines()
+    assert len({len(l) for l in lines}) == 1     # all lines equal width
+
+
+def test_render_table_empty_rejected():
+    with pytest.raises(ReproError):
+        render_table([])
+
+
+def test_bar_chart_scales():
+    text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    bars = [line.count("#") for line in text.splitlines()]
+    assert bars[1] == 10
+    assert bars[0] == 5
+
+
+def test_bar_chart_zero_values():
+    text = bar_chart(["a"], [0.0])
+    assert "0" in text
+
+
+def test_bar_chart_validation():
+    with pytest.raises(ReproError):
+        bar_chart(["a"], [1.0, 2.0])
+    with pytest.raises(ReproError):
+        bar_chart([], [])
+
+
+def test_histogram_chart():
+    text = histogram_chart(np.random.default_rng(0).normal(size=200),
+                           bins=5, title="h")
+    assert text.startswith("h")
+    assert text.count("|") == 5
+
+
+def test_heatmap_scale_line():
+    text = heatmap([[0.0, 1.0], [0.5, 0.25]])
+    assert "scale:" in text
+    rows = text.splitlines()
+    assert len(rows[0]) == 2
+
+
+def test_heatmap_constant_matrix():
+    text = heatmap(np.ones((3, 3)))
+    assert text      # no div-by-zero
+
+
+def test_heatmap_validation():
+    with pytest.raises(ReproError):
+        heatmap(np.array([1.0, 2.0]))

@@ -1,0 +1,99 @@
+"""Workload traces: streaming/random/camping and Rodinia-style."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.address import AddressHasher, camping_index
+from repro.workloads import (bfs_trace, camping_trace, gaussian_trace,
+                             random_trace, slice_traffic_over_time,
+                             streaming_trace)
+
+
+def test_streaming_trace_strided():
+    t = streaming_trace(10, line_bytes=128, stride_lines=2, start=256)
+    assert t[0] == 256
+    assert t[1] - t[0] == 256
+    assert len(t) == 10
+
+
+def test_streaming_validation():
+    with pytest.raises(ConfigurationError):
+        streaming_trace(0)
+    with pytest.raises(ConfigurationError):
+        streaming_trace(10, stride_lines=0)
+
+
+def test_random_trace_in_region():
+    t = random_trace(1000, region_bytes=1 << 20)
+    assert t.max() < 1 << 20
+    assert np.all(t % 128 == 0)
+    assert np.array_equal(t, random_trace(1000, region_bytes=1 << 20))
+
+
+def test_camping_trace_hits_one_channel_unhashed():
+    """Under naive modulo interleaving the camping stride is pathological."""
+    t = camping_trace(512, num_channels=8)
+    lines = t // 128
+    assert np.all(lines % 8 == 0)
+
+
+def test_camping_trace_balanced_when_hashed():
+    h = AddressHasher(8)
+    t = camping_trace(4096, num_channels=8)
+    counts = np.bincount(h.slice_of_array(t), minlength=8)
+    assert camping_index(counts) < 1.5
+
+
+def test_bfs_trace_structure():
+    trace = bfs_trace(num_nodes=512, avg_degree=4, seed=2)
+    assert trace.name == "bfs"
+    assert trace.num_steps >= 2
+    profile = trace.volume_profile()
+    # frontier grows then decays: the max is not at step 0
+    assert profile.argmax() > 0
+    assert trace.total_accesses() == profile.sum()
+
+
+def test_bfs_deterministic():
+    a = bfs_trace(num_nodes=256, seed=3)
+    b = bfs_trace(num_nodes=256, seed=3)
+    assert a.num_steps == b.num_steps
+    assert all(np.array_equal(x, y) for x, y in zip(a.steps, b.steps))
+
+
+def test_gaussian_trace_decaying_volume():
+    trace = gaussian_trace(n=32)
+    profile = trace.volume_profile()
+    assert trace.num_steps == 31
+    assert profile[0] > profile[-1]
+    assert np.all(np.diff(profile) <= 0)
+
+
+def test_gaussian_max_steps():
+    assert gaussian_trace(n=64, max_steps=5).num_steps == 5
+
+
+def test_trace_validation():
+    with pytest.raises(ConfigurationError):
+        bfs_trace(num_nodes=1)
+    with pytest.raises(ConfigurationError):
+        gaussian_trace(n=1)
+
+
+def test_slice_traffic_balanced_over_time():
+    """Fig 16: per-slice share stays balanced though volume varies."""
+    h = AddressHasher(32)
+    for trace in (bfs_trace(num_nodes=4096, seed=1), gaussian_trace(n=96)):
+        per_step = slice_traffic_over_time(trace, h)
+        assert per_step.shape == (trace.num_steps, 32)
+        total = per_step.sum(axis=0)
+        assert camping_index(total) < 1.5
+
+
+def test_coalescing_reduces_requests():
+    h = AddressHasher(32)
+    trace = bfs_trace(num_nodes=512, seed=1)
+    raw = slice_traffic_over_time(trace, h, coalesce=False).sum()
+    coalesced = slice_traffic_over_time(trace, h, coalesce=True).sum()
+    assert coalesced < raw
