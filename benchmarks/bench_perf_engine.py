@@ -1,0 +1,101 @@
+"""Fast-path execution layer: engine/runner/cache timings as JSON.
+
+Times the three perf-opt pieces against their baselines and emits one
+machine-readable JSON document (printed under ``pytest -s``, or run the
+file directly: ``python benchmarks/bench_perf_engine.py``):
+
+* ``mesh_engine`` — optimized :class:`Mesh2D` vs the retained
+  :class:`ReferenceMesh2D` golden model on the 6x6 Fig 23 configuration
+  (cycles/s and the speedup ratio; the acceptance floor is 5x);
+* ``latency_matrix`` — the V100 SM x slice sweep, legacy serial path vs
+  the sharded runner at several worker counts (parallel speedup needs
+  cores: ``cpu_count`` is part of the record);
+* ``report_cache`` — ``generate_report`` cold vs warm through the
+  content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from _figutil import show
+
+from repro.gpu.device import SimulatedGPU
+from repro.noc.mesh.network import Mesh2D
+from repro.noc.mesh.reference import ReferenceMesh2D
+from repro.noc.mesh.traffic import ManyToFewTraffic, default_mc_nodes
+
+MESH_CYCLES = 3000
+
+
+def _time_mesh(cls, cycles: int = MESH_CYCLES) -> float:
+    """Seconds to run the Fig 23 configuration for ``cycles`` cycles."""
+    mesh = cls(6, 6, arbiter_kind="rr")
+    traffic = ManyToFewTraffic(mesh, default_mc_nodes(), seed=0,
+                               injection_rate=0.3)
+    start = time.perf_counter()
+    for _ in range(cycles):
+        traffic.feed()
+        mesh.step()
+    return time.perf_counter() - start
+
+
+def mesh_engine_timings() -> dict:
+    reference = _time_mesh(ReferenceMesh2D)
+    optimized = _time_mesh(Mesh2D)
+    return {
+        "cycles": MESH_CYCLES,
+        "reference_cycles_per_s": MESH_CYCLES / reference,
+        "optimized_cycles_per_s": MESH_CYCLES / optimized,
+        "speedup": reference / optimized,
+    }
+
+
+def latency_matrix_timings() -> dict:
+    from repro.core.latency_bench import measured_latency_matrix
+    gpu = SimulatedGPU("V100", seed=0)
+    record = {}
+    start = time.perf_counter()
+    measured_latency_matrix(gpu, samples=1)
+    record["serial_s"] = time.perf_counter() - start
+    for jobs in (1, 4):
+        start = time.perf_counter()
+        measured_latency_matrix(gpu, samples=1, jobs=jobs)
+        record[f"jobs{jobs}_s"] = time.perf_counter() - start
+    record["jobs4_speedup_vs_jobs1"] = record["jobs1_s"] / record["jobs4_s"]
+    return record
+
+
+def report_cache_timings() -> dict:
+    from repro.report import generate_report
+    with tempfile.TemporaryDirectory() as directory:
+        start = time.perf_counter()
+        generate_report(seed=0, cache=directory)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        generate_report(seed=0, cache=directory)
+        warm = time.perf_counter() - start
+    return {"cold_s": cold, "warm_s": warm, "speedup": cold / warm}
+
+
+def collect() -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "mesh_engine": mesh_engine_timings(),
+        "latency_matrix": latency_matrix_timings(),
+        "report_cache": report_cache_timings(),
+    }
+
+
+def bench_perf_engine(benchmark):
+    record = benchmark.pedantic(collect, rounds=1, iterations=1)
+    show("Fast-path engine timings (JSON)", json.dumps(record, indent=2))
+    assert record["mesh_engine"]["speedup"] >= 5.0
+    assert record["report_cache"]["warm_s"] < record["report_cache"]["cold_s"]
+
+
+if __name__ == "__main__":
+    print(json.dumps(collect(), indent=2))

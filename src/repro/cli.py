@@ -26,6 +26,13 @@ def _cmd_specs(_args) -> int:
     return 0
 
 
+def _jobs_argument(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def _gpu_argument(value: str):
     """Argparse type: a built-in name (V100/A100/H100) or a spec JSON."""
     if value.lower().endswith(".json"):
@@ -99,7 +106,8 @@ def _cmd_speedup(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.report import generate_report
-    print(generate_report(seed=args.seed, include_mesh=not args.no_mesh))
+    print(generate_report(seed=args.seed, include_mesh=not args.no_mesh,
+                          jobs=args.jobs, cache=args.cache))
     return 0
 
 
@@ -134,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="markdown paper-vs-measured report")
     report.add_argument("--no-mesh", action="store_true",
                         help="skip the (slower) mesh experiments")
+    report.add_argument("--jobs", type=_jobs_argument, default=None,
+                        metavar="N",
+                        help="run report sections on N worker processes "
+                             "(same results as serial)")
+    report.add_argument("--cache", default=None, metavar="DIR",
+                        help="directory for the persistent result cache; "
+                             "repeat runs reuse stored section metrics")
     return parser
 
 

@@ -31,16 +31,34 @@ def single_sm_slice_bandwidth(gpu: SimulatedGPU, sm: int, slice_id: int
     return measure_bandwidth(gpu, {sm: [slice_id]}).total_gbps
 
 
+def _distribution_shard(args) -> list:
+    """Sweep-runner worker: solo bandwidths for one chunk of SMs."""
+    spec_data, seed, sms, slice_id = args
+    from repro.exec.runner import rebuild_device
+    gpu = rebuild_device(spec_data, seed)
+    return [single_sm_slice_bandwidth(gpu, sm, slice_id) for sm in sms]
+
+
 def slice_bandwidth_distribution(gpu: SimulatedGPU, slice_id: int,
-                                 sms=None) -> np.ndarray:
+                                 sms=None, jobs: int | None = None
+                                 ) -> np.ndarray:
     """Per-SM solo bandwidth to one slice, across SMs (Fig 9b/13).
 
     Each SM is measured alone (the paper collects the distribution over
-    all source/destination combinations, one at a time).
+    all source/destination combinations, one at a time).  ``jobs``
+    shards the SMs over a process pool; the flow solver is a pure
+    function of (spec, seed, traffic), so sharded results are
+    bit-identical to the serial sweep.
     """
     sms = list(sms) if sms is not None else gpu.hier.all_sms
-    return np.array([single_sm_slice_bandwidth(gpu, sm, slice_id)
-                     for sm in sms])
+    if jobs is None:
+        return np.array([single_sm_slice_bandwidth(gpu, sm, slice_id)
+                         for sm in sms])
+    from repro.exec import SweepRunner, chunk, device_payload
+    spec_data, seed = device_payload(gpu)
+    shards = [(spec_data, seed, shard, slice_id) for shard in chunk(sms)]
+    values = SweepRunner(jobs).map(_distribution_shard, shards)
+    return np.array([v for shard in values for v in shard])
 
 
 def group_to_slice_bandwidth(gpu: SimulatedGPU, sms, slice_id: int) -> float:
@@ -63,22 +81,37 @@ def aggregate_memory_bandwidth(gpu: SimulatedGPU) -> float:
     return measure_bandwidth(gpu, traffic, l2_hit=False).total_gbps
 
 
+def _saturation_shard(args) -> float:
+    """Sweep-runner worker: one point of the saturation curve."""
+    spec_data, seed, sms, slice_id, n = args
+    from repro.exec.runner import rebuild_device
+    gpu = rebuild_device(spec_data, seed)
+    return measure_bandwidth(
+        gpu, {sm: [slice_id] for sm in sms[:n]}).total_gbps
+
+
 def slice_saturation_curve(gpu: SimulatedGPU, slice_id: int, sms,
-                           counts=None) -> dict:
+                           counts=None, jobs: int | None = None) -> dict:
     """Slice bandwidth as more SMs target it (Fig 14).
 
     ``sms`` is the ordered pool to draw from; returns {n: GB/s}.
+    ``jobs`` solves the curve's points in parallel (one shard per point).
     """
     sms = list(sms)
     counts = list(counts) if counts is not None else list(
         range(1, len(sms) + 1))
     if not sms:
         raise ConfigurationError("need a non-empty SM pool")
-    curve = {}
     for n in counts:
         if not 1 <= n <= len(sms):
             raise ConfigurationError(f"cannot use {n} SMs from a pool of "
                                      f"{len(sms)}")
-        curve[n] = measure_bandwidth(
+    if jobs is None:
+        return {n: measure_bandwidth(
             gpu, {sm: [slice_id] for sm in sms[:n]}).total_gbps
-    return curve
+            for n in counts}
+    from repro.exec import SweepRunner, device_payload
+    spec_data, seed = device_payload(gpu)
+    shards = [(spec_data, seed, tuple(sms), slice_id, n) for n in counts]
+    values = SweepRunner(jobs).map(_saturation_shard, shards)
+    return dict(zip(counts, values))

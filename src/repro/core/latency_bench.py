@@ -71,12 +71,44 @@ def latency_profile(gpu: SimulatedGPU, sm: int, samples: int = 3
     return measure_l2_latency(gpu, sm, samples=samples)
 
 
+def _latency_shard(args) -> list:
+    """Sweep-runner worker: one chunk of SMs on a freshly rebuilt device.
+
+    Each shard rebuilds its :class:`SimulatedGPU` from the spec dict, so
+    the measurement stream it sees depends only on the shard contents —
+    results are bit-identical no matter how many workers run the sweep.
+    """
+    spec_data, seed, sms, slices, samples = args
+    from repro.exec.runner import rebuild_device
+    gpu = rebuild_device(spec_data, seed)
+    slices = list(slices) if slices is not None else None
+    return [measure_l2_latency(gpu, sm, slices, samples).tolist()
+            for sm in sms]
+
+
 def measured_latency_matrix(gpu: SimulatedGPU, sms=None, slices=None,
-                            samples: int = 2) -> np.ndarray:
-    """[SM x slice] measured hit-latency matrix (input of Fig 2/3/5/6)."""
+                            samples: int = 2, jobs: int | None = None
+                            ) -> np.ndarray:
+    """[SM x slice] measured hit-latency matrix (input of Fig 2/3/5/6).
+
+    ``jobs=None`` keeps the legacy serial path (all SMs measured on the
+    shared ``gpu`` instance).  Any ``jobs >= 1`` selects the sharded
+    execution: SMs are split into fixed chunks, each chunk measured on a
+    device rebuilt from ``gpu``'s spec and seed, optionally across a
+    process pool — ``jobs=1`` and ``jobs=N`` produce bit-identical
+    matrices.
+    """
     sms = list(sms) if sms is not None else gpu.hier.all_sms
-    return np.array([measure_l2_latency(gpu, sm, slices, samples)
-                     for sm in sms])
+    if jobs is None:
+        return np.array([measure_l2_latency(gpu, sm, slices, samples)
+                         for sm in sms])
+    from repro.exec import SweepRunner, chunk, device_payload
+    spec_data, seed = device_payload(gpu)
+    slices_key = tuple(slices) if slices is not None else None
+    shards = [(spec_data, seed, shard, slices_key, samples)
+              for shard in chunk(sms)]
+    shard_rows = SweepRunner(jobs).map(_latency_shard, shards)
+    return np.array([row for rows in shard_rows for row in rows])
 
 
 def measure_miss_penalty(gpu: SimulatedGPU, sm: int, slices=None,

@@ -1,0 +1,18 @@
+"""Fast-path execution layer: parallel sweeps + persistent result cache.
+
+``runner`` shards the paper's embarrassingly parallel sweeps across a
+process pool with deterministic per-shard device rebuilds (bit-identical
+to serial execution); ``cache`` memoizes the results on disk under
+content-addressed keys.  Together they back ``python -m repro report
+--jobs N --cache DIR``.
+"""
+
+from repro.exec.cache import CACHE_VERSION, ResultCache, cache_key
+from repro.exec.runner import (DEFAULT_SHARD_SMS, SweepRunner, chunk,
+                               device_payload, rebuild_device)
+
+__all__ = [
+    "CACHE_VERSION", "ResultCache", "cache_key",
+    "DEFAULT_SHARD_SMS", "SweepRunner", "chunk",
+    "device_payload", "rebuild_device",
+]

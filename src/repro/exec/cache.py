@@ -1,0 +1,109 @@
+"""Content-addressed on-disk result cache.
+
+Memoizes expensive sweep results (figure sections, matrices, mesh
+experiment summaries) across process runs.  Entries are addressed by a
+SHA-256 over the *content* that determines the result — the algorithm
+name, the GPU spec as canonical JSON, the device seed, and every
+parameter — plus a cache format version, so:
+
+* changing a spec field, seed, or parameter changes the key (automatic
+  invalidation, no staleness),
+* bumping :data:`CACHE_VERSION` invalidates every entry at once (after
+  model recalibrations that change results without changing inputs),
+* a corrupted or truncated entry fails JSON validation and is treated as
+  a miss — the file is deleted and the value recomputed.
+
+Values must be JSON-serializable; numpy arrays and scalars are converted
+on the way in (and come back as plain lists/floats).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Bump when a model recalibration changes results for identical inputs.
+CACHE_VERSION = 1
+
+_MISS = object()
+
+
+def _jsonify(value):
+    """JSON encoder fallback for numpy types."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")
+
+
+def cache_key(algorithm: str, payload: dict) -> str:
+    """Stable content hash for (algorithm, payload) at CACHE_VERSION."""
+    if not algorithm:
+        raise ConfigurationError("cache key needs an algorithm name")
+    canonical = json.dumps(
+        {"version": CACHE_VERSION, "algorithm": algorithm,
+         "payload": payload},
+        sort_keys=True, separators=(",", ":"), default=_jsonify)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """One directory of ``<key>.json`` entries with hit/miss accounting."""
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str, default=None):
+        """Cached value for ``key``; ``default`` on miss or corruption."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return default
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # corrupted entry: drop it and recompute
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return default
+        if not isinstance(entry, dict) or entry.get("key") != key \
+                or "value" not in entry:
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return default
+        self.hits += 1
+        return entry["value"]
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (atomic rename, crash-safe)."""
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        body = json.dumps({"key": key, "value": value}, default=_jsonify)
+        tmp.write_text(body)
+        os.replace(tmp, path)
+
+    def get_or_compute(self, algorithm: str, payload: dict, compute):
+        """Memoize ``compute()`` under the content key of the inputs."""
+        key = cache_key(algorithm, payload)
+        value = self.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

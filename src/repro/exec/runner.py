@@ -1,0 +1,80 @@
+"""Deterministic sharded sweep execution.
+
+The paper's heavy artifacts — the SM x slice measurement sweeps
+(Algorithms 1 and 2) and the cycle-level mesh experiments — are
+embarrassingly parallel: every (SM, slice, config) cell is independent
+once the device it runs against is rebuilt from scratch.
+:class:`SweepRunner` exploits exactly that structure.
+
+Two invariants make parallel results trustworthy:
+
+* **Fixed shard granularity.**  A sweep is decomposed into shards
+  *before* the worker count is chosen, so ``jobs=1`` and ``jobs=8``
+  execute byte-identical shard lists.
+* **Self-contained shards.**  A shard's arguments carry everything
+  needed to rebuild its world — the GPU spec as a plain dict, the device
+  seed, the parameter slice — and the worker reconstructs a fresh
+  :class:`~repro.gpu.device.SimulatedGPU` (or mesh) from them.  No state
+  leaks between shards, so a shard computes the same bytes no matter
+  which process, or which position in the schedule, runs it.
+
+``jobs <= 1`` runs shards in-process (no pool, no pickling); ``jobs > 1``
+fans out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Results
+always come back in shard order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import ConfigurationError
+
+#: SMs measured per latency/bandwidth shard.  Small enough to balance
+#: load across a handful of workers, large enough to amortise the fresh
+#: device build (~10 ms) over many ~8 ms measurements.
+DEFAULT_SHARD_SMS = 8
+
+
+def chunk(items, size: int = DEFAULT_SHARD_SMS) -> list:
+    """Split ``items`` into fixed-size tuples (the shard payloads)."""
+    items = list(items)
+    if size <= 0:
+        raise ConfigurationError("shard size must be positive")
+    return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+class SweepRunner:
+    """Maps a picklable worker over shard arguments, serially or not."""
+
+    def __init__(self, jobs: int | None = None):
+        if jobs is None:
+            jobs = 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def map(self, worker, shard_args) -> list:
+        """Run ``worker`` over every shard; results in shard order.
+
+        ``worker`` must be a module-level function and every element of
+        ``shard_args`` picklable when ``jobs > 1``.
+        """
+        shard_args = list(shard_args)
+        if self.jobs == 1 or len(shard_args) <= 1:
+            return [worker(args) for args in shard_args]
+        workers = min(self.jobs, len(shard_args))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(worker, shard_args))
+
+
+def device_payload(gpu) -> tuple:
+    """(spec dict, seed): what a worker needs to rebuild ``gpu``."""
+    from repro.gpu.serialization import spec_to_dict
+    return spec_to_dict(gpu.spec), gpu.seed
+
+
+def rebuild_device(spec_data: dict, seed: int):
+    """Worker-side inverse of :func:`device_payload` (fresh state)."""
+    from repro.gpu.device import SimulatedGPU
+    from repro.gpu.serialization import spec_from_dict
+    return SimulatedGPU(spec_from_dict(spec_data), seed=seed)

@@ -13,7 +13,8 @@ from repro.noc.mesh.flit import Packet, Flit, PacketKind
 from repro.noc.mesh.arbiter import RoundRobinArbiter, AgeArbiter, make_arbiter
 from repro.noc.mesh.routing import xy_route, Port
 from repro.noc.mesh.router import Router
-from repro.noc.mesh.network import Mesh2D
+from repro.noc.mesh.network import Mesh2D, DeliveryStats
+from repro.noc.mesh.reference import ReferenceMesh2D
 from repro.noc.mesh.traffic import (ManyToFewTraffic, run_fairness_experiment,
                                     FairnessResult)
 from repro.noc.mesh.interfaces import (MemoryNode, run_reply_bottleneck,
@@ -26,7 +27,8 @@ from repro.noc.mesh.vc import (VCMesh, VCRouter, SharedNetworkResult,
 __all__ = [
     "Packet", "Flit", "PacketKind",
     "RoundRobinArbiter", "AgeArbiter", "make_arbiter",
-    "xy_route", "Port", "Router", "Mesh2D",
+    "xy_route", "Port", "Router", "Mesh2D", "ReferenceMesh2D",
+    "DeliveryStats",
     "ManyToFewTraffic", "run_fairness_experiment", "FairnessResult",
     "MemoryNode", "run_reply_bottleneck", "ReplyBottleneckResult",
     "LoadCurve", "LoadPoint", "measure_load_point", "sweep_load",

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.errors import MeshConfigError
 from repro.noc.mesh.network import Mesh2D
 from repro.noc.mesh.traffic import ManyToFewTraffic, default_mc_nodes
@@ -57,33 +55,51 @@ def measure_load_point(rate: float, arbiter: str = "rr", width: int = 6,
         raise MeshConfigError("rate must be in (0, 1]")
     if cycles <= warmup:
         raise MeshConfigError("cycles must exceed warmup")
-    mesh = Mesh2D(width, height, arbiter_kind=arbiter)
+    mesh = Mesh2D(width, height, arbiter_kind=arbiter, retain_packets=False)
     traffic = ManyToFewTraffic(mesh, default_mc_nodes(width, height),
                                seed=seed, injection_rate=rate,
                                max_source_backlog=64)
     for _ in range(warmup):
         traffic.feed()
         mesh.step()
-    start_count = len(mesh.delivered)
+    start_count = mesh.stats.count
+    start_latency_sum = mesh.stats.latency_sum
     start_cycle = mesh.cycle
     for _ in range(cycles - warmup):
         traffic.feed()
         mesh.step()
     window = mesh.cycle - start_cycle
-    delivered = mesh.delivered[start_count:]
+    delivered = mesh.stats.count - start_count
+    latency_sum = mesh.stats.latency_sum - start_latency_sum
     n_compute = len(traffic.compute_nodes)
-    accepted = len(delivered) / window / n_compute
-    latency = (float(np.mean([p.latency for p in delivered]))
-               if delivered else float("inf"))
+    accepted = delivered / window / n_compute
+    latency = (latency_sum / delivered) if delivered else float("inf")
     return LoadPoint(offered_rate=rate, accepted_rate=accepted,
                      avg_latency=latency)
 
 
-def sweep_load(rates, arbiter: str = "rr", **kwargs) -> LoadCurve:
-    """Measure a list of injection rates into a :class:`LoadCurve`."""
+def _load_point_shard(args) -> LoadPoint:
+    """Sweep-runner worker: one injection-rate point, self-contained."""
+    rate, arbiter, kwargs = args
+    return measure_load_point(rate, arbiter=arbiter, **kwargs)
+
+
+def sweep_load(rates, arbiter: str = "rr", jobs: int | None = None,
+               **kwargs) -> LoadCurve:
+    """Measure a list of injection rates into a :class:`LoadCurve`.
+
+    Every point builds its own mesh from the (rate, arbiter, seed)
+    parameters, so ``jobs`` can fan the sweep out over a process pool
+    without changing any point's result.
+    """
     rates = list(rates)
     if not rates:
         raise MeshConfigError("need at least one rate")
-    points = tuple(measure_load_point(r, arbiter=arbiter, **kwargs)
-                   for r in rates)
+    if jobs is None:
+        points = tuple(measure_load_point(r, arbiter=arbiter, **kwargs)
+                       for r in rates)
+    else:
+        from repro.exec import SweepRunner
+        shards = [(r, arbiter, kwargs) for r in rates]
+        points = tuple(SweepRunner(jobs).map(_load_point_shard, shards))
     return LoadCurve(arbiter=arbiter, points=points)

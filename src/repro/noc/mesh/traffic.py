@@ -109,7 +109,8 @@ def run_fairness_experiment(arbiter: str = "rr", width: int = 6,
     """
     if cycles <= warmup:
         raise MeshConfigError("cycles must exceed warmup")
-    mesh = Mesh2D(width, height, arbiter_kind=arbiter)
+    # aggregate stats are enough here; don't retain every Packet object
+    mesh = Mesh2D(width, height, arbiter_kind=arbiter, retain_packets=False)
     traffic = ManyToFewTraffic(mesh, default_mc_nodes(width, height),
                                seed=seed, injection_rate=injection_rate)
     # warm up into steady state, then count deliveries over the window
@@ -126,3 +127,30 @@ def run_fairness_experiment(arbiter: str = "rr", width: int = 6,
                   for node in traffic.compute_nodes}
     return FairnessResult(arbiter=arbiter, throughput=throughput,
                           cycles=window)
+
+
+def _fairness_shard(args) -> FairnessResult:
+    """Sweep-runner worker: one self-contained fairness run."""
+    arbiter, kwargs = args
+    return run_fairness_experiment(arbiter, **kwargs)
+
+
+def run_fairness_experiments(arbiters=("rr", "age"),
+                             jobs: int | None = None,
+                             **kwargs) -> dict:
+    """Fairness runs for several arbiters, optionally in parallel.
+
+    Returns {arbiter: :class:`FairnessResult`}.  Each run builds its own
+    mesh and traffic from (arbiter, seed), so parallel results match
+    serial ones exactly.
+    """
+    arbiters = list(arbiters)
+    if not arbiters:
+        raise MeshConfigError("need at least one arbiter kind")
+    if jobs is None:
+        results = [run_fairness_experiment(a, **kwargs) for a in arbiters]
+    else:
+        from repro.exec import SweepRunner
+        shards = [(a, kwargs) for a in arbiters]
+        results = SweepRunner(jobs).map(_fairness_shard, shards)
+    return dict(zip(arbiters, results))

@@ -4,6 +4,18 @@ Builds a markdown paper-vs-measured report by running the headline
 experiments (a fast subset of the benchmark suite) on freshly seeded
 devices.  Exposed as ``python -m repro report`` so a user can regenerate
 the core of EXPERIMENTS.md in one command.
+
+The report is split into independent *tasks* (latency, bandwidth, and
+the three mesh experiments).  Each task is a pure function of
+(spec dicts, seed, parameters) returning plain-JSON metrics, which makes
+two fast paths possible:
+
+* ``jobs=N`` runs the tasks across a process pool via
+  :class:`repro.exec.SweepRunner` — results are bit-identical to the
+  serial run because every task builds its own devices;
+* ``cache=DIR`` memoizes each task's metrics on disk under a
+  content-addressed key (:mod:`repro.exec.cache`), so a re-run with the
+  same seed and specs only re-renders markdown.
 """
 
 from __future__ import annotations
@@ -28,94 +40,211 @@ class ReportRow:
                 f"| {self.measured} | {mark} |")
 
 
-def _latency_rows(v100, a100, h100) -> list:
-    rows = []
+# --------------------------------------------------------------------------
+# task metrics: pure (seed -> JSON-able dict) functions, one per section
+# --------------------------------------------------------------------------
+
+def _latency_metrics(seed: int) -> dict:
+    v100 = SimulatedGPU("V100", seed=seed)
+    a100 = SimulatedGPU("A100", seed=seed)
+    h100 = SimulatedGPU("H100", seed=seed)
     lat = v100.latency.latency_matrix()
-    rows.append(ReportRow(
-        "Fig 1", "V100 hit latency min/mean/max (cycles)",
-        "175 / 212 / 248",
-        f"{lat.min():.0f} / {lat.mean():.0f} / {lat.max():.0f}",
-        150 <= lat.min() <= 195 and 200 <= lat.mean() <= 225
-        and 235 <= lat.max() <= 270))
-    sigmas = [lat[v100.hier.sms_in_gpc(g)].std() for g in range(6)]
-    rows.append(ReportRow(
-        "Fig 2", "GPC sigma contrast (widest/narrowest)",
-        "13.9 / 7.5 cycles", f"{max(sigmas):.1f} / {min(sigmas):.1f}",
-        max(sigmas) / min(sigmas) > 1.5))
+    sigmas = [float(lat[v100.hier.sms_in_gpc(g)].std()) for g in range(6)]
     a_lat = a100.latency.latency_matrix()
     sm0 = a100.hier.sms_in_partition(0)[0]
-    near = a_lat[sm0, a100.hier.slices_in_partition(0)].mean()
-    far = a_lat[sm0, a100.hier.slices_in_partition(1)].mean()
-    rows.append(ReportRow(
-        "Fig 8b", "A100 near / far hit latency", "~212 / ~400 cycles",
-        f"{near:.0f} / {far:.0f}", far / near > 1.6))
     pens = [h100.latency.miss_penalty(0, s) for s in range(h100.num_slices)]
-    rows.append(ReportRow(
-        "Fig 8f", "H100 miss-penalty spread", "varies",
-        f"{min(pens):.0f}-{max(pens):.0f} cycles",
-        max(pens) - min(pens) > 100))
-    return rows
+    return {
+        "v100_min": float(lat.min()),
+        "v100_mean": float(lat.mean()),
+        "v100_max": float(lat.max()),
+        "v100_sigma_max": max(sigmas),
+        "v100_sigma_min": min(sigmas),
+        "a100_near": float(a_lat[sm0, a100.hier.slices_in_partition(0)]
+                           .mean()),
+        "a100_far": float(a_lat[sm0, a100.hier.slices_in_partition(1)]
+                          .mean()),
+        "h100_pen_min": float(min(pens)),
+        "h100_pen_max": float(max(pens)),
+    }
 
 
-def _bandwidth_rows(v100, a100) -> list:
+def _bandwidth_metrics(seed: int) -> dict:
     from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
                                             aggregate_memory_bandwidth,
                                             group_to_slice_bandwidth,
                                             single_sm_slice_bandwidth)
-    rows = []
-    sm_bw = single_sm_slice_bandwidth(v100, 0, 0)
-    gpc_bw = group_to_slice_bandwidth(v100, v100.hier.sms_in_gpc(0), 0)
-    rows.append(ReportRow("Fig 9b", "V100 1 SM -> 1 slice", "34 GB/s",
-                          f"{sm_bw:.1f} GB/s", abs(sm_bw - 34) < 2))
-    rows.append(ReportRow("Fig 9c", "V100 1 GPC -> 1 slice", "85 GB/s",
-                          f"{gpc_bw:.1f} GB/s", abs(gpc_bw - 85) < 3))
-    l2 = aggregate_l2_bandwidth(v100)
-    mem = aggregate_memory_bandwidth(v100)
-    rows.append(ReportRow("Fig 9a", "V100 L2 fabric / DRAM", "2.4-3.5x",
-                          f"{l2 / mem:.2f}x", 2.0 <= l2 / mem <= 4.0))
-    sm0 = a100.hier.sms_in_partition(0)[0]
-    near = single_sm_slice_bandwidth(a100, sm0, 0)
-    far = single_sm_slice_bandwidth(
-        a100, sm0, a100.hier.slices_in_partition(1)[0])
-    rows.append(ReportRow("Fig 12", "A100 near / far per-SM bandwidth",
-                          "39.5 / 26 GB/s", f"{near:.1f} / {far:.1f}",
-                          abs(near - 39.5) < 2 and abs(far - 26) < 3))
-    return rows
-
-
-def _mesh_rows() -> list:
-    from repro.noc.mesh.interfaces import run_reply_bottleneck
-    from repro.noc.mesh.traffic import run_fairness_experiment
-    rows = []
-    rb = run_reply_bottleneck(cycles=6000, window=100)
-    rows.append(ReportRow(
-        "Fig 21", "mesh memory utilisation (mean)", "~20%",
-        f"{rb.mean_utilization * 100:.0f}%",
-        0.1 <= rb.mean_utilization <= 0.3))
-    rr = run_fairness_experiment("rr", cycles=10000, warmup=2000)
-    age = run_fairness_experiment("age", cycles=10000, warmup=2000)
-    rows.append(ReportRow(
-        "Fig 23", "mesh RR max/mean throughput", "up to 2.4x",
-        f"{rr.values.max() / rr.values.mean():.2f}x",
-        rr.values.max() / rr.values.mean() > 1.5))
-    rows.append(ReportRow(
-        "Fig 23", "age-based cv vs RR cv", "fairer",
-        f"{age.values.std() / age.values.mean():.2f} vs "
-        f"{rr.values.std() / rr.values.mean():.2f}",
-        age.values.std() / age.values.mean()
-        < rr.values.std() / rr.values.mean()))
-    return rows
-
-
-def generate_report(seed: int = 0, include_mesh: bool = True) -> str:
-    """Markdown paper-vs-measured report (fast benchmark subset)."""
     v100 = SimulatedGPU("V100", seed=seed)
     a100 = SimulatedGPU("A100", seed=seed)
-    h100 = SimulatedGPU("H100", seed=seed)
-    rows = _latency_rows(v100, a100, h100)
-    rows += _bandwidth_rows(v100, a100)
+    sm0 = a100.hier.sms_in_partition(0)[0]
+    return {
+        "v100_sm": single_sm_slice_bandwidth(v100, 0, 0),
+        "v100_gpc": group_to_slice_bandwidth(v100,
+                                             v100.hier.sms_in_gpc(0), 0),
+        "v100_l2": aggregate_l2_bandwidth(v100),
+        "v100_mem": aggregate_memory_bandwidth(v100),
+        "a100_near": single_sm_slice_bandwidth(a100, sm0, 0),
+        "a100_far": single_sm_slice_bandwidth(
+            a100, sm0, a100.hier.slices_in_partition(1)[0]),
+    }
+
+
+def _mesh_bottleneck_metrics(seed: int) -> dict:
+    from repro.noc.mesh.interfaces import run_reply_bottleneck
+    rb = run_reply_bottleneck(cycles=6000, window=100)
+    return {"mean_utilization": float(rb.mean_utilization)}
+
+
+def _mesh_fairness_metrics(arbiter: str, seed: int) -> dict:
+    from repro.noc.mesh.traffic import run_fairness_experiment
+    result = run_fairness_experiment(arbiter, cycles=10000, warmup=2000,
+                                     seed=seed)
+    vals = result.values
+    return {"max": float(vals.max()), "mean": float(vals.mean()),
+            "std": float(vals.std())}
+
+
+_TASK_FUNCS = {
+    "latency": _latency_metrics,
+    "bandwidth": _bandwidth_metrics,
+    "mesh-bottleneck": _mesh_bottleneck_metrics,
+    "mesh-fairness-rr": lambda seed: _mesh_fairness_metrics("rr", seed),
+    "mesh-fairness-age": lambda seed: _mesh_fairness_metrics("age", seed),
+}
+
+_DEVICE_TASKS = ("latency", "bandwidth")
+_MESH_TASKS = ("mesh-bottleneck", "mesh-fairness-rr", "mesh-fairness-age")
+
+
+def _report_task(args) -> dict:
+    """Sweep-runner worker: compute one report task's metrics."""
+    task, seed = args
+    return _TASK_FUNCS[task](seed)
+
+
+def _task_payload(task: str, seed: int) -> dict:
+    """Cache payload: everything a task's metrics depend on.
+
+    Device tasks fold in the full spec dicts, so editing a spec (or a
+    spec .json shipping a different device) invalidates their entries;
+    mesh tasks depend only on the seed and their hard-coded parameters.
+    Deliberately excludes ``jobs`` — results are identical either way.
+    """
+    payload = {"task": task, "seed": seed}
+    if task in _DEVICE_TASKS:
+        from repro.gpu.serialization import spec_to_dict
+        from repro.gpu.specs import get_spec
+        payload["specs"] = {name: spec_to_dict(get_spec(name))
+                            for name in ("V100", "A100", "H100")}
+    return payload
+
+
+def _collect_metrics(tasks, seed: int, jobs, cache) -> dict:
+    """Metrics for every task, via cache where possible, pool if asked."""
+    from repro.exec import cache_key
+    metrics = {}
+    missing = []
+    for task in tasks:
+        cached = (cache.get(cache_key("report-task",
+                                      _task_payload(task, seed)))
+                  if cache is not None else None)
+        if cached is not None:
+            metrics[task] = cached
+        else:
+            missing.append(task)
+    if missing:
+        from repro.exec import SweepRunner
+        computed = SweepRunner(jobs).map(_report_task,
+                                         [(t, seed) for t in missing])
+        for task, result in zip(missing, computed):
+            metrics[task] = result
+            if cache is not None:
+                cache.put(cache_key("report-task",
+                                    _task_payload(task, seed)), result)
+    return metrics
+
+
+# --------------------------------------------------------------------------
+# row assembly: pure formatting of the metric dicts
+# --------------------------------------------------------------------------
+
+def _latency_rows(m: dict) -> list:
+    rows = [ReportRow(
+        "Fig 1", "V100 hit latency min/mean/max (cycles)",
+        "175 / 212 / 248",
+        f"{m['v100_min']:.0f} / {m['v100_mean']:.0f} / {m['v100_max']:.0f}",
+        150 <= m["v100_min"] <= 195 and 200 <= m["v100_mean"] <= 225
+        and 235 <= m["v100_max"] <= 270)]
+    rows.append(ReportRow(
+        "Fig 2", "GPC sigma contrast (widest/narrowest)",
+        "13.9 / 7.5 cycles",
+        f"{m['v100_sigma_max']:.1f} / {m['v100_sigma_min']:.1f}",
+        m["v100_sigma_max"] / m["v100_sigma_min"] > 1.5))
+    rows.append(ReportRow(
+        "Fig 8b", "A100 near / far hit latency", "~212 / ~400 cycles",
+        f"{m['a100_near']:.0f} / {m['a100_far']:.0f}",
+        m["a100_far"] / m["a100_near"] > 1.6))
+    rows.append(ReportRow(
+        "Fig 8f", "H100 miss-penalty spread", "varies",
+        f"{m['h100_pen_min']:.0f}-{m['h100_pen_max']:.0f} cycles",
+        m["h100_pen_max"] - m["h100_pen_min"] > 100))
+    return rows
+
+
+def _bandwidth_rows(m: dict) -> list:
+    rows = [ReportRow("Fig 9b", "V100 1 SM -> 1 slice", "34 GB/s",
+                      f"{m['v100_sm']:.1f} GB/s",
+                      abs(m["v100_sm"] - 34) < 2)]
+    rows.append(ReportRow("Fig 9c", "V100 1 GPC -> 1 slice", "85 GB/s",
+                          f"{m['v100_gpc']:.1f} GB/s",
+                          abs(m["v100_gpc"] - 85) < 3))
+    ratio = m["v100_l2"] / m["v100_mem"]
+    rows.append(ReportRow("Fig 9a", "V100 L2 fabric / DRAM", "2.4-3.5x",
+                          f"{ratio:.2f}x", 2.0 <= ratio <= 4.0))
+    rows.append(ReportRow("Fig 12", "A100 near / far per-SM bandwidth",
+                          "39.5 / 26 GB/s",
+                          f"{m['a100_near']:.1f} / {m['a100_far']:.1f}",
+                          abs(m["a100_near"] - 39.5) < 2
+                          and abs(m["a100_far"] - 26) < 3))
+    return rows
+
+
+def _mesh_rows(bottleneck: dict, rr: dict, age: dict) -> list:
+    rows = [ReportRow(
+        "Fig 21", "mesh memory utilisation (mean)", "~20%",
+        f"{bottleneck['mean_utilization'] * 100:.0f}%",
+        0.1 <= bottleneck["mean_utilization"] <= 0.3)]
+    rows.append(ReportRow(
+        "Fig 23", "mesh RR max/mean throughput", "up to 2.4x",
+        f"{rr['max'] / rr['mean']:.2f}x", rr["max"] / rr["mean"] > 1.5))
+    rows.append(ReportRow(
+        "Fig 23", "age-based cv vs RR cv", "fairer",
+        f"{age['std'] / age['mean']:.2f} vs {rr['std'] / rr['mean']:.2f}",
+        age["std"] / age["mean"] < rr["std"] / rr["mean"]))
+    return rows
+
+
+def generate_report(seed: int = 0, include_mesh: bool = True,
+                    jobs: int | None = None, cache=None) -> str:
+    """Markdown paper-vs-measured report (fast benchmark subset).
+
+    ``jobs`` fans the report's independent tasks out over a process pool
+    (``None`` = in-process, same results).  ``cache`` is a
+    :class:`repro.exec.ResultCache` (or a directory path) memoizing task
+    metrics across invocations.
+    """
+    if isinstance(cache, str):
+        from repro.exec import ResultCache
+        cache = ResultCache(cache)
+    tasks = list(_DEVICE_TASKS)
     if include_mesh:
-        rows += _mesh_rows()
+        tasks += list(_MESH_TASKS)
+    metrics = _collect_metrics(tasks, seed, jobs, cache)
+    rows = _latency_rows(metrics["latency"])
+    rows += _bandwidth_rows(metrics["bandwidth"])
+    if include_mesh:
+        rows += _mesh_rows(metrics["mesh-bottleneck"],
+                           metrics["mesh-fairness-rr"],
+                           metrics["mesh-fairness-age"])
     lines = [
         "# Reproduction report",
         "",

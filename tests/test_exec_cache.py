@@ -1,0 +1,108 @@
+"""The content-addressed result cache: keys, round trips, recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import ResultCache, cache_key
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_key_is_stable_and_order_insensitive():
+    a = cache_key("latency", {"seed": 0, "sms": [1, 2]})
+    b = cache_key("latency", {"sms": [1, 2], "seed": 0})
+    assert a == b
+    assert len(a) == 64 and int(a, 16) >= 0    # hex SHA-256
+
+
+def test_key_changes_with_any_input():
+    base = cache_key("latency", {"seed": 0, "spec": {"name": "V100"}})
+    assert cache_key("bandwidth", {"seed": 0,
+                                   "spec": {"name": "V100"}}) != base
+    assert cache_key("latency", {"seed": 1,
+                                 "spec": {"name": "V100"}}) != base
+    assert cache_key("latency", {"seed": 0,
+                                 "spec": {"name": "A100"}}) != base
+
+
+def test_key_accepts_numpy_payloads():
+    a = cache_key("x", {"values": np.arange(3), "n": np.int64(3)})
+    b = cache_key("x", {"values": [0, 1, 2], "n": 3})
+    assert a == b
+
+
+def test_key_requires_algorithm():
+    with pytest.raises(ConfigurationError):
+        cache_key("", {"seed": 0})
+
+
+def test_round_trip_and_counters(cache):
+    key = cache_key("t", {"seed": 0})
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    cache.put(key, {"rows": [[1.0, 2.0]], "n": 2})
+    assert cache.get(key) == {"rows": [[1.0, 2.0]], "n": 2}
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert len(cache) == 1
+
+
+def test_numpy_values_come_back_as_lists(cache):
+    key = cache_key("t", {"seed": 0})
+    cache.put(key, {"matrix": np.eye(2), "scalar": np.float64(1.5)})
+    assert cache.get(key) == {"matrix": [[1.0, 0.0], [0.0, 1.0]],
+                              "scalar": 1.5}
+
+
+def test_corrupted_entry_is_dropped_and_recomputed(cache):
+    key = cache_key("t", {"seed": 0})
+    cache.put(key, [1, 2, 3])
+    path = cache.directory / f"{key}.json"
+    path.write_text("{truncated")
+    assert cache.get(key, "fallback") == "fallback"
+    assert not path.exists()                   # bad file removed
+    assert cache.get_or_compute("t", {"seed": 0}, lambda: [1, 2, 3]) \
+        == [1, 2, 3]
+    assert path.exists()
+
+
+def test_entry_with_wrong_key_is_rejected(cache):
+    """A renamed/copied entry must not serve under the wrong key."""
+    key = cache_key("t", {"seed": 0})
+    other = cache_key("t", {"seed": 1})
+    cache.put(other, "other-value")
+    source = (cache.directory / f"{other}.json").read_text()
+    (cache.directory / f"{key}.json").write_text(source)
+    assert cache.get(key) is None
+    assert json.loads(
+        (cache.directory / f"{other}.json").read_text())["value"] \
+        == "other-value"
+
+
+def test_get_or_compute_memoizes(cache):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    first = cache.get_or_compute("alg", {"p": 1}, compute)
+    second = cache.get_or_compute("alg", {"p": 1}, compute)
+    assert first == second == {"answer": 42}
+    assert len(calls) == 1
+    cache.get_or_compute("alg", {"p": 2}, compute)   # new inputs: recompute
+    assert len(calls) == 2
+
+
+def test_directory_is_created(tmp_path):
+    nested = tmp_path / "a" / "b" / "cache"
+    cache = ResultCache(nested)
+    cache.put(cache_key("t", {}), 1)
+    assert nested.is_dir() and len(cache) == 1

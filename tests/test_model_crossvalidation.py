@@ -1,12 +1,14 @@
 """Property-based cross-validation: cycle sim vs flow solver.
 
 For randomly drawn *low-load* traffic patterns (at most two SMs) the two
-independent bandwidth models must agree.  Tolerance note: the solver's
-calibrated concentrator curve ``1 + rho^3/(1-rho)`` already inflates by
-~20% at 50% channel load, where an idealised FIFO adds nearly nothing —
-so intermediate-load cases legitimately differ by up to ~25%; the bound
-asserted here is 30%.  (At the calibration points — hard-bound flows and
-saturated links — agreement is within a few percent, asserted exactly in
+independent bandwidth models must agree to within the documented 15%
+(DESIGN.md §6).  The solver's concentrator curve ``1 + rho^8/(1-rho)``
+is negligible below ~65% channel load, exactly like the simulator's
+idealised FIFO queueing, so low- and intermediate-load patterns track
+each other closely; divergence is reserved for saturated concentrators,
+where the calibrated throttle intentionally under-delivers the FIFO.
+(At the calibration points — hard-bound flows and saturated links —
+agreement is within a few percent, asserted exactly in
 ``tests/test_xbarsim.py``.)
 """
 
@@ -36,7 +38,7 @@ def test_v100_low_load_agreement(sm_a, sm_b, slices_a, slices_b):
     sim = sum(simulate_bandwidth(_V100, traffic, cycles=10000,
                                  warmup=2500).values())
     solver = _V100.topology.solve(traffic).total_gbps
-    assert sim == pytest.approx(solver, rel=0.30)
+    assert sim == pytest.approx(solver, rel=0.15)
 
 
 @settings(max_examples=8, deadline=None)
@@ -52,4 +54,4 @@ def test_a100_low_load_agreement_with_partitions(sm, slices):
     sim = sum(simulate_bandwidth(_A100, traffic, cycles=10000,
                                  warmup=2500).values())
     solver = _A100.topology.solve(traffic).total_gbps
-    assert sim == pytest.approx(solver, rel=0.30)
+    assert sim == pytest.approx(solver, rel=0.15)
