@@ -1,0 +1,160 @@
+"""Closed-loop load generator for the repro.serve service (JSON out).
+
+Embeds a real :class:`~repro.serve.server.ExperimentServer` on an
+ephemeral port, then drives it with a closed loop of client threads
+(each thread issues its next request only after the previous response
+arrives — offered load adapts to service capacity, the standard
+closed-loop model).  Two phases:
+
+* ``hot`` — every client repeats one identical latency-matrix request.
+  After the first computation the server answers from the coalescing
+  layer and the result cache, so this measures the service overhead
+  (HTTP parse + cache hit + canonical JSON) rather than the simulator.
+* ``cold`` — every request is unique (distinct seeds), so each one
+  pays an admitted pool computation; rejections under the in-flight
+  bound count as backpressure, not errors.
+
+Emits one JSON document (printed under ``pytest -s``, or run the file
+directly: ``python benchmarks/bench_serve.py``) with client-side
+throughput and latency percentiles next to the server's own
+``/metricz`` view of the same traffic, alongside the engine timings of
+``bench_perf_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+
+from _figutil import show
+
+from repro.serve import ServeClient, serve_in_thread
+
+HOT_WORKERS = 8
+HOT_SECONDS = 2.0
+COLD_WORKERS = 4
+COLD_REQUESTS = 12
+
+_HOT_PARAMS = {"gpu": "V100", "seed": 0, "sms": [0, 1, 2, 3],
+               "samples": 1}
+
+
+def _percentiles(samples: list) -> dict:
+    samples = sorted(samples)
+    if not samples:
+        return {"count": 0}
+    at = lambda q: samples[min(len(samples) - 1, int(q * len(samples)))]
+    return {"count": len(samples),
+            "p50_ms": at(0.50) * 1e3, "p90_ms": at(0.90) * 1e3,
+            "p99_ms": at(0.99) * 1e3, "max_ms": samples[-1] * 1e3}
+
+
+def _hot_phase(port: int) -> dict:
+    """Closed loop of identical requests for a fixed wall-clock window."""
+    ServeClient(port=port).experiment("latency-matrix",
+                                      **_HOT_PARAMS)     # warm the cache
+    latencies: list = []
+    errors = [0]
+    lock = threading.Lock()
+    stop = time.monotonic() + HOT_SECONDS
+
+    def worker():
+        client = ServeClient(port=port)
+        local: list = []
+        while time.monotonic() < stop:
+            begin = time.perf_counter()
+            reply = client.experiment("latency-matrix", **_HOT_PARAMS)
+            elapsed = time.perf_counter() - begin
+            if reply.status == 200:
+                local.append(elapsed)
+            else:
+                with lock:
+                    errors[0] += 1
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(HOT_WORKERS)]
+    begin = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - begin
+    return {"workers": HOT_WORKERS, "wall_s": wall,
+            "throughput_rps": len(latencies) / wall,
+            "errors": errors[0], "latency": _percentiles(latencies)}
+
+
+def _cold_phase(port: int) -> dict:
+    """Unique requests: each pays a real computation (or a clean 429)."""
+    statuses: list = []
+    latencies: list = []
+    lock = threading.Lock()
+    seeds = iter(range(1000, 1000 + COLD_REQUESTS))
+
+    def worker():
+        client = ServeClient(port=port)
+        while True:
+            with lock:
+                seed = next(seeds, None)
+            if seed is None:
+                return
+            begin = time.perf_counter()
+            reply = client.experiment("latency-matrix", gpu="V100",
+                                      seed=seed, sms=[0, 1], samples=1)
+            elapsed = time.perf_counter() - begin
+            with lock:
+                statuses.append(reply.status)
+                if reply.status == 200:
+                    latencies.append(elapsed)
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(COLD_WORKERS)]
+    begin = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - begin
+    completed = statuses.count(200)
+    return {"workers": COLD_WORKERS, "requests": len(statuses),
+            "completed": completed, "rejected_429": statuses.count(429),
+            "other_statuses": sorted(set(statuses) - {200, 429}),
+            "wall_s": wall, "throughput_rps": completed / wall,
+            "latency": _percentiles(latencies)}
+
+
+def collect() -> dict:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with serve_in_thread(jobs=2, cache_dir=cache_dir,
+                             max_inflight=4) as server:
+            client = ServeClient(port=server.port)
+            client.wait_healthy()
+            hot = _hot_phase(server.port)
+            cold = _cold_phase(server.port)
+            metrics = client.metricz().json
+    return {"hot": hot, "cold": cold,
+            "server_counters": metrics["counters"],
+            "server_latency": metrics["latency"]}
+
+
+def bench_serve(benchmark):
+    record = benchmark.pedantic(collect, rounds=1, iterations=1)
+    show("repro.serve closed-loop load (JSON)",
+         json.dumps(record, indent=2))
+    assert record["hot"]["errors"] == 0
+    # hot-path throughput must beat one request per compute-time: the
+    # cache/coalescing layer, not the simulator, bounds it
+    assert record["hot"]["throughput_rps"] > 20
+    assert record["cold"]["other_statuses"] == []
+    counters = record["server_counters"]
+    assert counters["errors"] == 0
+    # the hot phase computed its result exactly once
+    assert counters["cache_hits"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(collect(), indent=2))

@@ -9,6 +9,7 @@ run from a shell:
 * ``bandwidth <gpu>``            — Fig 9 headline numbers
 * ``speedup <gpu>``              — Fig 10 table
 * ``observations``               — all twelve observation checks
+* ``serve``                      — measurement-as-a-service HTTP server
 """
 
 from __future__ import annotations
@@ -111,6 +112,36 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the measurement service until interrupted; drain on exit."""
+    import asyncio
+
+    from repro.serve.server import ExperimentServer
+
+    async def _run() -> None:
+        server = ExperimentServer(host=args.host, port=args.port,
+                                  jobs=args.jobs or 1, cache_dir=args.cache,
+                                  max_inflight=args.max_inflight)
+        await server.start()
+        print(f"repro.serve listening on http://{server.host}:{server.port}"
+              f"  (jobs={server.runner.jobs}, "
+              f"max_inflight={server.admission.limit}, "
+              f"cache={'on' if server.cache else 'off'})")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining ...", file=sys.stderr)
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_observations(_args) -> int:
     from repro.core.observations import check_all_observations
     results = check_all_observations()
@@ -125,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="GPU NoC characterisation on simulated devices "
                     "(MICRO 2024 reproduction)")
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     parser.add_argument("--seed", type=int, default=0,
                         help="device seed (default 0)")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -149,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cache", default=None, metavar="DIR",
                         help="directory for the persistent result cache; "
                              "repeat runs reuse stored section metrics")
+    serve = sub.add_parser(
+        "serve", help="serve experiments over HTTP (coalescing + cache)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8737,
+                       help="bind port; 0 picks an ephemeral one")
+    serve.add_argument("--jobs", type=_jobs_argument, default=1,
+                       metavar="N",
+                       help="worker processes for cold computations")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory (hot-path hits)")
+    serve.add_argument("--max-inflight", type=_jobs_argument, default=8,
+                       metavar="N",
+                       help="admitted cold computations before 429s")
     return parser
 
 
@@ -160,12 +208,21 @@ _COMMANDS = {
     "speedup": _cmd_speedup,
     "observations": _cmd_observations,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        # a subparser exists but is not wired up — exit 2 with usage,
+        # matching argparse's own unknown-subcommand behaviour
+        parser.print_usage(sys.stderr)
+        print(f"repro: unknown command {args.command!r}", file=sys.stderr)
+        return 2
+    return handler(args)
 
 
 if __name__ == "__main__":          # pragma: no cover

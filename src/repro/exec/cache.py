@@ -20,8 +20,10 @@ on the way in (and come back as plain lists/floats).
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -32,6 +34,10 @@ from repro.errors import ConfigurationError
 CACHE_VERSION = 1
 
 _MISS = object()
+
+#: Distinguishes tmp files of concurrent writers within one process; the
+#: pid distinguishes processes.
+_TMP_COUNTER = itertools.count()
 
 
 def _jsonify(value):
@@ -62,6 +68,15 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._locks_guard = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -88,21 +103,42 @@ class ResultCache:
         return entry["value"]
 
     def put(self, key: str, value) -> None:
-        """Store ``value`` under ``key`` (atomic rename, crash-safe)."""
+        """Store ``value`` under ``key`` (atomic rename, crash-safe).
+
+        The tmp name is unique per writer (pid + counter), so concurrent
+        writers of the same key never replace each other's half-written
+        file — last completed writer wins, every reader always sees a
+        complete entry.
+        """
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        tmp = path.parent / f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
         body = json.dumps({"key": key, "value": value}, default=_jsonify)
-        tmp.write_text(body)
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(body)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def get_or_compute(self, algorithm: str, payload: dict, compute):
-        """Memoize ``compute()`` under the content key of the inputs."""
+        """Memoize ``compute()`` under the content key of the inputs.
+
+        Concurrent callers of the same key in one process are coalesced:
+        a per-key lock lets exactly one thread run ``compute()`` while
+        the others block and then read its stored value.  Across
+        processes the atomic :meth:`put` keeps a stampede harmless
+        (duplicate computation, never a torn entry).
+        """
         key = cache_key(algorithm, payload)
         value = self.get(key, _MISS)
         if value is not _MISS:
             return value
-        value = compute()
-        self.put(key, value)
+        with self._key_lock(key):
+            value = self.get(key, _MISS)      # recheck after the wait
+            if value is not _MISS:
+                return value
+            value = compute()
+            self.put(key, value)
         return value
 
     def __len__(self) -> int:

@@ -21,11 +21,20 @@ Two invariants make parallel results trustworthy:
 ``jobs <= 1`` runs shards in-process (no pool, no pickling); ``jobs > 1``
 fans out over a :class:`concurrent.futures.ProcessPoolExecutor`.  Results
 always come back in shard order.
+
+A runner constructed with ``persistent=True`` keeps one process pool
+alive across calls instead of building a fresh pool per :meth:`~SweepRunner.map`.
+That mode adds :meth:`~SweepRunner.submit` — fire one worker invocation
+and get a :class:`concurrent.futures.Future` back — which is what a
+long-lived caller (the :mod:`repro.serve` event loop) needs to run
+computations off its own thread without paying pool start-up per
+request.  Persistent runners must be closed (or used as context
+managers).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 
 from repro.errors import ConfigurationError
 
@@ -46,12 +55,23 @@ def chunk(items, size: int = DEFAULT_SHARD_SMS) -> list:
 class SweepRunner:
     """Maps a picklable worker over shard arguments, serially or not."""
 
-    def __init__(self, jobs: int | None = None):
+    def __init__(self, jobs: int | None = None, persistent: bool = False):
         if jobs is None:
             jobs = 1
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+
+    def _persistent_pool(self) -> ProcessPoolExecutor:
+        if not self.persistent:
+            raise ConfigurationError(
+                "this SweepRunner is per-call; construct it with "
+                "persistent=True to keep a pool alive")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
 
     def map(self, worker, shard_args) -> list:
         """Run ``worker`` over every shard; results in shard order.
@@ -62,9 +82,33 @@ class SweepRunner:
         shard_args = list(shard_args)
         if self.jobs == 1 or len(shard_args) <= 1:
             return [worker(args) for args in shard_args]
+        if self.persistent:
+            return list(self._persistent_pool().map(worker, shard_args))
         workers = min(self.jobs, len(shard_args))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(worker, shard_args))
+
+    def submit(self, worker, args) -> Future:
+        """Run ``worker(args)`` once on the persistent pool (a Future).
+
+        Unlike :meth:`map` there is no in-process shortcut: even with
+        ``jobs=1`` the invocation runs in a pool worker, because the
+        point of :meth:`submit` is keeping the *calling* thread (an
+        event loop) free.
+        """
+        return self._persistent_pool().submit(worker, args)
+
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent, waits for work)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def device_payload(gpu) -> tuple:

@@ -1,0 +1,44 @@
+"""Measurement-as-a-service layer: async HTTP serving of experiments.
+
+Turns the repository from a library+CLI into a long-lived service: a
+stdlib-only asyncio JSON-over-HTTP server (:mod:`~repro.serve.server`)
+exposes the paper's headline experiments as typed endpoints
+(:mod:`~repro.serve.experiments`), with singleflight request coalescing
+and bounded-admission backpressure (:mod:`~repro.serve.coalesce`), live
+counters and streaming latency quantiles (:mod:`~repro.serve.metrics`),
+and a blocking stdlib client (:mod:`~repro.serve.client`).
+
+Start one from a shell::
+
+    python -m repro serve --port 8737 --jobs 4 --cache ~/.cache/repro
+
+or embed one in-process::
+
+    from repro.serve import ServeClient, serve_in_thread
+
+    with serve_in_thread(jobs=2, cache_dir="/tmp/repro-cache") as server:
+        client = ServeClient(port=server.port)
+        reply = client.experiment("latency-matrix", gpu="V100", seed=0)
+        matrix = reply.value()["matrix"]
+"""
+
+from repro.serve.client import ServeClient, ServeClientError, ServeReply
+from repro.serve.coalesce import AdmissionController, Singleflight
+from repro.serve.experiments import (EXPERIMENTS, Experiment,
+                                     ExperimentRequestError, Param,
+                                     cache_payload, describe_experiments,
+                                     normalize, run_experiment)
+from repro.serve.metrics import ServeMetrics, StreamingDigest
+from repro.serve.server import (DEFAULT_MAX_INFLIGHT, ExperimentServer,
+                                canonical_json, serve_in_thread)
+
+__all__ = [
+    "ServeClient", "ServeClientError", "ServeReply",
+    "AdmissionController", "Singleflight",
+    "EXPERIMENTS", "Experiment", "ExperimentRequestError", "Param",
+    "cache_payload", "describe_experiments", "normalize",
+    "run_experiment",
+    "ServeMetrics", "StreamingDigest",
+    "DEFAULT_MAX_INFLIGHT", "ExperimentServer", "canonical_json",
+    "serve_in_thread",
+]

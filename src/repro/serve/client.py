@@ -1,0 +1,103 @@
+"""Blocking stdlib client for a running ``repro.serve`` server.
+
+Built on :mod:`http.client` so tests, benchmarks, and scripts need no
+third-party HTTP stack.  One connection per request matches the server's
+``Connection: close`` policy; a :class:`ServeClient` is therefore cheap,
+stateless, and safe to share across threads (each call opens its own
+socket).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+class ServeClientError(ReproError):
+    """The server could not be reached or violated the protocol."""
+
+
+@dataclass(frozen=True)
+class ServeReply:
+    """One HTTP exchange: status code plus the raw response bytes."""
+    status: int
+    body: bytes
+
+    @property
+    def json(self):
+        return json.loads(self.body)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    def value(self):
+        """The experiment result inside a successful envelope."""
+        if not self.ok:
+            raise ServeClientError(
+                f"HTTP {self.status}: {self.body[:200]!r}")
+        return self.json["value"]
+
+
+class ServeClient:
+    """Issue requests against one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload=None) -> ServeReply:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode()
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return ServeReply(response.status, response.read())
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServeClientError(
+                f"{method} {path} against "
+                f"{self.host}:{self.port} failed: {exc}") from exc
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------ endpoints
+
+    def healthz(self) -> ServeReply:
+        return self.request("GET", "/healthz")
+
+    def metricz(self) -> ServeReply:
+        return self.request("GET", "/metricz")
+
+    def experiments(self) -> ServeReply:
+        return self.request("GET", "/v1/experiments")
+
+    def experiment(self, name: str, **params) -> ServeReply:
+        return self.request("POST", f"/v1/experiments/{name}",
+                            payload=params)
+
+    def wait_healthy(self, deadline_s: float = 10.0) -> dict:
+        """Poll ``/healthz`` until it answers; the health dict, or raise."""
+        deadline = time.monotonic() + deadline_s
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                reply = self.healthz()
+                if reply.ok:
+                    return reply.json
+            except ServeClientError as exc:
+                last = exc
+            time.sleep(0.02)
+        raise ServeClientError(
+            f"server at {self.host}:{self.port} not healthy "
+            f"within {deadline_s}s: {last}")

@@ -1,0 +1,104 @@
+"""Singleflight coalescing and admission control for the event loop.
+
+Both classes are asyncio-native and rely on the loop's cooperative
+scheduling for atomicity: checking for an existing flight, registering a
+new one, and taking an admission slot are all synchronous operations, so
+no two requests can interleave inside them.
+
+:class:`Singleflight` — N concurrent requests for the same content key
+share one computation.  The leader registers a future under the key
+*before* its first await, runs the computation, and resolves the future;
+followers that arrive while the key is registered just await it.  An
+exception resolves the flight too (all waiters see it) and is *not*
+cached, so the next request retries.
+
+:class:`AdmissionController` — a bounded in-flight budget with fast
+rejection.  ``try_acquire`` never blocks: the caller either gets a slot
+or an immediate ``False`` (a 429 in the server), which keeps the queue
+of admitted work bounded and the rejection latency flat under overload.
+``drain`` is the graceful-shutdown hook: it resolves once every admitted
+slot has been released.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ConfigurationError
+
+
+class Singleflight:
+    """Per-key coalescing of concurrent identical computations."""
+
+    def __init__(self):
+        self._flights: dict[str, asyncio.Future] = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self._flights)
+
+    def leader_for(self, key: str) -> asyncio.Future | None:
+        """The in-progress flight for ``key``, if any (None otherwise)."""
+        return self._flights.get(key)
+
+    async def run(self, key: str, factory) -> tuple:
+        """``(value, led)`` — run ``factory()`` or join the flight for key.
+
+        ``led`` is True for the caller whose ``factory`` actually ran.
+        """
+        existing = self._flights.get(key)
+        if existing is not None:
+            # shield: one cancelled follower must not kill the shared
+            # computation other waiters (and the leader) depend on
+            return await asyncio.shield(existing), False
+        future = asyncio.get_running_loop().create_future()
+        self._flights[key] = future
+        try:
+            value = factory()
+            if asyncio.iscoroutine(value):
+                value = await value
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                future.exception()      # mark retrieved: no GC warning
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(value)
+            return value, True
+        finally:
+            self._flights.pop(key, None)
+
+
+class AdmissionController:
+    """Bounded in-flight slots with non-blocking acquire and drain."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ConfigurationError(
+                f"admission limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.active = 0
+        self.peak = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; never blocks."""
+        if self.active >= self.limit:
+            return False
+        self.active += 1
+        self.peak = max(self.peak, self.active)
+        self._idle.clear()
+        return True
+
+    def release(self) -> None:
+        if self.active <= 0:
+            raise ConfigurationError("release() without acquire()")
+        self.active -= 1
+        if self.active == 0:
+            self._idle.set()
+
+    async def drain(self) -> None:
+        """Resolve once no admitted work remains in flight."""
+        await self._idle.wait()

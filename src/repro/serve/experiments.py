@@ -1,0 +1,280 @@
+"""Typed registry of the experiments ``repro.serve`` exposes.
+
+Each entry pairs a declarative parameter schema with a module-level
+compute function, which buys three properties the server needs:
+
+* **Validation at the edge.**  :func:`normalize` rejects unknown
+  experiments/parameters and wrong types with a
+  :class:`ExperimentRequestError` *before* anything is queued, so a bad
+  request costs microseconds, not a pool slot.
+* **Canonical parameters.**  Normalization fills every default and
+  coerces types, so two requests that mean the same computation produce
+  the same params dict — the requirement for request coalescing and
+  cache addressing to work ("sms omitted" and "sms: null" must hash
+  identically).
+* **Picklable dispatch.**  :func:`run_experiment` is a plain
+  module-level function of ``(name, params)``; the server ships it to a
+  :class:`~repro.exec.runner.SweepRunner` pool worker untouched.
+
+Results are plain JSON values (lists/dicts/floats); the cache payload of
+gpu-bound experiments folds in the full spec dict so editing a spec
+invalidates served entries exactly like it invalidates report sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Report sections servable via the ``report-section`` experiment.
+REPORT_SECTIONS = ("latency", "bandwidth", "mesh-bottleneck",
+                   "mesh-fairness-rr", "mesh-fairness-age")
+
+_GPU_NAMES = ("V100", "A100", "H100")
+
+
+class ExperimentRequestError(ReproError):
+    """A request named an unknown experiment or carried bad parameters."""
+
+
+@dataclass(frozen=True)
+class Param:
+    """One declared request parameter."""
+    name: str
+    kind: str                 # "gpu" | "int" | "bool" | "str" | "int-list"
+    default: object = None
+    choices: tuple = ()
+    doc: str = ""
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A servable experiment: schema + picklable compute function."""
+    name: str
+    summary: str
+    fn: object                # module-level callable(params) -> JSON value
+    params: tuple = field(default_factory=tuple)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "summary": self.summary,
+                "params": [{"name": p.name, "kind": p.kind,
+                            "default": p.default,
+                            **({"choices": list(p.choices)}
+                               if p.choices else {})}
+                           for p in self.params]}
+
+
+def _coerce(experiment: str, param: Param, value):
+    """Validate/coerce one raw value against its declaration."""
+    where = f"{experiment}.{param.name}"
+    if value is None:
+        return None
+    if param.kind == "gpu":
+        if not isinstance(value, str) or value.upper() not in _GPU_NAMES:
+            raise ExperimentRequestError(
+                f"{where} must be one of {', '.join(_GPU_NAMES)}")
+        return value.upper()
+    if param.kind == "int":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ExperimentRequestError(f"{where} must be an integer")
+        return value
+    if param.kind == "bool":
+        if not isinstance(value, bool):
+            raise ExperimentRequestError(f"{where} must be true/false")
+        return value
+    if param.kind == "str":
+        if not isinstance(value, str):
+            raise ExperimentRequestError(f"{where} must be a string")
+        if param.choices and value not in param.choices:
+            raise ExperimentRequestError(
+                f"{where} must be one of {', '.join(param.choices)}")
+        return value
+    if param.kind == "int-list":
+        if not isinstance(value, list) or any(
+                isinstance(v, bool) or not isinstance(v, int)
+                for v in value):
+            raise ExperimentRequestError(
+                f"{where} must be a list of integers")
+        return list(value)
+    raise ExperimentRequestError(f"{where}: undeclared kind {param.kind!r}")
+
+
+def normalize(name: str, raw: dict) -> dict:
+    """Canonical params for ``name`` (defaults filled, types checked)."""
+    experiment = EXPERIMENTS.get(name)
+    if experiment is None:
+        raise ExperimentRequestError(
+            f"unknown experiment {name!r}; serve knows "
+            f"{', '.join(sorted(EXPERIMENTS))}")
+    if not isinstance(raw, dict):
+        raise ExperimentRequestError(
+            f"{name}: parameters must be a JSON object")
+    declared = {p.name: p for p in experiment.params}
+    unknown = sorted(set(raw) - set(declared))
+    if unknown:
+        raise ExperimentRequestError(
+            f"{name}: unknown parameter(s) {', '.join(unknown)}; "
+            f"declared: {', '.join(declared) or '(none)'}")
+    params = {}
+    for param in experiment.params:
+        value = raw.get(param.name, param.default)
+        params[param.name] = _coerce(name, param, value)
+    return params
+
+
+# --------------------------------------------------------------------------
+# compute functions — module-level, picklable, JSON in / JSON out
+# --------------------------------------------------------------------------
+
+def _device(params):
+    from repro.gpu.device import SimulatedGPU
+    return SimulatedGPU(params["gpu"], seed=params["seed"])
+
+
+def _latency_matrix(params) -> dict:
+    """The paper's SM x slice hit-latency matrix (Fig 1/2/3 input)."""
+    from repro.core.latency_bench import measured_latency_matrix
+    gpu = _device(params)
+    sms = params["sms"] if params["sms"] is not None else gpu.hier.all_sms
+    matrix = measured_latency_matrix(gpu, sms=params["sms"],
+                                     samples=params["samples"])
+    return {"gpu": gpu.name, "sms": list(sms),
+            "num_slices": gpu.num_slices,
+            "matrix": matrix.tolist(),
+            "min": float(matrix.min()), "mean": float(matrix.mean()),
+            "max": float(matrix.max())}
+
+
+def _bandwidth_distribution(params) -> dict:
+    """Per-SM solo bandwidth to one slice (Fig 9b/13 distribution)."""
+    from repro.core.bandwidth_bench import slice_bandwidth_distribution
+    gpu = _device(params)
+    sms = params["sms"] if params["sms"] is not None else gpu.hier.all_sms
+    values = slice_bandwidth_distribution(gpu, params["slice"],
+                                          sms=params["sms"])
+    return {"gpu": gpu.name, "slice": params["slice"], "sms": list(sms),
+            "gbps": values.tolist(),
+            "min": float(values.min()), "mean": float(values.mean()),
+            "max": float(values.max())}
+
+
+def _speedup_table(params) -> dict:
+    """Input-speedup rows per hierarchy level and access kind (Fig 10)."""
+    from repro.core.speedup_bench import measure_speedups
+    gpu = _device(params)
+    rows = [{"level": m.level, "kind": m.kind.value,
+             "sms_used": m.sms_used, "required": m.required,
+             "bandwidth_gbps": m.bandwidth_gbps,
+             "speedup": m.speedup,
+             "fraction_of_full": m.fraction_of_full}
+            for m in measure_speedups(gpu, gpc=params["gpc"])]
+    return {"gpu": gpu.name, "gpc": params["gpc"], "rows": rows}
+
+
+def _observations(params) -> dict:
+    """All twelve paper observations checked on the Table I devices."""
+    from repro.core.observations import check_all_observations
+    results = check_all_observations(seed=params["seed"])
+    import json
+
+    from repro.exec.cache import _jsonify
+
+    # evidence values mix floats, numpy scalars, lists and sub-dicts;
+    # round-trip through the cache's JSON fallback to plain types
+    evidence = [json.loads(json.dumps(r.evidence, default=_jsonify))
+                for r in results]
+    return {"passed": sum(r.holds for r in results),
+            "total": len(results),
+            "observations": [{"number": r.number,
+                              "statement": r.statement,
+                              "holds": bool(r.holds),
+                              "evidence": ev}
+                             for r, ev in zip(results, evidence)]}
+
+
+def _report_section(params) -> dict:
+    """One report task's raw metrics (the report's cacheable unit)."""
+    from repro.report import _TASK_FUNCS
+    return {"section": params["section"],
+            "metrics": _TASK_FUNCS[params["section"]](params["seed"])}
+
+
+def _report(params) -> dict:
+    """The full markdown paper-vs-measured report."""
+    from repro.report import generate_report
+    return {"markdown": generate_report(seed=params["seed"],
+                                        include_mesh=params["mesh"])}
+
+
+_SEED = Param("seed", "int", 0, doc="device seed")
+_GPU = Param("gpu", "gpu", "V100", doc="V100/A100/H100")
+
+EXPERIMENTS = {e.name: e for e in (
+    Experiment(
+        "latency-matrix",
+        "SM x slice L2 hit-latency matrix (Fig 1/2/3)",
+        _latency_matrix,
+        (_GPU, _SEED,
+         Param("sms", "int-list", None, doc="SM subset (default: all)"),
+         Param("samples", "int", 2, doc="timed trials per cell"))),
+    Experiment(
+        "bandwidth-distribution",
+        "per-SM solo bandwidth to one L2 slice (Fig 9b/13)",
+        _bandwidth_distribution,
+        (_GPU, _SEED,
+         Param("slice", "int", 0, doc="destination L2 slice"),
+         Param("sms", "int-list", None, doc="SM subset (default: all)"))),
+    Experiment(
+        "speedup-table",
+        "input speedups per hierarchy level (Fig 10)",
+        _speedup_table,
+        (_GPU, _SEED, Param("gpc", "int", 0, doc="GPC to scale within"))),
+    Experiment(
+        "observations",
+        "the paper's twelve observations, checked",
+        _observations,
+        (_SEED,)),
+    Experiment(
+        "report-section",
+        "raw metrics of one report section",
+        _report_section,
+        (_SEED, Param("section", "str", "latency",
+                      choices=REPORT_SECTIONS))),
+    Experiment(
+        "report",
+        "full markdown paper-vs-measured report",
+        _report,
+        (_SEED, Param("mesh", "bool", True,
+                      doc="include the slower mesh sections"))),
+)}
+
+
+def describe_experiments() -> dict:
+    """JSON catalogue served under ``GET /v1/experiments``."""
+    return {"experiments": [EXPERIMENTS[name].describe()
+                            for name in sorted(EXPERIMENTS)]}
+
+
+def cache_payload(name: str, params: dict) -> dict:
+    """Everything the result depends on, for content addressing.
+
+    GPU-bound experiments fold in the full spec dict (editing a spec
+    invalidates their entries); ``observations``/``report*`` run all
+    three Table I devices, so they fold in all three specs.
+    """
+    from repro.gpu.serialization import spec_to_dict
+    from repro.gpu.specs import get_spec
+    payload = {"experiment": name, "params": params}
+    if "gpu" in params:
+        payload["spec"] = spec_to_dict(get_spec(params["gpu"]))
+    else:
+        payload["specs"] = {n: spec_to_dict(get_spec(n))
+                            for n in _GPU_NAMES}
+    return payload
+
+
+def run_experiment(args) -> dict:
+    """Pool worker: compute ``(name, params)`` — params pre-normalized."""
+    name, params = args
+    return EXPERIMENTS[name].fn(params)

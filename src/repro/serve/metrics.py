@@ -1,0 +1,152 @@
+"""Live service metrics: counters, gauges, streaming latency quantiles.
+
+Everything here is mutated from the server's single event-loop thread,
+so no locking is needed; readers (``GET /metricz``) see a consistent
+snapshot because the snapshot is assembled between awaits.
+
+Latency percentiles come from :class:`StreamingDigest`, a fixed-memory
+log-bucketed histogram: observations land in geometrically spaced
+buckets (4 % wide), so any quantile is answered in O(buckets) with a
+worst-case relative error of half a bucket (~2 %) regardless of how many
+millions of observations streamed through — the standard trick for
+service latencies, where absolute error must scale with the value
+(1 ms resolution at 25 ms, not at 10 s).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+#: Bucket boundaries grow by this factor: relative quantile error ~2 %.
+_GROWTH = 1.04
+
+#: Smallest distinguishable latency (seconds); everything below lands in
+#: bucket 0.
+_FLOOR = 1e-5
+
+
+class StreamingDigest:
+    """Fixed-memory quantile digest over a stream of positive values."""
+
+    def __init__(self):
+        self._counts: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def _bucket(self, value: float) -> int:
+        if value <= _FLOOR:
+            return 0
+        return 1 + int(math.log(value / _FLOOR) / math.log(_GROWTH))
+
+    def _midpoint(self, bucket: int) -> float:
+        if bucket == 0:
+            return _FLOOR / 2
+        low = _FLOOR * _GROWTH ** (bucket - 1)
+        return low * (1 + _GROWTH) / 2
+
+    def add(self, value: float) -> None:
+        value = max(0.0, float(value))
+        bucket = self._bucket(value)
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (0..1); 0.0 on an empty digest."""
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count - 1, int(q * self.count))
+        seen = 0
+        for bucket in sorted(self._counts):
+            seen += self._counts[bucket]
+            if seen > rank:
+                return min(self._midpoint(bucket), self.maximum)
+        return self.maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary_ms(self) -> dict:
+        """Count plus mean/p50/p90/p99/max in milliseconds."""
+        return {"count": self.count,
+                "mean_ms": self.mean * 1e3,
+                "p50_ms": self.quantile(0.50) * 1e3,
+                "p90_ms": self.quantile(0.90) * 1e3,
+                "p99_ms": self.quantile(0.99) * 1e3,
+                "max_ms": self.maximum * 1e3}
+
+
+class ServeMetrics:
+    """The server's live counters/gauges/digests, one instance per server.
+
+    Counter semantics (asserted by the end-to-end tests, documented here
+    so they stay stable):
+
+    * ``requests[<experiment>]`` / ``requests[<endpoint>]`` — every
+      request that reached routing, keyed by experiment name or bare
+      endpoint (``healthz``/``metricz``/``experiments``).
+    * ``computations`` — underlying experiment computations actually
+      dispatched to the pool.  N coalesced identical requests bump this
+      exactly once.
+    * ``coalesced`` — requests that joined another request's in-flight
+      computation instead of starting their own.
+    * ``cache_hits`` / ``cache_misses`` — result-cache lookups on the
+      hot path (followers of a flight never consult the cache).
+    * ``rejected`` — fast 429 responses from admission control.
+    * For any experiment:  requests == computations + coalesced +
+      cache_hits + rejected + errors (each request takes exactly one of
+      those paths).
+    """
+
+    def __init__(self):
+        self.started_at = time.monotonic()
+        self.requests: dict[str, int] = {}
+        self.responses: dict[int, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.coalesced = 0
+        self.computations = 0
+        self.rejected = 0
+        self.errors = 0
+        self.inflight_requests = 0
+        self.inflight_computations = 0
+        self.request_latency = StreamingDigest()
+        self.compute_latency = StreamingDigest()
+
+    def note_request(self, route: str) -> None:
+        self.requests[route] = self.requests.get(route, 0) + 1
+
+    def note_response(self, status: int, seconds: float) -> None:
+        self.responses[status] = self.responses.get(status, 0) + 1
+        self.request_latency.add(seconds)
+
+    def snapshot(self) -> dict:
+        """The ``/metricz`` JSON document."""
+        return {
+            "uptime_s": time.monotonic() - self.started_at,
+            "counters": {
+                "requests_total": sum(self.requests.values()),
+                "requests": dict(sorted(self.requests.items())),
+                "responses": {str(code): n for code, n
+                              in sorted(self.responses.items())},
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "computations": self.computations,
+                "rejected": self.rejected,
+                "errors": self.errors,
+            },
+            "gauges": {
+                "inflight_requests": self.inflight_requests,
+                "inflight_computations": self.inflight_computations,
+            },
+            "latency": {
+                "request": self.request_latency.summary_ms(),
+                "compute": self.compute_latency.summary_ms(),
+            },
+        }

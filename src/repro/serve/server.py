@@ -1,0 +1,351 @@
+"""The measurement-as-a-service HTTP server (stdlib asyncio only).
+
+``ExperimentServer`` turns the repository's headline experiments into a
+long-lived JSON-over-HTTP service.  A request's life:
+
+1. **Parse + validate** (event loop, microseconds).  Unknown routes,
+   experiments, or parameters are rejected before touching any budget.
+2. **Coalesce** — if an identical computation (same content key) is
+   already in flight, the request joins it (:class:`Singleflight`) and
+   costs nothing.
+3. **Hot path** — a :class:`~repro.exec.cache.ResultCache` lookup in a
+   helper thread; a hit is served without queueing.
+4. **Admission** — the cold path must win a bounded in-flight slot
+   (:class:`AdmissionController`); when the budget is exhausted the
+   request gets an immediate ``429`` with ``Retry-After`` instead of an
+   unbounded queue.
+5. **Compute** — the experiment runs on a persistent
+   :class:`~repro.exec.runner.SweepRunner` process pool, off the event
+   loop; the result is cached, and every coalesced waiter gets the same
+   value.
+
+Responses for an experiment are canonical JSON (sorted keys, fixed
+separators) of ``{experiment, params, value}``, so the bytes are
+identical whether a given response was computed, coalesced, or a cache
+hit — a property the end-to-end tests assert.
+
+``stop()`` drains gracefully: the listener closes first, in-flight
+requests (and their computations) finish, then the pool shuts down.
+
+HTTP handling is deliberately minimal — HTTP/1.1, one request per
+connection, ``Connection: close`` — because the server's clients are
+programmatic (:mod:`repro.serve.client`, curl, load generators), not
+browsers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+
+from repro.exec import ResultCache, SweepRunner, cache_key
+from repro.exec.cache import _jsonify
+from repro.serve.coalesce import AdmissionController, Singleflight
+from repro.serve.experiments import (EXPERIMENTS, ExperimentRequestError,
+                                     cache_payload, describe_experiments,
+                                     normalize, run_experiment)
+from repro.serve.metrics import ServeMetrics
+
+#: Default bound on concurrently admitted (cold) computations.
+DEFAULT_MAX_INFLIGHT = 8
+
+#: Reject request bodies larger than this (bytes).
+MAX_BODY_BYTES = 1 << 20
+
+_REQUEST_TIMEOUT_S = 30.0
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+_MISS = object()
+
+
+def canonical_json(value) -> bytes:
+    """Deterministic JSON bytes (sorted keys, tight separators)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      default=_jsonify).encode()
+
+
+class _HttpError(Exception):
+    """Internal: carries an HTTP status + JSON error payload."""
+
+    def __init__(self, status: int, message: str, **extra):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **extra}
+
+
+class ExperimentServer:
+    """Serve the registry's experiments over HTTP on one event loop."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 jobs: int = 1, cache_dir=None,
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT):
+        self.host = host
+        self.port = port                      # 0 = ephemeral; set on start
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.runner = SweepRunner(jobs, persistent=True)
+        self.metrics = ServeMetrics()
+        self.flights = Singleflight()
+        self.admission = AdmissionController(max_inflight)
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._open_handlers = 0
+        self._handlers_idle: asyncio.Event | None = None
+
+    # ---------------------------------------------------------------- setup
+
+    async def start(self) -> None:
+        """Bind and start accepting (resolves ``self.port`` if it was 0)."""
+        self._handlers_idle = asyncio.Event()
+        self._handlers_idle.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def stop(self, drain_timeout: float = 30.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight work, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(self._handlers_idle.wait(),
+                                   drain_timeout)
+        self.runner.close()
+
+    # ------------------------------------------------------------- protocol
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._open_handlers += 1
+        self._handlers_idle.clear()
+        started = time.monotonic()
+        self.metrics.inflight_requests += 1
+        status, body = 500, b"{}"
+        try:
+            try:
+                method, target, headers = await asyncio.wait_for(
+                    self._read_head(reader), _REQUEST_TIMEOUT_S)
+                payload = await asyncio.wait_for(
+                    self._read_body(reader, headers), _REQUEST_TIMEOUT_S)
+                status, body = await self._route(method, target, payload)
+            except _HttpError as exc:
+                status, body = exc.status, canonical_json(exc.payload)
+            except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                    asyncio.TimeoutError, UnicodeDecodeError):
+                status, body = 400, canonical_json(
+                    {"error": "malformed HTTP request"})
+            except (ConnectionResetError, BrokenPipeError):
+                status = 499            # client went away; nothing to write
+                return
+            except Exception as exc:        # unexpected: 500, count it
+                self.metrics.errors += 1
+                status, body = 500, canonical_json(
+                    {"error": f"internal error: {exc}"})
+            await self._write_response(writer, status, body)
+        finally:
+            self.metrics.inflight_requests -= 1
+            self.metrics.note_response(status, time.monotonic() - started)
+            self._open_handlers -= 1
+            if self._open_handlers == 0:
+                self._handlers_idle.set()
+
+    async def _read_head(self, reader) -> tuple:
+        head = await reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        return method.upper(), target, headers
+
+    async def _read_body(self, reader, headers: dict) -> bytes:
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        return await reader.readexactly(length) if length > 0 else b""
+
+    async def _write_response(self, writer, status: int,
+                              body: bytes) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n")
+        if status == 429:
+            head += "Retry-After: 1\r\n"
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            writer.write(head.encode("latin-1") + b"\r\n" + body)
+            await writer.drain()
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+
+    # -------------------------------------------------------------- routing
+
+    async def _route(self, method: str, target: str,
+                     payload: bytes) -> tuple:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self.metrics.note_request("healthz")
+            self._require(method, "GET")
+            return 200, canonical_json(self._health())
+        if path == "/metricz":
+            self.metrics.note_request("metricz")
+            self._require(method, "GET")
+            return 200, canonical_json(self.metrics.snapshot())
+        if path == "/v1/experiments":
+            self.metrics.note_request("experiments")
+            self._require(method, "GET")
+            return 200, canonical_json(describe_experiments())
+        if path.startswith("/v1/experiments/"):
+            name = path[len("/v1/experiments/"):]
+            self.metrics.note_request(name)
+            self._require(method, "POST")
+            if name not in EXPERIMENTS:
+                raise _HttpError(
+                    404, f"unknown experiment {name!r}",
+                    known=sorted(EXPERIMENTS))
+            return 200, await self._experiment_response(name, payload)
+        raise _HttpError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    def _health(self) -> dict:
+        return {"status": "draining" if self._draining else "ok",
+                "inflight_requests": self.metrics.inflight_requests,
+                "inflight_computations": self.admission.active,
+                "experiments": len(EXPERIMENTS)}
+
+    # ----------------------------------------------------- experiment paths
+
+    async def _experiment_response(self, name: str,
+                                   payload: bytes) -> bytes:
+        try:
+            raw = json.loads(payload.decode()) if payload else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _HttpError(400, "request body must be JSON") from None
+        try:
+            params = normalize(name, raw)
+        except ExperimentRequestError as exc:
+            raise _HttpError(400, str(exc)) from None
+        key = cache_key(f"serve:{name}", cache_payload(name, params))
+        value = await self._resolve(name, params, key)
+        return canonical_json(
+            {"experiment": name, "params": params, "value": value})
+
+    async def _resolve(self, name: str, params: dict, key: str):
+        """Coalesce -> cache -> admission -> compute, in that order."""
+        flight = self.flights.leader_for(key)
+        if flight is not None:
+            value = await asyncio.shield(flight)
+            self.metrics.coalesced += 1
+            return value
+        if self.cache is not None:
+            value = await asyncio.to_thread(self.cache.get, key, _MISS)
+            if value is not _MISS:
+                self.metrics.cache_hits += 1
+                return value
+            self.metrics.cache_misses += 1
+            # the cache lookup awaited: an identical request may have
+            # started a flight meanwhile — join it rather than race it
+            flight = self.flights.leader_for(key)
+            if flight is not None:
+                value = await asyncio.shield(flight)
+                self.metrics.coalesced += 1
+                return value
+        if self._draining:
+            raise _HttpError(503, "server is draining")
+        if not self.admission.try_acquire():
+            self.metrics.rejected += 1
+            raise _HttpError(
+                429, "server at capacity",
+                inflight=self.admission.active,
+                limit=self.admission.limit)
+        value, led = await self.flights.run(
+            key, lambda: self._compute(name, params, key))
+        if not led:                        # lost the registration race
+            self.admission.release()
+            self.metrics.coalesced += 1
+        return value
+
+    async def _compute(self, name: str, params: dict, key: str):
+        started = time.monotonic()
+        self.metrics.inflight_computations += 1
+        try:
+            future = self.runner.submit(run_experiment, (name, params))
+            value = await asyncio.wrap_future(future)
+            self.metrics.computations += 1
+            if self.cache is not None:
+                await asyncio.to_thread(self.cache.put, key, value)
+            return value
+        finally:
+            self.metrics.inflight_computations -= 1
+            self.metrics.compute_latency.add(time.monotonic() - started)
+            self.admission.release()
+
+
+# --------------------------------------------------------------------------
+# embedding helper: run a server on a background thread (tests, benchmarks)
+# --------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def serve_in_thread(**kwargs):
+    """Run an :class:`ExperimentServer` on a daemon thread; yield it.
+
+    The server is started before the body runs (``server.port`` is the
+    bound ephemeral port) and gracefully drained afterwards.  This is
+    how the test suite and the load benchmark embed the service without
+    shelling out.
+    """
+    server = ExperimentServer(**kwargs)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    boot_error: list = []
+
+    def _run():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:       # surface bind failures
+            boot_error.append(exc)
+            ready.set()
+            return
+        ready.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
+    thread.start()
+    ready.wait(timeout=30)
+    if boot_error:
+        loop.close()
+        raise boot_error[0]
+    try:
+        yield server
+    finally:
+        future = asyncio.run_coroutine_threadsafe(server.stop(), loop)
+        with contextlib.suppress(Exception):
+            future.result(timeout=60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        if not loop.is_running():
+            loop.close()

@@ -67,3 +67,36 @@ def test_bad_spec_json_rejected(tmp_path):
     bad.write_text("{}")
     with pytest.raises(SystemExit):
         main(["latency", str(bad)])
+
+
+def test_version_flag(capsys):
+    import repro
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_unknown_command_exits_2_with_usage(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["frobnicate"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert "usage" in err and "frobnicate" in err
+
+
+def test_serve_parser_accepts_service_flags():
+    from repro.cli import build_parser
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--jobs", "2", "--cache", "/tmp/c",
+         "--max-inflight", "3", "--host", "0.0.0.0"])
+    assert (args.command, args.port, args.jobs) == ("serve", 0, 2)
+    assert (args.cache, args.max_inflight, args.host) \
+        == ("/tmp/c", 3, "0.0.0.0")
+
+
+def test_serve_rejects_bad_flags():
+    with pytest.raises(SystemExit):
+        main(["serve", "--jobs", "0"])
+    with pytest.raises(SystemExit):
+        main(["serve", "--max-inflight", "-1"])

@@ -106,3 +106,95 @@ def test_directory_is_created(tmp_path):
     cache = ResultCache(nested)
     cache.put(cache_key("t", {}), 1)
     assert nested.is_dir() and len(cache) == 1
+
+
+# --------------------------------------------------------------------------
+# stampedes: concurrent writers/computers of one key must never tear
+# --------------------------------------------------------------------------
+
+def _assert_clean(directory, key, expected):
+    """The entry is complete valid JSON and no tmp residue survives."""
+    entry = json.loads((directory / f"{key}.json").read_text())
+    assert entry == {"key": key, "value": expected}
+    assert list(directory.glob("*.tmp")) == []
+
+
+def test_thread_stampede_computes_once(cache):
+    """N threads racing get_or_compute: one computation, one value."""
+    import threading
+
+    calls = []
+    barrier = threading.Barrier(16)
+    results = [None] * 16
+
+    def compute():
+        calls.append(1)
+        import time
+        time.sleep(0.05)           # widen the race window
+        return {"winner": True}
+
+    def racer(i):
+        barrier.wait()
+        results[i] = cache.get_or_compute("stampede", {"k": 1}, compute)
+
+    threads = [threading.Thread(target=racer, args=(i,))
+               for i in range(16)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    assert len(calls) == 1                      # coalesced, not duplicated
+    assert all(r == {"winner": True} for r in results)
+    _assert_clean(cache.directory, cache_key("stampede", {"k": 1}),
+                  {"winner": True})
+
+
+def test_thread_stampede_on_put_leaves_no_torn_files(cache):
+    """Concurrent put() of one key: last writer wins, never a tear."""
+    import threading
+
+    key = cache_key("put-race", {"k": 1})
+    barrier = threading.Barrier(8)
+
+    def writer(i):
+        barrier.wait()
+        for round_ in range(25):
+            cache.put(key, {"writer": i, "round": round_})
+
+    threads = [threading.Thread(target=writer, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+
+    entry = json.loads((cache.directory / f"{key}.json").read_text())
+    assert entry["key"] == key
+    assert entry["value"]["round"] == 24        # some writer's final round
+    assert list(cache.directory.glob("*.tmp")) == []
+
+
+def _process_stampede_worker(args):
+    """Pool worker: open the shared directory and race get_or_compute."""
+    directory, worker_id = args
+    cache = ResultCache(directory)
+    return cache.get_or_compute(
+        "proc-stampede", {"k": 1},
+        lambda: {"value": "deterministic", "pid_independent": True})
+
+
+def test_process_stampede_yields_one_value_and_no_tmp(tmp_path):
+    """Processes racing one key: every caller sees the one stored value."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    directory = tmp_path / "cache"
+    ResultCache(directory)                      # pre-create the directory
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        results = list(pool.map(_process_stampede_worker,
+                                [(directory, i) for i in range(8)]))
+
+    expected = {"value": "deterministic", "pid_independent": True}
+    assert all(r == expected for r in results)
+    _assert_clean(directory, cache_key("proc-stampede", {"k": 1}),
+                  expected)

@@ -45,6 +45,27 @@ def test_runner_preserves_shard_order():
     assert serial == pooled == [n * n for n in range(10)]
 
 
+def test_persistent_runner_reuses_one_pool():
+    with SweepRunner(2, persistent=True) as runner:
+        first = runner.map(_square, range(10))
+        pool = runner._pool
+        second = runner.map(_square, range(10))
+        assert first == second == [n * n for n in range(10)]
+        assert runner._pool is pool            # no per-call pool churn
+    assert runner._pool is None                # context exit closed it
+
+
+def test_persistent_submit_returns_future():
+    with SweepRunner(1, persistent=True) as runner:
+        future = runner.submit(_square, 7)
+        assert future.result(timeout=60) == 49
+
+
+def test_submit_requires_persistent_mode():
+    with pytest.raises(ConfigurationError):
+        SweepRunner(2).submit(_square, 7)
+
+
 def test_device_payload_round_trip(tiny):
     spec_data, seed = device_payload(tiny)
     rebuilt = rebuild_device(spec_data, seed)
