@@ -10,6 +10,7 @@ from _figutil import show
 
 from repro.gpu.device import SimulatedGPU
 from repro.memory.address import camping_index
+from repro.units import MEGA
 from repro.viz import render_table
 from repro.workloads import (bfs_trace, gaussian_trace, hotspot_trace,
                              kmeans_trace, pathfinder_trace, replay_trace)
@@ -32,7 +33,7 @@ def bench_trace_replay(benchmark):
                 "requests": result.total_requests,
                 "hit rate": round(result.hit_rate, 2),
                 "slice camping": round(camping_index(traffic), 2),
-                "est time (us)": round(result.est_total_seconds * 1e6, 1),
+                "est time (us)": round(result.est_total_seconds * MEGA, 1),
             })
         return rows
 

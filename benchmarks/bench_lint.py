@@ -1,0 +1,52 @@
+"""Lint wall-time over the full tree, as machine-readable JSON.
+
+The ``repro lint`` CI gate runs on every push; this benchmark records
+how long the single-pass engine takes over ``src`` + ``benchmarks`` (and
+per-file throughput) so linting stays interactive as the tree grows.
+Run directly (``python benchmarks/bench_lint.py``) or under
+``pytest -s`` to see the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from _figutil import show
+
+from repro.analysis.lint import load_baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Full-tree lint should stay well inside an interactive budget.
+MAX_WALL_S = 30.0
+
+
+def collect() -> dict:
+    baseline_file = REPO_ROOT / "lint-baseline.json"
+    baseline = load_baseline(baseline_file) if baseline_file.is_file() \
+        else frozenset()
+    start = time.perf_counter()
+    result = run_lint(["src", "benchmarks"], root=REPO_ROOT,
+                      baseline=baseline)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "files_scanned": result.files_scanned,
+        "files_per_s": result.files_scanned / wall,
+        "findings": len(result.findings),
+        "suppressed_noqa": result.suppressed_noqa,
+        "suppressed_baseline": result.suppressed_baseline,
+    }
+
+
+def bench_lint(benchmark):
+    record = benchmark.pedantic(collect, rounds=1, iterations=1)
+    show("Full-tree repro lint timings (JSON)", json.dumps(record, indent=2))
+    assert record["findings"] == 0
+    assert record["wall_s"] < MAX_WALL_S
+
+
+if __name__ == "__main__":
+    print(json.dumps(collect(), indent=2))

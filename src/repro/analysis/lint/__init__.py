@@ -1,0 +1,34 @@
+"""AST-based invariant linter for the reproduction's house rules.
+
+``repro lint`` enforces the invariants the paper's methodology demands
+but the type system cannot: bit-reproducible measurements (REP001),
+an unblocked serving event loop (REP002), cycles/ns/GB-s unit
+discipline (REP003), golden-model API parity (REP004), and hazard
+hygiene on simulation paths (REP005).  Stdlib ``ast`` only — no new
+dependencies.
+
+Programmatic use::
+
+    from repro.analysis.lint import run_lint, load_baseline
+    result = run_lint(["src"], root=repo_root,
+                      baseline=load_baseline("lint-baseline.json"))
+    assert result.exit_code == 0, render_text(result)
+
+Inline suppression: ``# repro: noqa[REP002]`` (or bare ``# repro:
+noqa`` for all rules) on the flagged line.
+"""
+
+from repro.analysis.lint.baseline import (BaselineError, DEFAULT_BASELINE,
+                                          load_baseline, write_baseline)
+from repro.analysis.lint.engine import (LintResult, iter_python_files,
+                                        run_lint)
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.reporting import render_json, render_text
+from repro.analysis.lint.rules import Rule, build_rules, rule_table
+
+__all__ = [
+    "Finding", "LintResult", "Rule",
+    "run_lint", "iter_python_files", "build_rules", "rule_table",
+    "load_baseline", "write_baseline", "BaselineError", "DEFAULT_BASELINE",
+    "render_text", "render_json",
+]

@@ -1,0 +1,58 @@
+"""Baseline files: grandfathered findings that stay quiet.
+
+A baseline is a small checked-in JSON document mapping finding
+fingerprints to a human-readable reminder of what they are.  Fixing a
+violation removes its fingerprint from the next ``--write-baseline``
+run; *new* violations are never in the baseline, so CI fails on them
+immediately while pre-existing debt is paid down deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint.findings import Finding
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename, looked up at the lint root.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+class BaselineError(ReproError):
+    """The baseline file is unreadable or structurally wrong."""
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprint set from a baseline file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or "baseline" not in document:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'baseline' key")
+    entries = document["baseline"]
+    if not isinstance(entries, dict):
+        raise BaselineError(f"baseline {path}: 'baseline' must be an object "
+                            "mapping fingerprints to descriptions")
+    return set(entries)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> int:
+    """Write the current findings as the new baseline; returns count."""
+    entries = {f.fingerprint: f"{f.rule} {f.path}:{f.line} {f.message}"
+               for f in findings}
+    document = {"version": BASELINE_VERSION,
+                "comment": "grandfathered repro-lint findings; regenerate "
+                           "with `repro lint --write-baseline` after "
+                           "deliberate changes",
+                "baseline": dict(sorted(entries.items()))}
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=False)
+                          + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,119 @@
+"""Per-file lint context: name resolution, scopes, and reporting.
+
+The engine walks each module's AST exactly once; rules receive the node
+plus a :class:`FileContext` that answers the questions every rule asks:
+*what dotted name does this call resolve to* (through ``import numpy as
+np`` style aliases), *am I inside an async function*, *which repro
+module is this file*, and *record a finding here*.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.findings import Finding
+
+
+def resolve_attribute(node: ast.AST) -> str | None:
+    """Dotted source text of a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Everything a rule may ask about the file being linted."""
+
+    def __init__(self, *, path: str, module: str, tree: ast.AST,
+                 source: str):
+        self.path = path                  # repo-relative posix path
+        self.module = module              # dotted module guess ("" if n/a)
+        self.tree = tree
+        self.source = source
+        self.source_lines = source.splitlines()
+        self.findings: list[Finding] = []
+        # scope stacks maintained by the engine during the walk
+        self.function_stack: list[ast.AST] = []
+        self.class_stack: list[ast.ClassDef] = []
+        self._aliases = self._collect_aliases(tree)
+
+    # ------------------------------------------------------------ imports
+    @staticmethod
+    def _collect_aliases(tree: ast.AST) -> dict[str, str]:
+        """Map local names to canonical dotted origins.
+
+        ``import numpy as np``          -> {"np": "numpy"}
+        ``from random import gauss``    -> {"gauss": "random.gauss"}
+        ``from numpy import random``    -> {"random": "numpy.random"}
+        Relative imports keep their module tail (best effort).
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    aliases[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call target, alias-expanded.
+
+        ``np.random.seed(0)`` -> ``numpy.random.seed``; a call whose
+        target is not a plain Name/Attribute chain resolves to None.
+        """
+        return self.resolve_name(node.func)
+
+    def resolve_name(self, node: ast.AST) -> str | None:
+        dotted = resolve_attribute(node)
+        if dotted is None:
+            return None
+        head, _, tail = dotted.partition(".")
+        origin = self._aliases.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{tail}" if tail else origin
+
+    # ------------------------------------------------------------- scopes
+    @property
+    def in_async_function(self) -> bool:
+        """True when the *innermost* enclosing function is async."""
+        return bool(self.function_stack) and isinstance(
+            self.function_stack[-1], ast.AsyncFunctionDef)
+
+    def module_in(self, prefixes: tuple[str, ...]) -> bool:
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    def source_segment(self, node: ast.AST) -> str:
+        """Exact source text of a node (single-line fallback: the line)."""
+        segment = ast.get_source_segment(self.source, node)
+        if segment is not None:
+            return " ".join(segment.split())
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return "<source unavailable>"
+
+    # ---------------------------------------------------------- reporting
+    def report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(self.source_lines):
+            snippet = self.source_lines[line - 1].strip()
+        self.findings.append(Finding(rule=rule_id, path=self.path,
+                                     line=line, col=col, message=message,
+                                     snippet=snippet))

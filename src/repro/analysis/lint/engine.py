@@ -1,0 +1,191 @@
+"""The single-pass lint engine.
+
+One AST walk per file: a dispatching visitor maintains the function /
+class scope stacks on the :class:`FileContext` and hands every node to
+each enabled rule that declared interest in its type.  After all files,
+cross-file rules finalize (golden-model parity needs both sides of a
+watched pair).  Findings then flow through ``# repro: noqa[...]``
+suppression, fingerprinting, and baseline filtering.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.findings import Finding, assign_fingerprints
+from repro.analysis.lint.rules import Rule, build_rules
+
+#: ``# repro: noqa`` or ``# repro: noqa[REP001,REP003]``
+_NOQA = re.compile(r"#\s*repro:\s*noqa"
+                   r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", "build", "dist",
+              ".pytest_cache", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: list[str | Path],
+                      root: Path) -> list[Path]:
+    """All ``.py`` files under ``paths`` (deduplicated, sorted)."""
+    found: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            found.add(path.resolve())
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    found.add(sub.resolve())
+    return sorted(found)
+
+
+def module_name_for(path: Path, root: Path) -> str:
+    """Dotted module guess: ``src/repro/noc/latency.py`` -> ``repro.noc
+    .latency``; files outside a package root keep their stem."""
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return path.stem
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def noqa_map(source_lines: list[str]) -> dict[int, set[str] | None]:
+    """line (1-based) -> suppressed rule ids, or None for 'all rules'."""
+    out: dict[int, set[str] | None] = {}
+    for number, text in enumerate(source_lines, start=1):
+        match = _NOQA.search(text)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[number] = None
+        else:
+            out[number] = {r.strip().upper() for r in rules.split(",")
+                           if r.strip()}
+    return out
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Walks once, keeps scope stacks current, dispatches to rules."""
+
+    def __init__(self, ctx: FileContext, interests: dict[str, list[Rule]]):
+        self.ctx = ctx
+        self.interests = interests
+
+    def visit(self, node: ast.AST) -> None:
+        ctx = self.ctx
+        for rule in self.interests.get(type(node).__name__, ()):
+            rule.check(node, ctx)
+        is_function = isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))
+        is_class = isinstance(node, ast.ClassDef)
+        if is_function:
+            ctx.function_stack.append(node)
+        elif is_class:
+            ctx.class_stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node
+            self.visit(child)
+        if is_function:
+            ctx.function_stack.pop()
+        elif is_class:
+            ctx.class_stack.pop()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (post-suppression, post-baseline)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed_noqa: int = 0
+    suppressed_baseline: int = 0
+    parse_errors: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def run_lint(paths: list[str | Path], *, root: str | Path | None = None,
+             select: tuple[str, ...] | None = None,
+             baseline: set[str] | frozenset[str] = frozenset(),
+             ) -> LintResult:
+    """Lint ``paths`` and return the filtered result.
+
+    ``root`` anchors repo-relative paths in findings (default: cwd).
+    ``baseline`` is a set of fingerprints to keep quiet (see
+    :mod:`repro.analysis.lint.baseline`).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    rules = build_rules(select)
+    interests: dict[str, list[Rule]] = {}
+    for rule in rules:
+        for interest in rule.interests:
+            interests.setdefault(interest, []).append(rule)
+
+    result = LintResult()
+    raw: list[Finding] = []
+    suppressions: dict[str, dict[int, set[str] | None]] = {}
+
+    for path in iter_python_files(paths, root):
+        result.files_scanned += 1
+        try:
+            relative = path.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relative = path.as_posix()
+        source = path.read_text(encoding="utf-8", errors="replace")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            result.parse_errors += 1
+            raw.append(Finding(rule="REP000", path=relative,
+                               line=exc.lineno or 1,
+                               col=(exc.offset or 1) - 1,
+                               message=f"syntax error: {exc.msg}"))
+            continue
+        ctx = FileContext(path=relative,
+                          module=module_name_for(path, root),
+                          tree=tree, source=source)
+        suppressions[relative] = noqa_map(ctx.source_lines)
+        _Dispatcher(ctx, interests).visit(tree)
+        raw.extend(ctx.findings)
+
+    def report(rule_id, path, line, col, message, snippet=""):
+        raw.append(Finding(rule=rule_id, path=path, line=line, col=col,
+                           message=message, snippet=snippet))
+
+    for rule in rules:
+        rule.finalize(report)
+
+    survivors = []
+    for finding in raw:
+        allowed = suppressions.get(finding.path, {}).get(finding.line, ...)
+        if allowed is None or (allowed is not ... and
+                               finding.rule in allowed):
+            result.suppressed_noqa += 1
+            continue
+        survivors.append(finding)
+
+    for finding in assign_fingerprints(survivors):
+        if finding.fingerprint in baseline:
+            result.suppressed_baseline += 1
+        else:
+            result.findings.append(finding)
+    return result

@@ -1,0 +1,60 @@
+"""Finding records and stable fingerprints.
+
+A finding's *fingerprint* identifies the same logical problem across
+commits so a checked-in baseline keeps grandfathered findings quiet
+without pinning line numbers.  It hashes the rule id, the file's
+repo-relative path, the stripped source line, and an occurrence index
+(the n-th identical line in that file), so findings survive unrelated
+edits above or below them but change when the flagged code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str          # "REP001"
+    path: str          # repo-relative posix path
+    line: int          # 1-based
+    col: int           # 0-based, matching ast
+    message: str
+    snippet: str = ""  # stripped source line, for reports and fingerprints
+    fingerprint: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "snippet": self.snippet, "fingerprint": self.fingerprint}
+
+
+def _digest(rule: str, path: str, snippet: str, occurrence: int) -> str:
+    text = f"{rule}|{path}|{snippet}|{occurrence}".encode()
+    return hashlib.sha256(text).hexdigest()[:16]
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[Finding]:
+    """Return findings with fingerprints, stable under line motion.
+
+    Occurrence indices are assigned in (line, col) order within each
+    (rule, path, snippet) group, so two identical violations in one file
+    get distinct fingerprints.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen: dict[tuple, int] = {}
+    out = []
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(replace(finding, fingerprint=_digest(
+            finding.rule, finding.path, finding.snippet, occurrence)))
+    return out

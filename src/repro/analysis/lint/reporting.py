@@ -1,0 +1,49 @@
+"""Text and JSON reporters for lint results.
+
+Both renderers are pure (result -> str) so the CLI, tests, and CI can
+share them; the JSON document is versioned and round-trips through
+``json.loads`` losslessly (asserted by the CLI tests).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.engine import LintResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [f.render() for f in
+             sorted(result.findings,
+                    key=lambda f: (f.path, f.line, f.col, f.rule))]
+    counts = result.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        lines.append("")
+        lines.append(f"{len(result.findings)} finding"
+                     f"{'s' if len(result.findings) != 1 else ''} "
+                     f"({per_rule})")
+    else:
+        lines.append("no findings")
+    lines.append(f"scanned {result.files_scanned} files "
+                 f"(suppressed: {result.suppressed_noqa} noqa, "
+                 f"{result.suppressed_baseline} baselined)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    document = {
+        "version": REPORT_VERSION,
+        "findings": [f.to_json() for f in
+                     sorted(result.findings,
+                            key=lambda f: (f.path, f.line, f.col, f.rule))],
+        "counts": result.counts_by_rule(),
+        "files_scanned": result.files_scanned,
+        "suppressed": {"noqa": result.suppressed_noqa,
+                       "baseline": result.suppressed_baseline},
+        "parse_errors": result.parse_errors,
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,63 @@
+"""Rule base class and the registry.
+
+A rule declares the AST node-type names it cares about (``interests``);
+the engine's single visitor pass dispatches each node to every enabled
+rule interested in its type.  Cross-file rules (REP004) accumulate state
+during the walk and emit findings from :meth:`Rule.finalize`, which runs
+once after every file has been visited.
+
+Adding a rule: subclass :class:`Rule`, set ``id``/``name``/``summary``/
+``interests``, implement ``check``, and append an instance to
+:data:`ALL_RULES` (DESIGN.md §10 walks through an example).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+
+
+class Rule:
+    """One invariant checked over the AST."""
+
+    id: str = "REP000"
+    name: str = "abstract"
+    summary: str = ""
+    #: AST node class names this rule wants to see (e.g. ``("Call",)``).
+    interests: tuple[str, ...] = ()
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        """Inspect one node; call ``ctx.report(self.id, node, msg)``."""
+
+    def finalize(self, report) -> None:
+        """Emit cross-file findings; ``report(rule_id, path, line, col,
+        message, snippet)``.  Called once per lint run."""
+
+
+def build_rules(select: tuple[str, ...] | None = None) -> list[Rule]:
+    """Fresh rule instances (rules are stateful across one run only)."""
+    from repro.analysis.lint.rules.async_safety import AsyncSafetyRule
+    from repro.analysis.lint.rules.determinism import DeterminismRule
+    from repro.analysis.lint.rules.hygiene import HazardHygieneRule
+    from repro.analysis.lint.rules.parity import GoldenModelParityRule
+    from repro.analysis.lint.rules.units_discipline import UnitDisciplineRule
+
+    rules: list[Rule] = [DeterminismRule(), AsyncSafetyRule(),
+                         UnitDisciplineRule(), GoldenModelParityRule(),
+                         HazardHygieneRule()]
+    if select:
+        wanted = {r.upper() for r in select}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(rule.id for rule in rules)}")
+        rules = [rule for rule in rules if rule.id in wanted]
+    return rules
+
+
+def rule_table() -> list[dict]:
+    """Id/name/summary for docs and ``lint --format json`` metadata."""
+    return [{"id": rule.id, "name": rule.name, "summary": rule.summary}
+            for rule in build_rules()]

@@ -1,0 +1,71 @@
+"""REP001 — determinism: simulation code must not read ambient entropy.
+
+The paper's measurements are reproduced with *deterministic* per-key
+noise streams (:mod:`repro.rng`); any path through the simulated device
+that touches the process-global RNG or the wall clock breaks
+bit-reproducibility between runs — exactly the measurement-discipline
+slip microbenchmark papers blame for divergent results.  Scope is the
+simulation packages only: serving, exec, and benchmark timing code
+legitimately reads clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.rules import Rule
+
+#: Packages whose modules must be bit-reproducible.
+SIMULATION_PACKAGES = ("repro.noc", "repro.gpu", "repro.memory",
+                       "repro.core", "repro.runtime", "repro.sidechannel",
+                       "repro.workloads")
+
+#: The sanctioned wrapper is exempt (it *implements* the discipline).
+EXEMPT_MODULES = ("repro.rng",)
+
+_WALL_CLOCK = {"time.time", "time.time_ns", "time.monotonic",
+               "time.monotonic_ns", "time.perf_counter",
+               "time.perf_counter_ns", "time.process_time",
+               "datetime.datetime.now", "datetime.datetime.utcnow",
+               "datetime.datetime.today", "datetime.date.today"}
+
+_NP_SANCTIONED = {"numpy.random.Generator", "numpy.random.SeedSequence",
+                  "numpy.random.PCG64", "numpy.random.Philox"}
+
+
+class DeterminismRule(Rule):
+    id = "REP001"
+    name = "determinism"
+    summary = ("no ambient random.* / unseeded numpy RNG / wall-clock "
+               "reads in simulation packages; use repro.rng")
+    interests = ("Call",)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.module_in(SIMULATION_PACKAGES):
+            return
+        if ctx.module_in(EXEMPT_MODULES):
+            return
+        target = ctx.resolve_call(node)
+        if target is None:
+            return
+        if target in _WALL_CLOCK:
+            ctx.report(self.id, node,
+                       f"wall-clock read `{target}()` in simulation code; "
+                       "simulated time is `cycles` — convert via "
+                       "repro.units if seconds are needed")
+        elif target == "random" or target.startswith("random."):
+            ctx.report(self.id, node,
+                       f"ambient stdlib RNG `{target}()`; derive a keyed "
+                       "generator via repro.rng.generator_for(seed, ...)")
+        elif target.startswith("numpy.random."):
+            if target in _NP_SANCTIONED:
+                return
+            if target == "numpy.random.default_rng" and node.args:
+                return          # explicitly seeded: reproducible
+            what = ("unseeded `numpy.random.default_rng()`"
+                    if target == "numpy.random.default_rng"
+                    else f"global-state `{target}()`")
+            ctx.report(self.id, node,
+                       f"{what}; derive a keyed generator via "
+                       "repro.rng.generator_for(seed, ...)")

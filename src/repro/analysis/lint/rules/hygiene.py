@@ -1,0 +1,87 @@
+"""REP005 — hazard hygiene: no swallowed failures, no mutable defaults.
+
+On simulation hot paths a swallowed exception turns a modelling bug
+into silently-wrong published numbers; a mutable default argument leaks
+state between supposedly independent experiment runs.  Checks:
+
+* bare ``except:`` anywhere;
+* ``except Exception/BaseException`` whose body only ``pass``es — the
+  failure vanishes (re-raising, logging, or returning a sentinel all
+  count as handling);
+* mutable default arguments (``def f(x=[])`` / ``={}`` / ``=set()``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.rules import Rule
+
+_BROAD = {"Exception", "BaseException"}
+
+_MUTABLE_CALLS = {"list", "dict", "set", "collections.defaultdict",
+                  "collections.deque", "collections.OrderedDict"}
+
+
+def _is_swallow(body: list[ast.stmt]) -> bool:
+    return all(isinstance(stmt, ast.Pass)
+               or (isinstance(stmt, ast.Expr)
+                   and isinstance(stmt.value, ast.Constant))
+               for stmt in body)
+
+
+def _mutable_default(node: ast.AST, ctx: FileContext) -> str | None:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return type(node).__name__.lower().replace("comp", " comprehension")
+    if isinstance(node, ast.Call):
+        target = ctx.resolve_call(node)
+        if target in _MUTABLE_CALLS:
+            return f"{target}()"
+    return None
+
+
+class HazardHygieneRule(Rule):
+    id = "REP005"
+    name = "hazard-hygiene"
+    summary = ("no bare/swallowing `except`, no mutable default "
+               "arguments")
+    interests = ("ExceptHandler", "FunctionDef", "AsyncFunctionDef")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ExceptHandler):
+            self._check_handler(node, ctx)
+        else:
+            self._check_defaults(node, ctx)
+
+    def _check_handler(self, node: ast.ExceptHandler, ctx: FileContext):
+        if node.type is None:
+            ctx.report(self.id, node,
+                       "bare `except:` catches SystemExit/KeyboardInterrupt "
+                       "too; name the exception type")
+            return
+        names = []
+        for expr in (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type]):
+            if isinstance(expr, ast.Name):
+                names.append(expr.id)
+        if any(n in _BROAD for n in names) and _is_swallow(node.body):
+            ctx.report(self.id, node,
+                       f"`except {'/'.join(names)}` swallows the failure "
+                       "(body is only pass); on a simulation path this "
+                       "turns bugs into wrong numbers — handle or re-raise")
+
+    def _check_defaults(self, node, ctx: FileContext) -> None:
+        args = node.args
+        defaults = list(zip((args.posonlyargs + args.args)[::-1],
+                            args.defaults[::-1]))
+        defaults += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                     if d is not None]
+        for arg, default in defaults:
+            what = _mutable_default(default, ctx)
+            if what is not None:
+                ctx.report(self.id, default,
+                           f"mutable default `{arg.arg}={what}` is shared "
+                           "across calls; default to None and allocate "
+                           "inside the function")

@@ -1,0 +1,118 @@
+"""REP004 — golden-model parity: ``Mesh2D`` must track ``ReferenceMesh2D``.
+
+The optimized mesh engine is validated flit-for-flit against the
+retained reference implementation (``tests/test_mesh_equivalence.py``),
+but that suite only covers API surface *both* classes expose.  This rule
+compares the public API of each watched class pair across files during
+:meth:`finalize`:
+
+* a public method/property on one side and not the other;
+* property-vs-method kind drift (callers would need ``()`` on one side);
+* required (default-less) parameter drift in name or order.
+
+Extra *defaulted* parameters on either side are allowed — that is how
+the optimized engine grows opt-in features (``retain_packets=False``)
+without forking the golden model's contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.rules import Rule
+
+#: (module_a, class_a, module_b, class_b) pairs kept in lockstep.
+WATCHED_PAIRS = (("repro.noc.mesh.network", "Mesh2D",
+                  "repro.noc.mesh.reference", "ReferenceMesh2D"),)
+
+
+def _required_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
+    """Names of default-less positional parameters, ``self`` excluded."""
+    args = fn.args
+    positional = args.posonlyargs + args.args
+    required = positional[:len(positional) - len(args.defaults)]
+    names = [a.arg for a in required]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return tuple(names)
+
+
+class _ClassApi:
+    def __init__(self, path: str, node: ast.ClassDef):
+        self.path = path
+        self.line = node.lineno
+        self.members: dict[str, dict] = {}
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_") and stmt.name != "__init__":
+                continue
+            decorators = {d.id for d in stmt.decorator_list
+                          if isinstance(d, ast.Name)}
+            self.members[stmt.name] = {
+                "kind": "property" if "property" in decorators else "method",
+                "required": _required_params(stmt),
+                "line": stmt.lineno,
+                "snippet": f"def {stmt.name}",
+            }
+
+
+class GoldenModelParityRule(Rule):
+    id = "REP004"
+    name = "golden-model-parity"
+    summary = ("public API of Mesh2D and ReferenceMesh2D must not drift "
+               "(methods, property-vs-method kind, required params)")
+    interests = ("ClassDef",)
+
+    def __init__(self):
+        self._seen: dict[tuple[str, str], _ClassApi] = {}
+
+    def check(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        for pair in WATCHED_PAIRS:
+            for module, cls in (pair[:2], pair[2:]):
+                if ctx.module == module and node.name == cls:
+                    self._seen[(module, cls)] = _ClassApi(ctx.path, node)
+
+    def finalize(self, report) -> None:
+        for mod_a, cls_a, mod_b, cls_b in WATCHED_PAIRS:
+            api_a = self._seen.get((mod_a, cls_a))
+            api_b = self._seen.get((mod_b, cls_b))
+            if api_a is None or api_b is None:
+                continue        # pair not in the linted path set
+            self._diff(report, cls_a, api_a, cls_b, api_b,
+                       check_common=True)
+            # reverse direction only hunts members missing on the first
+            # side; common-member mismatches were reported above
+            self._diff(report, cls_b, api_b, cls_a, api_a,
+                       check_common=False)
+
+    def _diff(self, report, name_a: str, api_a: _ClassApi,
+              name_b: str, api_b: _ClassApi, *, check_common: bool) -> None:
+        """Findings for members of ``a`` that ``b`` lacks or mismatches.
+
+        Anchored at the lagging side (``b``'s class line for missing
+        members) so the finding points where the fix goes.
+        """
+        for member, info in sorted(api_a.members.items()):
+            other = api_b.members.get(member)
+            if other is None:
+                report(self.id, api_b.path, api_b.line, 0,
+                       f"{name_b} is missing public {info['kind']} "
+                       f"`{member}` present on {name_a} "
+                       f"({api_a.path}:{info['line']}); the equivalence "
+                       "suite cannot cover it",
+                       f"class {name_b}")
+                continue
+            if not check_common:
+                continue
+            if other["kind"] != info["kind"]:
+                report(self.id, api_b.path, other["line"], 0,
+                       f"`{member}` is a {other['kind']} on {name_b} but a "
+                       f"{info['kind']} on {name_a}; callers cannot treat "
+                       "the models interchangeably", other["snippet"])
+            elif other["required"] != info["required"]:
+                report(self.id, api_b.path, other["line"], 0,
+                       f"`{member}` required parameters differ: "
+                       f"{name_b}{other['required']} vs "
+                       f"{name_a}{info['required']}", other["snippet"])

@@ -1,0 +1,124 @@
+"""REP003 — unit discipline: no magic unit constants, no mixed-unit sums.
+
+The paper reports latency in *core clock cycles* and bandwidth in
+vendor GB/s (10**9); the repo keeps those straight through
+:mod:`repro.units`.  Two checks:
+
+* **magic constants** — literal spellings of the unit constants
+  (``1e9``, ``1024*1024``, ``1 << 30``, ...) outside ``repro.units``
+  itself; use ``units.GB`` / ``units.MIB`` / ``units.GIGA`` so a grep
+  for unit conversions finds every site;
+* **suffix mixing** — ``+``/``-`` between names carrying different unit
+  suffixes (``*_cycles``, ``*_ns``, ``*_gbps``, ``*_s``, ``*_bytes``,
+  ``*_hz``) with no ``units.py`` conversion in between; adding cycles
+  to nanoseconds is never meaningful.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext, resolve_attribute
+from repro.analysis.lint.rules import Rule
+
+EXEMPT_MODULES = ("repro.units", "repro.analysis.lint")
+
+#: value -> the units.py name that spells it.
+MAGIC_VALUES = {
+    10 ** 9: "units.GIGA (vendor GB / Hz-per-GHz)",
+    10 ** 6: "units.MEGA",
+    1024 ** 2: "units.MIB",
+    1024 ** 3: "units.GIB",
+}
+
+#: suffix -> unit family; longest suffix wins (``_ns`` before ``_s``).
+_SUFFIX_FAMILIES = (("_cycles", "cycles"), ("_gbps", "GB/s"),
+                    ("_bytes", "bytes"), ("_seconds", "seconds"),
+                    ("_ns", "ns"), ("_hz", "Hz"), ("_s", "seconds"))
+
+_CONST_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.LShift)
+
+
+def const_value(node: ast.AST):
+    """Value of a constant arithmetic expression, else None.
+
+    Only +,-,*,**,<< over numeric literals — enough to recognise every
+    spelling of a unit constant (``1024 * 1024``, ``1 << 30``,
+    ``10 ** 9``) without evaluating arbitrary code.
+    """
+    if isinstance(node, ast.Constant):
+        value = node.value
+        return value if isinstance(value, (int, float)) else None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _CONST_OPS):
+        left = const_value(node.left)
+        right = const_value(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, ast.Pow):
+                return left ** right if abs(right) < 64 else None
+            return left << right if right < 64 else None
+        except (TypeError, ValueError, OverflowError):
+            return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        value = const_value(node.operand)
+        return None if value is None else -value
+    return None
+
+
+def unit_family(node: ast.AST) -> str | None:
+    """Unit family of a Name/Attribute by its ``_suffix``, else None."""
+    dotted = resolve_attribute(node)
+    if dotted is None:
+        return None
+    terminal = dotted.rsplit(".", 1)[-1]
+    for suffix, family in _SUFFIX_FAMILIES:
+        if terminal.endswith(suffix):
+            return family
+    return None
+
+
+class UnitDisciplineRule(Rule):
+    id = "REP003"
+    name = "unit-discipline"
+    summary = ("no bare 1e9/1024**2-style unit constants (use repro.units); "
+               "no +/- across *_cycles / *_ns / *_gbps suffixes")
+    interests = ("Constant", "BinOp")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if ctx.module_in(EXEMPT_MODULES):
+            return
+        if isinstance(node, ast.BinOp):
+            self._check_mixed_suffixes(node, ctx)
+        self._check_magic(node, ctx)
+
+    def _check_magic(self, node: ast.AST, ctx: FileContext) -> None:
+        value = const_value(node)
+        if value is None or value not in MAGIC_VALUES:
+            return
+        # report only the outermost constant expression: if the parent is
+        # itself a flaggable constant (1024*1024*1024), let it report.
+        parent = getattr(node, "_repro_parent", None)
+        if parent is not None and const_value(parent) in MAGIC_VALUES:
+            return
+        ctx.report(self.id, node,
+                   f"magic unit constant `{ctx.source_segment(node)}`; "
+                   f"use {MAGIC_VALUES[value]} from repro.units")
+
+    def _check_mixed_suffixes(self, node: ast.BinOp, ctx: FileContext) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        left = unit_family(node.left)
+        right = unit_family(node.right)
+        if left is None or right is None or left == right:
+            return
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        ctx.report(self.id, node,
+                   f"mixed-unit arithmetic: `{left}` {op} `{right}` "
+                   "without a repro.units conversion")

@@ -10,6 +10,7 @@ run from a shell:
 * ``speedup <gpu>``              — Fig 10 table
 * ``observations``               — all twelve observation checks
 * ``serve``                      — measurement-as-a-service HTTP server
+* ``lint``                       — AST invariant linter (REP001–REP005)
 """
 
 from __future__ import annotations
@@ -142,6 +143,43 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import (BaselineError, DEFAULT_BASELINE,
+                                     load_baseline, render_json,
+                                     render_text, run_lint, write_baseline)
+    from pathlib import Path
+
+    select = None
+    if args.select:
+        select = tuple(part for chunk in args.select
+                       for part in chunk.split(",") if part)
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = Path(DEFAULT_BASELINE)
+        baseline_path = str(candidate) if candidate.is_file() else None
+    fingerprints: set = set()
+    if baseline_path is not None and not args.no_baseline \
+            and not args.write_baseline:
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = run_lint(args.paths, select=select, baseline=fingerprints)
+    except ValueError as exc:        # unknown --select rule id
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        count = write_baseline(target, result.findings)
+        print(f"wrote {count} baselined finding(s) to {target}")
+        return 0
+    print(render_json(result) if args.format == "json"
+          else render_text(result))
+    return result.exit_code
+
+
 def _cmd_observations(_args) -> int:
     from repro.core.observations import check_all_observations
     results = check_all_observations()
@@ -197,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=_jobs_argument, default=8,
                        metavar="N",
                        help="admitted cold computations before 429s")
+    lint = sub.add_parser(
+        "lint", help="AST invariant linter (REP001-REP005)")
+    lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
+                      help="files/directories to lint "
+                           "(default: src benchmarks)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="baseline JSON of grandfathered findings "
+                           "(default: ./lint-baseline.json if present)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="RULES",
+                      help="comma-separated rule ids to run "
+                           "(default: all); repeatable")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline file "
+                           "and exit 0")
     return parser
 
 
@@ -209,6 +266,7 @@ _COMMANDS = {
     "observations": _cmd_observations,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.units import GIGA, MIB
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class GPUSpec:
     num_partitions: int = 1
     num_mps: int = 4               # memory partitions
     slices_per_mp: int = 8         # L2 slices per MP
-    l2_capacity_bytes: int = 6 * 1024 * 1024
+    l2_capacity_bytes: int = 6 * MIB
     mem_bandwidth_gbps: float = 900.0   # peak off-chip DRAM bandwidth
     core_clock_hz: float = 1.38e9
     cache_line_bytes: int = 128
@@ -164,10 +165,10 @@ class GPUSpec:
             "GPCs": self.num_gpcs,
             "TPCs/GPC": self.tpcs_per_gpc,
             "L2 slices": self.num_slices,
-            "L2 (MB)": self.l2_capacity_bytes / (1024 * 1024),
+            "L2 (MB)": self.l2_capacity_bytes / MIB,
             "Mem BW (GB/s)": self.mem_bandwidth_gbps,
             "Partitions": self.num_partitions,
-            "Clock (GHz)": self.core_clock_hz / 1e9,
+            "Clock (GHz)": self.core_clock_hz / GIGA,
         }
 
 
@@ -181,7 +182,7 @@ V100 = GPUSpec(
     name="V100",
     num_gpcs=6, tpcs_per_gpc=7,
     num_mps=4, slices_per_mp=8,
-    l2_capacity_bytes=6 * 1024 * 1024,
+    l2_capacity_bytes=6 * MIB,
     mem_bandwidth_gbps=900.0,
     core_clock_hz=1.38e9,
     die_width_mm=33.0, die_height_mm=26.0,
@@ -204,7 +205,7 @@ A100 = GPUSpec(
     num_gpcs=8, tpcs_per_gpc=8,
     num_partitions=2,
     num_mps=8, slices_per_mp=10,
-    l2_capacity_bytes=40 * 1024 * 1024,
+    l2_capacity_bytes=40 * MIB,
     mem_bandwidth_gbps=1555.0,
     core_clock_hz=1.41e9,
     die_width_mm=42.0, die_height_mm=26.0,
@@ -233,7 +234,7 @@ H100 = GPUSpec(
     num_gpcs=8, tpcs_per_gpc=9, tpcs_per_cpc=3,
     num_partitions=2,
     num_mps=8, slices_per_mp=10,
-    l2_capacity_bytes=50 * 1024 * 1024,
+    l2_capacity_bytes=50 * MIB,
     mem_bandwidth_gbps=3350.0,
     core_clock_hz=1.78e9,
     has_dsmem=True, local_l2_policy=True,

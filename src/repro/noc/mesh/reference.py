@@ -117,6 +117,11 @@ class ReferenceMesh2D:
             self.step()
 
     # ---- accounting -------------------------------------------------------------
+    @property
+    def delivered_count(self) -> int:
+        """Delivered packets (mirrors the optimized engine's counter)."""
+        return len(self.delivered)
+
     def in_flight_flits(self) -> int:
         return sum(r.occupancy for r in self.routers)
 

@@ -11,14 +11,51 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import ReproError
 
 
 class ServeClientError(ReproError):
     """The server could not be reached or violated the protocol."""
+
+
+@dataclass(frozen=True)
+class Backoff:
+    """Jittered exponential backoff for the *blocking* client's retries.
+
+    The schedule starts at ``initial_s``, multiplies by ``multiplier``
+    each attempt, clips at ``max_s``, and spreads each delay uniformly
+    over ``[base * (1 - jitter), base * (1 + jitter)]`` so a fleet of
+    clients polling one server does not thundering-herd in lockstep.
+    ``seed`` pins the jitter stream for reproducible tests; the default
+    ``None`` draws fresh jitter per :class:`Backoff` use.
+    """
+
+    initial_s: float = 0.02
+    max_s: float = 0.5
+    multiplier: float = 2.0
+    jitter: float = 0.25
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.initial_s <= 0 or self.max_s < self.initial_s:
+            raise ValueError("need 0 < initial_s <= max_s")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def delays(self) -> Iterator[float]:
+        """Infinite stream of sleep durations (seconds)."""
+        rng = random.Random(self.seed)
+        base = self.initial_s
+        while True:
+            yield base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+            base = min(base * self.multiplier, self.max_s)
 
 
 @dataclass(frozen=True)
@@ -86,18 +123,30 @@ class ServeClient:
         return self.request("POST", f"/v1/experiments/{name}",
                             payload=params)
 
-    def wait_healthy(self, deadline_s: float = 10.0) -> dict:
-        """Poll ``/healthz`` until it answers; the health dict, or raise."""
+    def wait_healthy(self, deadline_s: float = 10.0,
+                     backoff: Backoff | None = None) -> dict:
+        """Poll ``/healthz`` until it answers; the health dict, or raise.
+
+        Retries follow ``backoff`` (default :class:`Backoff`), each sleep
+        additionally capped by the remaining ``deadline_s`` budget so the
+        total wait never overshoots the deadline by more than one poll.
+        This helper is *intentionally* blocking — it is the sync client's
+        startup handshake, never run on the server's event loop — hence
+        the explicit lint allowance on its sleep.
+        """
         deadline = time.monotonic() + deadline_s
         last: Exception | None = None
-        while time.monotonic() < deadline:
+        for delay in (backoff or Backoff()).delays():
             try:
                 reply = self.healthz()
                 if reply.ok:
                     return reply.json
             except ServeClientError as exc:
                 last = exc
-            time.sleep(0.02)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(delay, remaining))  # repro: noqa[REP002]
         raise ServeClientError(
             f"server at {self.host}:{self.port} not healthy "
             f"within {deadline_s}s: {last}")

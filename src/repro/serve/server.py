@@ -48,12 +48,13 @@ from repro.serve.experiments import (EXPERIMENTS, ExperimentRequestError,
                                      cache_payload, describe_experiments,
                                      normalize, run_experiment)
 from repro.serve.metrics import ServeMetrics
+from repro.units import MIB
 
 #: Default bound on concurrently admitted (cold) computations.
 DEFAULT_MAX_INFLIGHT = 8
 
 #: Reject request bodies larger than this (bytes).
-MAX_BODY_BYTES = 1 << 20
+MAX_BODY_BYTES = MIB
 
 _REQUEST_TIMEOUT_S = 30.0
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import rng
 from repro.errors import AttackError
+from repro.units import MIB
 from repro.gpu.device import SimulatedGPU
 from repro.runtime.kernel import KernelSpec
 from repro.runtime.launcher import launch
@@ -132,7 +133,7 @@ class AESTimingOracle:
     """
 
     def __init__(self, gpu: SimulatedGPU, key: bytes, seed: int = 7,
-                 table_base: int = 1 << 20):
+                 table_base: int = MIB):
         self.gpu = gpu
         self.round_keys = expand_key(key)
         self.seed = seed

@@ -8,9 +8,12 @@ vendor bandwidth specs and the paper's figures).
 
 from __future__ import annotations
 
+GIGA = 10 ** 9   # decimal giga: vendor GB, Hz per GHz
+MEGA = 10 ** 6   # decimal mega: Hz per MHz, seconds per microsecond
 GB = 1e9  # vendor-style gigabyte used for bandwidth figures
 KIB = 1024
 MIB = 1024 * 1024
+GIB = 1024 ** 3
 
 
 def cycles_to_seconds(cycles: float, clock_hz: float) -> float:

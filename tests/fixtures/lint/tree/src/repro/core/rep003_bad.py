@@ -1,0 +1,17 @@
+"""Fixture: REP003 unit-discipline violations."""
+
+
+def magic_constants(byte_count, seconds):
+    gigabytes = byte_count / 1e9
+    mebibytes = byte_count / (1024 * 1024)
+    shifted = byte_count / (1 << 30)
+    micros = seconds * 10 ** 6
+    return gigabytes, mebibytes, shifted, micros
+
+
+def mixed_suffix_add(latency_cycles, jitter_ns):
+    return latency_cycles + jitter_ns
+
+
+def mixed_suffix_sub(total_s, overhead_cycles):
+    return total_s - overhead_cycles

@@ -1,0 +1,18 @@
+"""Fixture: unit-disciplined code (no REP003 findings)."""
+
+from repro import units
+
+
+def named_constants(byte_count, seconds):
+    gigabytes = byte_count / units.GB
+    mebibytes = byte_count / units.MIB
+    micros = seconds * units.MEGA
+    return gigabytes, mebibytes, micros
+
+
+def same_family(total_cycles, overhead_cycles):
+    return total_cycles - overhead_cycles
+
+
+def conversion_is_multiplicative(latency_cycles, clock_hz):
+    return latency_cycles / clock_hz

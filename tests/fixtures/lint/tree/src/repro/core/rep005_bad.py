@@ -1,0 +1,20 @@
+"""Fixture: REP005 hazard-hygiene violations."""
+
+
+def bare_except(step):
+    try:
+        step()
+    except:
+        return None
+
+
+def swallowed(step):
+    try:
+        step()
+    except Exception:
+        pass
+
+
+def mutable_default(samples=[], labels={}):
+    samples.append(1)
+    return samples, labels

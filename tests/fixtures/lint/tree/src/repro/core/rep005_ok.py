@@ -1,0 +1,20 @@
+"""Fixture: hazard-hygienic code (no REP005 findings)."""
+
+
+def narrow_handler(step):
+    try:
+        step()
+    except KeyError:
+        pass          # a *narrow* swallowed type is an explicit decision
+
+
+def handled(step, log):
+    try:
+        step()
+    except Exception as exc:
+        log(exc)
+        raise
+
+
+def immutable_defaults(samples=None, count=0, name="x"):
+    return [] if samples is None else samples, count, name

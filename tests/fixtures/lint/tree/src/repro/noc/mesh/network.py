@@ -1,0 +1,24 @@
+"""Fixture: optimized-engine side of the REP004 watched pair (drifted)."""
+
+
+class Mesh2D:
+    def __init__(self, width, height, buffer_flits=8):
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self):
+        return self.width * self.height
+
+    def inject(self, packet):
+        pass
+
+    def step(self):
+        pass
+
+    @property
+    def delivered_count(self):
+        return 0
+
+    def drain(self, cycles):
+        return cycles

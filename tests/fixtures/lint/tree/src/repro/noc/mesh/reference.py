@@ -1,0 +1,23 @@
+"""Fixture: golden-model side of the REP004 watched pair (drifted)."""
+
+
+class ReferenceMesh2D:
+    def __init__(self, width, height, buffer_flits=8):
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self):
+        return self.width * self.height
+
+    def inject(self, packet, priority):
+        pass
+
+    def step(self):
+        pass
+
+    def delivered_count(self):
+        return 0
+
+    def golden_only(self):
+        return True

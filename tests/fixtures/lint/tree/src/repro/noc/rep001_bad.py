@@ -1,0 +1,20 @@
+"""Fixture: every REP001 determinism violation, in one simulation module."""
+
+import random
+import time
+from random import gauss
+
+import numpy as np
+
+
+def ambient_stdlib():
+    return random.random() + gauss(0.0, 1.0)
+
+
+def ambient_numpy():
+    np.random.seed(42)
+    return np.random.normal(), np.random.default_rng()
+
+
+def wall_clock():
+    return time.time(), time.perf_counter()

@@ -1,0 +1,17 @@
+"""Fixture: determinism-clean simulation code (no REP001 findings)."""
+
+import numpy as np
+
+from repro import rng
+
+
+def keyed_noise(seed: int):
+    return rng.generator_for(seed, "latency", 3).normal()
+
+
+def seeded_rng(seed: int):
+    return np.random.default_rng(seed).normal()
+
+
+def simulated_time(cycles: int, clock_hz: float) -> float:
+    return cycles / clock_hz

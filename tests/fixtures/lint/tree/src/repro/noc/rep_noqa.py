@@ -1,0 +1,15 @@
+"""Fixture: violations silenced by inline suppressions."""
+
+import time
+
+
+def suppressed_by_rule():
+    return time.time()  # repro: noqa[REP001]
+
+
+def suppressed_all():
+    return time.time()  # repro: noqa
+
+
+def not_suppressed():
+    return time.time()  # repro: noqa[REP003]  (wrong rule: still reported)

@@ -1,0 +1,29 @@
+"""Fixture: REP002 async-safety violations."""
+
+import subprocess
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+async def blocking_sleep():
+    time.sleep(0.1)
+
+
+async def blocking_io(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def blocking_subprocess():
+    return subprocess.run(["true"])
+
+
+async def lock_across_await(awaitable):
+    with _lock:
+        await awaitable
+
+
+def sync_sleep_in_serve():
+    time.sleep(0.01)

@@ -1,0 +1,28 @@
+"""Fixture: async-safe serving code (no REP002 findings)."""
+
+import asyncio
+import time
+
+_alock = asyncio.Lock()
+
+
+async def cooperative_sleep():
+    await asyncio.sleep(0.1)
+
+
+async def async_lock_across_await(awaitable):
+    async with _alock:
+        await awaitable
+
+
+async def offloaded_io(path):
+    return await asyncio.to_thread(_read, path)
+
+
+def _read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def sanctioned_sync_sleep():
+    time.sleep(0.01)  # repro: noqa[REP002]

@@ -1,0 +1,294 @@
+"""repro.analysis.lint: every rule's positives and negatives, noqa,
+baseline filtering, fingerprints, and the CLI JSON round-trip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (load_baseline, render_json, render_text,
+                                 rule_table, run_lint, write_baseline)
+from repro.analysis.lint.baseline import BaselineError
+from repro.analysis.lint.engine import module_name_for, noqa_map
+from repro.analysis.lint.rules.units_discipline import (const_value,
+                                                        unit_family)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+TREE = REPO_ROOT / "tests" / "fixtures" / "lint" / "tree"
+
+
+def lint_fixture(relpath: str, select: tuple[str, ...]):
+    return run_lint([relpath], root=TREE, select=select)
+
+
+def rules_found(result) -> set[str]:
+    return {f.rule for f in result.findings}
+
+
+# ------------------------------------------------------------------ REP001
+
+def test_rep001_positive():
+    result = lint_fixture("src/repro/noc/rep001_bad.py", ("REP001",))
+    assert rules_found(result) == {"REP001"}
+    assert len(result.findings) == 7
+    messages = " ".join(f.message for f in result.findings)
+    assert "wall-clock" in messages
+    assert "repro.rng.generator_for" in messages
+    assert "unseeded" in messages
+
+
+def test_rep001_clean():
+    result = lint_fixture("src/repro/noc/rep001_ok.py", ("REP001",))
+    assert result.findings == []
+
+
+def test_rep001_out_of_scope_module():
+    # the same patterns outside simulation packages are not REP001's business
+    result = lint_fixture("src/repro/serve/rep002_bad.py", ("REP001",))
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------ REP002
+
+def test_rep002_positive():
+    result = lint_fixture("src/repro/serve/rep002_bad.py", ("REP002",))
+    assert rules_found(result) == {"REP002"}
+    assert len(result.findings) == 5
+    messages = " ".join(f.message for f in result.findings)
+    assert "blocking call" in messages
+    assert "thread lock held across `await`" in messages
+    assert "noqa[REP002]" in messages        # the sync-sleep allowance hint
+
+
+def test_rep002_clean():
+    result = lint_fixture("src/repro/serve/rep002_ok.py", ("REP002",))
+    assert result.findings == []
+    assert result.suppressed_noqa == 1       # the sanctioned sync sleep
+
+
+# ------------------------------------------------------------------ REP003
+
+def test_rep003_positive():
+    result = lint_fixture("src/repro/core/rep003_bad.py", ("REP003",))
+    assert rules_found(result) == {"REP003"}
+    magic = [f for f in result.findings if "magic unit constant" in f.message]
+    mixed = [f for f in result.findings if "mixed-unit" in f.message]
+    assert len(magic) == 4
+    assert len(mixed) == 2
+    assert any("`cycles` + `ns`" in f.message for f in mixed)
+
+
+def test_rep003_clean():
+    result = lint_fixture("src/repro/core/rep003_ok.py", ("REP003",))
+    assert result.findings == []
+
+
+def test_rep003_const_eval_helpers():
+    import ast
+
+    def value_of(expr: str):
+        return const_value(ast.parse(expr, mode="eval").body)
+
+    assert value_of("1024 * 1024") == 1024 ** 2
+    assert value_of("1 << 30") == 1024 ** 3
+    assert value_of("10 ** 9") == 10 ** 9
+    assert value_of("x * 1024") is None
+    assert value_of("2 ** 10000") is None    # guarded, no huge pow
+
+    name = ast.parse("total_latency_cycles", mode="eval").body
+    assert unit_family(name) == "cycles"
+    ns = ast.parse("spec.jitter_ns", mode="eval").body
+    assert unit_family(ns) == "ns"
+    plain = ast.parse("counter", mode="eval").body
+    assert unit_family(plain) is None
+
+
+# ------------------------------------------------------------------ REP004
+
+def test_rep004_positive():
+    result = run_lint(["src/repro/noc/mesh"], root=TREE, select=("REP004",))
+    assert rules_found(result) == {"REP004"}
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 4
+    assert any("missing public method `drain`" in m for m in messages)
+    assert any("missing public method `golden_only`" in m for m in messages)
+    assert any("`delivered_count` is a method on ReferenceMesh2D but a "
+               "property on Mesh2D" in m for m in messages)
+    assert any("`inject` required parameters differ" in m for m in messages)
+
+
+def test_rep004_clean_on_real_tree():
+    result = run_lint(["src/repro/noc/mesh"], root=REPO_ROOT,
+                      select=("REP004",))
+    assert result.findings == []
+
+
+def test_rep004_needs_both_sides():
+    # linting only one side of the pair cannot diff: no findings
+    result = run_lint(["src/repro/noc/mesh/network.py"], root=TREE,
+                      select=("REP004",))
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------ REP005
+
+def test_rep005_positive():
+    result = lint_fixture("src/repro/core/rep005_bad.py", ("REP005",))
+    assert rules_found(result) == {"REP005"}
+    messages = " ".join(f.message for f in result.findings)
+    assert len(result.findings) == 4
+    assert "bare `except:`" in messages
+    assert "swallows the failure" in messages
+    assert "mutable default" in messages
+
+
+def test_rep005_clean():
+    result = lint_fixture("src/repro/core/rep005_ok.py", ("REP005",))
+    assert result.findings == []
+
+
+# ------------------------------------------------------- suppression layers
+
+def test_noqa_suppression():
+    result = lint_fixture("src/repro/noc/rep_noqa.py", ("REP001",))
+    assert len(result.findings) == 1         # wrong-rule noqa still reports
+    assert result.suppressed_noqa == 2
+
+
+def test_noqa_map_parsing():
+    lines = ["x = 1  # repro: noqa",
+             "y = 2  # repro: noqa[REP001, REP003]",
+             "z = 3"]
+    mapping = noqa_map(lines)
+    assert mapping[1] is None
+    assert mapping[2] == {"REP001", "REP003"}
+    assert 3 not in mapping
+
+
+def test_baseline_round_trip(tmp_path):
+    dirty = lint_fixture("src/repro/core/rep003_bad.py", ("REP003",))
+    assert dirty.findings
+    baseline_file = tmp_path / "baseline.json"
+    count = write_baseline(baseline_file, dirty.findings)
+    assert count == len(dirty.findings)
+    fingerprints = load_baseline(baseline_file)
+    filtered = run_lint(["src/repro/core/rep003_bad.py"], root=TREE,
+                        select=("REP003",), baseline=fingerprints)
+    assert filtered.findings == []
+    assert filtered.suppressed_baseline == count
+    assert filtered.exit_code == 0
+
+
+def test_baseline_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2, 3]")
+    with pytest.raises(BaselineError):
+        load_baseline(bad)
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "missing.json")
+
+
+def test_fingerprints_stable_under_line_motion(tmp_path):
+    # REP001 is scoped to simulation modules: use the package layout
+    target = tmp_path / "src" / "repro" / "noc"
+    target.mkdir(parents=True)
+    module = target / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    first = run_lint([module], root=tmp_path, select=("REP001",))
+    assert len(first.findings) == 1
+    module.write_text("import time\n# pushed down\n\n\ndef f():\n"
+                      "    return time.time()\n")
+    second = run_lint([module], root=tmp_path, select=("REP001",))
+    assert [f.fingerprint for f in first.findings] == \
+        [f.fingerprint for f in second.findings]
+    assert first.findings[0].line != second.findings[0].line
+
+
+def test_syntax_error_is_a_finding(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    result = run_lint([tmp_path], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["REP000"]
+    assert result.parse_errors == 1
+    assert result.exit_code == 1
+
+
+def test_unknown_select_raises():
+    with pytest.raises(ValueError, match="REP999"):
+        run_lint([TREE], root=TREE, select=("REP999",))
+
+
+# --------------------------------------------------------------------- CLI
+
+def test_cli_json_round_trip(capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    code = main(["lint", "src/repro/core/rep003_bad.py",
+                 "--format", "json", "--no-baseline"])
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == 1
+    assert document["counts"] == {"REP003": 6}
+    assert document["exit_code"] == 1
+    finding = document["findings"][0]
+    assert set(finding) == {"rule", "path", "line", "col", "message",
+                            "snippet", "fingerprint"}
+    assert finding["path"] == "src/repro/core/rep003_bad.py"
+
+
+def test_cli_text_clean(capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    code = main(["lint", "src/repro/core/rep003_ok.py", "--no-baseline"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+
+
+def test_cli_select_and_bad_rule(capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    assert main(["lint", "src/repro/noc/rep001_bad.py",
+                 "--select", "REP005", "--no-baseline"]) == 0
+    assert main(["lint", "src", "--select", "NOPE"]) == 2
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    baseline = tmp_path / "base.json"
+    assert main(["lint", "src/repro/core/rep005_bad.py",
+                 "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert main(["lint", "src/repro/core/rep005_bad.py",
+                 "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "4 baselined" in out
+
+
+def test_repo_tree_is_lint_clean():
+    """The acceptance gate: src + benchmarks lint clean with the
+    shipped baseline."""
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    result = run_lint(["src", "benchmarks"], root=REPO_ROOT,
+                      baseline=baseline)
+    assert result.findings == [], render_text(result)
+
+
+def test_rule_table_lists_all_rules():
+    ids = [row["id"] for row in rule_table()]
+    assert ids == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+
+
+def test_renderers_disagree_only_in_format():
+    result = lint_fixture("src/repro/core/rep005_bad.py", ("REP005",))
+    text = render_text(result)
+    document = json.loads(render_json(result))
+    assert str(len(result.findings)) in text
+    assert len(document["findings"]) == len(result.findings)
+
+
+def test_module_name_for(tmp_path):
+    path = tmp_path / "src" / "repro" / "noc" / "latency.py"
+    assert module_name_for(path, tmp_path) == "repro.noc.latency"
+    init = tmp_path / "src" / "repro" / "noc" / "__init__.py"
+    assert module_name_for(init, tmp_path) == "repro.noc"
+    outside = Path("/somewhere/else/tool.py")
+    assert module_name_for(outside, tmp_path) == "tool"

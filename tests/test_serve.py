@@ -145,3 +145,47 @@ def test_healthz_reports_shape(client):
     assert health["status"] == "ok"
     assert health["experiments"] == 6
     assert health["inflight_computations"] == 0
+
+
+# ------------------------------------------------------------- Backoff
+
+def test_backoff_schedule_grows_and_clips():
+    from repro.serve.client import Backoff
+    schedule = Backoff(initial_s=0.01, max_s=0.05, multiplier=2.0,
+                       jitter=0.0)
+    delays = schedule.delays()
+    observed = [next(delays) for _ in range(5)]
+    assert observed == [0.01, 0.02, 0.04, 0.05, 0.05]
+
+
+def test_backoff_jitter_is_bounded_and_seeded():
+    from repro.serve.client import Backoff
+    schedule = Backoff(initial_s=0.1, max_s=0.1, jitter=0.5, seed=7)
+    first = [next(schedule.delays()) for _ in range(3)]
+    # seeded: every fresh stream starts identically
+    assert first[0] == first[1] == first[2]
+    stream = schedule.delays()
+    for _ in range(50):
+        delay = next(stream)
+        assert 0.05 <= delay <= 0.15
+
+
+def test_backoff_rejects_bad_config():
+    import pytest as _pytest
+    from repro.serve.client import Backoff
+    for kwargs in ({"initial_s": 0.0}, {"multiplier": 0.5},
+                   {"jitter": 1.0}, {"initial_s": 1.0, "max_s": 0.5}):
+        with _pytest.raises(ValueError):
+            Backoff(**kwargs)
+
+
+def test_wait_healthy_respects_deadline():
+    from repro.serve.client import Backoff, ServeClient, ServeClientError
+    # a port with nothing listening: wait_healthy must give up on time
+    unreachable = ServeClient(port=1, timeout=0.05)
+    start = time.monotonic()
+    with pytest.raises(ServeClientError, match="not healthy"):
+        unreachable.wait_healthy(
+            deadline_s=0.2,
+            backoff=Backoff(initial_s=0.01, max_s=0.05, seed=1))
+    assert time.monotonic() - start < 2.0
