@@ -11,7 +11,11 @@ file directly: ``python benchmarks/bench_perf_engine.py``):
   the sharded runner at several worker counts (parallel speedup needs
   cores: ``cpu_count`` is part of the record);
 * ``report_cache`` — ``generate_report`` cold vs warm through the
-  content-addressed cache.
+  content-addressed cache;
+* ``vectorized_engine`` — the batched Algorithm 1/2 fast path
+  (``repro.core.fastpath``) vs the scalar golden model: the full V100
+  latency matrix (floor 10x) and the Fig 13 bandwidth distribution
+  (floor 5x), with bit-identity verified on the timed results.
 """
 
 from __future__ import annotations
@@ -81,12 +85,55 @@ def report_cache_timings() -> dict:
     return {"cold_s": cold, "warm_s": warm, "speedup": cold / warm}
 
 
+def vectorized_engine_timings() -> dict:
+    """Scalar golden model vs the vectorized engine, same device seeds."""
+    from repro.core.bandwidth_bench import slice_bandwidth_distribution
+    from repro.core.latency_bench import measured_latency_matrix
+
+    def timed(fn):
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+    g_scalar = SimulatedGPU("V100", seed=0)
+    g_fast = SimulatedGPU("V100", seed=0)
+    lat_scalar, lat_scalar_s = timed(
+        lambda: measured_latency_matrix(g_scalar, samples=2))
+    lat_fast, lat_fast_s = timed(
+        lambda: measured_latency_matrix(g_fast, samples=2,
+                                        engine="vectorized"))
+    # A100 is one of Fig 13's devices; its two partitions exercise the
+    # crossing-flow lanes the V100 distribution never takes
+    b_scalar = SimulatedGPU("A100", seed=0)
+    b_fast = SimulatedGPU("A100", seed=0)
+    bw_scalar, bw_scalar_s = timed(
+        lambda: slice_bandwidth_distribution(b_scalar, 0))
+    bw_fast, bw_fast_s = timed(
+        lambda: slice_bandwidth_distribution(b_fast, 0,
+                                             engine="vectorized"))
+    return {
+        "latency_matrix": {
+            "scalar_s": lat_scalar_s,
+            "vectorized_s": lat_fast_s,
+            "speedup": lat_scalar_s / lat_fast_s,
+            "bit_identical": bool((lat_scalar == lat_fast).all()),
+        },
+        "bandwidth_distribution": {
+            "scalar_s": bw_scalar_s,
+            "vectorized_s": bw_fast_s,
+            "speedup": bw_scalar_s / bw_fast_s,
+            "bit_identical": bool((bw_scalar == bw_fast).all()),
+        },
+    }
+
+
 def collect() -> dict:
     return {
         "cpu_count": os.cpu_count(),
         "mesh_engine": mesh_engine_timings(),
         "latency_matrix": latency_matrix_timings(),
         "report_cache": report_cache_timings(),
+        "vectorized_engine": vectorized_engine_timings(),
     }
 
 
@@ -95,6 +142,11 @@ def bench_perf_engine(benchmark):
     show("Fast-path engine timings (JSON)", json.dumps(record, indent=2))
     assert record["mesh_engine"]["speedup"] >= 5.0
     assert record["report_cache"]["warm_s"] < record["report_cache"]["cold_s"]
+    fast = record["vectorized_engine"]
+    assert fast["latency_matrix"]["bit_identical"]
+    assert fast["bandwidth_distribution"]["bit_identical"]
+    assert fast["latency_matrix"]["speedup"] >= 10.0
+    assert fast["bandwidth_distribution"]["speedup"] >= 5.0
 
 
 if __name__ == "__main__":

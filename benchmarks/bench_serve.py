@@ -10,6 +10,9 @@ closed-loop model).  Two phases:
   After the first computation the server answers from the coalescing
   layer and the result cache, so this measures the service overhead
   (HTTP parse + cache hit + canonical JSON) rather than the simulator.
+  Run once per measurement engine (``--engine`` picks one when the file
+  is run directly), reporting hot-path rps for scalar and vectorized
+  side by side — their cache entries are engine-addressed and distinct.
 * ``cold`` — every request is unique (distinct seeds), so each one
   pays an admitted pool computation; rejections under the in-flight
   bound count as backpressure, not errors.
@@ -39,6 +42,7 @@ COLD_REQUESTS = 12
 
 _HOT_PARAMS = {"gpu": "V100", "seed": 0, "sms": [0, 1, 2, 3],
                "samples": 1}
+ENGINES = ("scalar", "vectorized")
 
 
 def _percentiles(samples: list) -> dict:
@@ -51,10 +55,11 @@ def _percentiles(samples: list) -> dict:
             "p99_ms": at(0.99) * 1e3, "max_ms": samples[-1] * 1e3}
 
 
-def _hot_phase(port: int) -> dict:
+def _hot_phase(port: int, engine: str) -> dict:
     """Closed loop of identical requests for a fixed wall-clock window."""
+    params = dict(_HOT_PARAMS, engine=engine)
     ServeClient(port=port).experiment("latency-matrix",
-                                      **_HOT_PARAMS)     # warm the cache
+                                      **params)          # warm the cache
     latencies: list = []
     errors = [0]
     lock = threading.Lock()
@@ -65,7 +70,7 @@ def _hot_phase(port: int) -> dict:
         local: list = []
         while time.monotonic() < stop:
             begin = time.perf_counter()
-            reply = client.experiment("latency-matrix", **_HOT_PARAMS)
+            reply = client.experiment("latency-matrix", **params)
             elapsed = time.perf_counter() - begin
             if reply.status == 200:
                 local.append(elapsed)
@@ -83,7 +88,7 @@ def _hot_phase(port: int) -> dict:
     for t in threads:
         t.join()
     wall = time.perf_counter() - begin
-    return {"workers": HOT_WORKERS, "wall_s": wall,
+    return {"engine": engine, "workers": HOT_WORKERS, "wall_s": wall,
             "throughput_rps": len(latencies) / wall,
             "errors": errors[0], "latency": _percentiles(latencies)}
 
@@ -127,13 +132,14 @@ def _cold_phase(port: int) -> dict:
             "latency": _percentiles(latencies)}
 
 
-def collect() -> dict:
+def collect(engines=ENGINES) -> dict:
     with tempfile.TemporaryDirectory() as cache_dir:
         with serve_in_thread(jobs=2, cache_dir=cache_dir,
                              max_inflight=4) as server:
             client = ServeClient(port=server.port)
             client.wait_healthy()
-            hot = _hot_phase(server.port)
+            hot = {engine: _hot_phase(server.port, engine)
+                   for engine in engines}
             cold = _cold_phase(server.port)
             metrics = client.metricz().json
     return {"hot": hot, "cold": cold,
@@ -145,16 +151,26 @@ def bench_serve(benchmark):
     record = benchmark.pedantic(collect, rounds=1, iterations=1)
     show("repro.serve closed-loop load (JSON)",
          json.dumps(record, indent=2))
-    assert record["hot"]["errors"] == 0
-    # hot-path throughput must beat one request per compute-time: the
-    # cache/coalescing layer, not the simulator, bounds it
-    assert record["hot"]["throughput_rps"] > 20
+    for engine in ENGINES:
+        hot = record["hot"][engine]
+        assert hot["errors"] == 0
+        # hot-path throughput must beat one request per compute-time:
+        # the cache/coalescing layer, not the simulator, bounds it
+        assert hot["throughput_rps"] > 20
     assert record["cold"]["other_statuses"] == []
     counters = record["server_counters"]
     assert counters["errors"] == 0
-    # the hot phase computed its result exactly once
+    # each hot phase computed its result exactly once
     assert counters["cache_hits"] > 0
 
 
 if __name__ == "__main__":
-    print(json.dumps(collect(), indent=2))
+    import argparse
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", choices=ENGINES + ("both",),
+                        default="both",
+                        help="measurement engine for the hot phase "
+                             "(default: both, reported side by side)")
+    choice = parser.parse_args().engine
+    selected = ENGINES if choice == "both" else (choice,)
+    print(json.dumps(collect(engines=selected), indent=2))

@@ -1,4 +1,4 @@
-"""REP004 — golden-model parity: ``Mesh2D`` must track ``ReferenceMesh2D``.
+"""REP004 — golden-model parity: optimized twins must track their golden.
 
 The optimized mesh engine is validated flit-for-flit against the
 retained reference implementation (``tests/test_mesh_equivalence.py``),
@@ -13,6 +13,12 @@ compares the public API of each watched class pair across files during
 Extra *defaulted* parameters on either side are allowed — that is how
 the optimized engine grows opt-in features (``retain_packets=False``)
 without forking the golden model's contract.
+
+The same discipline covers the vectorized measurement engine
+(:data:`WATCHED_FUNCTION_PAIRS`): each scalar measurement API and its
+``repro.core.fastpath`` twin must agree on required parameters, and the
+scalar side must keep its ``engine=`` selector — otherwise the fast path
+exists but the equivalence suite and callers cannot reach it.
 """
 
 from __future__ import annotations
@@ -25,6 +31,21 @@ from repro.analysis.lint.rules import Rule
 #: (module_a, class_a, module_b, class_b) pairs kept in lockstep.
 WATCHED_PAIRS = (("repro.noc.mesh.network", "Mesh2D",
                   "repro.noc.mesh.reference", "ReferenceMesh2D"),)
+
+#: (scalar_module, scalar_fn, fastpath_module, fastpath_fn) pairs: the
+#: scalar golden measurement API and its vectorized twin.
+WATCHED_FUNCTION_PAIRS = (
+    ("repro.core.latency_bench", "measured_latency_matrix",
+     "repro.core.fastpath.latency", "vectorized_latency_matrix"),
+    ("repro.core.bandwidth_bench", "slice_bandwidth_distribution",
+     "repro.core.fastpath.bandwidth", "vectorized_bandwidth_distribution"),
+    ("repro.core.bandwidth_bench", "slice_saturation_curve",
+     "repro.core.fastpath.bandwidth", "vectorized_saturation_curve"),
+)
+
+#: Defaulted parameters the scalar side owns (execution knobs the
+#: vectorized twin does not mirror).
+_SCALAR_ONLY_PARAMS = frozenset({"jobs", "engine"})
 
 
 def _required_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
@@ -58,21 +79,43 @@ class _ClassApi:
             }
 
 
+class _FunctionApi:
+    def __init__(self, path: str, node):
+        self.path = path
+        self.line = node.lineno
+        self.required = _required_params(node)
+        args = node.args
+        self.params = tuple(
+            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs)
+        self.snippet = f"def {node.name}"
+
+
 class GoldenModelParityRule(Rule):
     id = "REP004"
     name = "golden-model-parity"
-    summary = ("public API of Mesh2D and ReferenceMesh2D must not drift "
-               "(methods, property-vs-method kind, required params)")
-    interests = ("ClassDef",)
+    summary = ("golden-model APIs must not drift: Mesh2D vs ReferenceMesh2D "
+               "(methods, kinds, required params) and scalar measurement "
+               "functions vs their repro.core.fastpath twins")
+    interests = ("ClassDef", "FunctionDef")
 
     def __init__(self):
         self._seen: dict[tuple[str, str], _ClassApi] = {}
+        self._seen_funcs: dict[tuple[str, str], _FunctionApi] = {}
 
-    def check(self, node: ast.ClassDef, ctx: FileContext) -> None:
-        for pair in WATCHED_PAIRS:
-            for module, cls in (pair[:2], pair[2:]):
-                if ctx.module == module and node.name == cls:
-                    self._seen[(module, cls)] = _ClassApi(ctx.path, node)
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.ClassDef):
+            for pair in WATCHED_PAIRS:
+                for module, cls in (pair[:2], pair[2:]):
+                    if ctx.module == module and node.name == cls:
+                        self._seen[(module, cls)] = _ClassApi(ctx.path, node)
+            return
+        if node.col_offset != 0:        # only module-level functions
+            return
+        for pair in WATCHED_FUNCTION_PAIRS:
+            for module, fn in (pair[:2], pair[2:]):
+                if ctx.module == module and node.name == fn:
+                    self._seen_funcs[(module, fn)] = _FunctionApi(
+                        ctx.path, node)
 
     def finalize(self, report) -> None:
         for mod_a, cls_a, mod_b, cls_b in WATCHED_PAIRS:
@@ -86,6 +129,29 @@ class GoldenModelParityRule(Rule):
             # side; common-member mismatches were reported above
             self._diff(report, cls_b, api_b, cls_a, api_a,
                        check_common=False)
+        for mod_s, fn_s, mod_v, fn_v in WATCHED_FUNCTION_PAIRS:
+            scalar = self._seen_funcs.get((mod_s, fn_s))
+            if scalar is None:
+                continue        # scalar module not in the linted path set
+            fast = self._seen_funcs.get((mod_v, fn_v))
+            if fast is None:
+                report(self.id, scalar.path, scalar.line, 0,
+                       f"`{fn_s}` has no vectorized twin `{mod_v}.{fn_v}`; "
+                       "the fastpath equivalence suite cannot cover it",
+                       scalar.snippet)
+                continue
+            scalar_req = tuple(p for p in scalar.required
+                               if p not in _SCALAR_ONLY_PARAMS)
+            if scalar_req != fast.required:
+                report(self.id, fast.path, fast.line, 0,
+                       f"`{fn_v}` required parameters differ from the "
+                       f"scalar golden model: {fn_v}{fast.required} vs "
+                       f"{fn_s}{scalar_req}", fast.snippet)
+            if "engine" not in scalar.params:
+                report(self.id, scalar.path, scalar.line, 0,
+                       f"`{fn_s}` lacks the `engine=` selector; the "
+                       f"vectorized twin `{fn_v}` is unreachable from the "
+                       "measurement API", scalar.snippet)
 
     def _diff(self, report, name_a: str, api_a: _ClassApi,
               name_b: str, api_b: _ClassApi, *, check_common: bool) -> None:

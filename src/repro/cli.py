@@ -65,7 +65,7 @@ def _cmd_latency(args) -> int:
     from repro.analysis.stats import summarize
     from repro.core.latency_bench import latency_profile
     gpu = _device(args.gpu, args.seed)
-    profile = latency_profile(gpu, sm=args.sm)
+    profile = latency_profile(gpu, sm=args.sm, engine=args.engine)
     print(bar_chart([f"slice {s}" for s in range(len(profile))], profile,
                     width=40,
                     title=f"{gpu.name} SM{args.sm} L2 hit latency (cycles)"))
@@ -81,10 +81,11 @@ def _cmd_bandwidth(args) -> int:
                                             group_to_slice_bandwidth,
                                             single_sm_slice_bandwidth)
     gpu = _device(args.gpu, args.seed)
-    sm_bw = single_sm_slice_bandwidth(gpu, 0, 0)
-    gpc_bw = group_to_slice_bandwidth(gpu, gpu.hier.sms_in_gpc(0), 0)
-    l2 = aggregate_l2_bandwidth(gpu)
-    mem = aggregate_memory_bandwidth(gpu)
+    sm_bw = single_sm_slice_bandwidth(gpu, 0, 0, args.engine)
+    gpc_bw = group_to_slice_bandwidth(gpu, gpu.hier.sms_in_gpc(0), 0,
+                                      args.engine)
+    l2 = aggregate_l2_bandwidth(gpu, args.engine)
+    mem = aggregate_memory_bandwidth(gpu, args.engine)
     print(render_table([
         {"quantity": "1 SM -> 1 slice", "GB/s": round(sm_bw, 1)},
         {"quantity": "1 GPC -> 1 slice", "GB/s": round(gpc_bw, 1)},
@@ -101,7 +102,7 @@ def _cmd_speedup(args) -> int:
     rows = [{"level": m.level, "kind": m.kind.value,
              "speedup": round(m.speedup, 2), "needed": m.required,
              "fraction": round(m.fraction_of_full, 2)}
-            for m in measure_speedups(gpu)]
+            for m in measure_speedups(gpu, engine=args.engine)]
     print(render_table(rows, title=f"{gpu.name} input speedups (Fig 10)"))
     return 0
 
@@ -109,7 +110,8 @@ def _cmd_speedup(args) -> int:
 def _cmd_report(args) -> int:
     from repro.report import generate_report
     print(generate_report(seed=args.seed, include_mesh=not args.no_mesh,
-                          jobs=args.jobs, cache=args.cache))
+                          jobs=args.jobs, cache=args.cache,
+                          engine=args.engine))
     return 0
 
 
@@ -201,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device seed (default 0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _engine_argument(p) -> None:
+        p.add_argument("--engine", choices=("scalar", "vectorized"),
+                       default="scalar",
+                       help="measurement engine; vectorized is the "
+                            "batched fast path, bit-identical to scalar")
+
     sub.add_parser("specs", help="Table I")
     for name, needs_sm in (("floorplan", False), ("latency", True),
                            ("bandwidth", False), ("speedup", False)):
@@ -209,11 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="V100/A100/H100 or a spec .json file")
         if needs_sm:
             p.add_argument("--sm", type=int, default=0)
+        if name != "floorplan":
+            _engine_argument(p)
     sub.add_parser("observations", help="check all twelve observations")
     report = sub.add_parser("report",
                             help="markdown paper-vs-measured report")
     report.add_argument("--no-mesh", action="store_true",
                         help="skip the (slower) mesh experiments")
+    _engine_argument(report)
     report.add_argument("--jobs", type=_jobs_argument, default=None,
                         metavar="N",
                         help="run report sections on N worker processes "

@@ -25,79 +25,127 @@ def measure_bandwidth(gpu: SimulatedGPU, traffic: dict,
     return gpu.topology.solve(traffic, kind=kind, l2_hit=l2_hit)
 
 
-def single_sm_slice_bandwidth(gpu: SimulatedGPU, sm: int, slice_id: int
-                              ) -> float:
+def single_sm_slice_bandwidth(gpu: SimulatedGPU, sm: int, slice_id: int,
+                              engine: str = "scalar") -> float:
     """One SM streaming to one slice (Fig 9b / Fig 12), GB/s."""
+    from repro.core.fastpath import resolve_engine
+    if resolve_engine(engine) == "vectorized":
+        from repro.core.fastpath.bandwidth import (
+            vectorized_single_sm_slice_bandwidth)
+        return vectorized_single_sm_slice_bandwidth(gpu, sm, slice_id)
     return measure_bandwidth(gpu, {sm: [slice_id]}).total_gbps
 
 
 def _distribution_shard(args) -> list:
     """Sweep-runner worker: solo bandwidths for one chunk of SMs."""
-    spec_data, seed, sms, slice_id = args
+    spec_data, seed, sms, slice_id, engine = args
     from repro.exec.runner import rebuild_device
     gpu = rebuild_device(spec_data, seed)
+    if engine == "vectorized":
+        from repro.core.fastpath.bandwidth import (
+            vectorized_bandwidth_distribution)
+        return vectorized_bandwidth_distribution(gpu, slice_id,
+                                                 sms).tolist()
     return [single_sm_slice_bandwidth(gpu, sm, slice_id) for sm in sms]
 
 
 def slice_bandwidth_distribution(gpu: SimulatedGPU, slice_id: int,
-                                 sms=None, jobs: int | None = None
-                                 ) -> np.ndarray:
+                                 sms=None, jobs: int | None = None,
+                                 engine: str = "scalar") -> np.ndarray:
     """Per-SM solo bandwidth to one slice, across SMs (Fig 9b/13).
 
     Each SM is measured alone (the paper collects the distribution over
     all source/destination combinations, one at a time).  ``jobs``
     shards the SMs over a process pool; the flow solver is a pure
     function of (spec, seed, traffic), so sharded results are
-    bit-identical to the serial sweep.
+    bit-identical to the serial sweep.  ``engine="vectorized"`` runs
+    every SM's single-flow solve as one batched fixed point
+    (``repro.core.fastpath.bandwidth``), bit-identical to scalar.
     """
+    from repro.core.fastpath import resolve_engine
+    engine = resolve_engine(engine)
     sms = list(sms) if sms is not None else gpu.hier.all_sms
     if jobs is None:
+        if engine == "vectorized":
+            from repro.core.fastpath.bandwidth import (
+                vectorized_bandwidth_distribution)
+            return vectorized_bandwidth_distribution(gpu, slice_id, sms)
         return np.array([single_sm_slice_bandwidth(gpu, sm, slice_id)
                          for sm in sms])
     from repro.exec import SweepRunner, chunk, device_payload
     spec_data, seed = device_payload(gpu)
-    shards = [(spec_data, seed, shard, slice_id) for shard in chunk(sms)]
+    shards = [(spec_data, seed, shard, slice_id, engine)
+              for shard in chunk(sms)]
     values = SweepRunner(jobs).map(_distribution_shard, shards)
     return np.array([v for shard in values for v in shard])
 
 
-def group_to_slice_bandwidth(gpu: SimulatedGPU, sms, slice_id: int) -> float:
+def group_to_slice_bandwidth(gpu: SimulatedGPU, sms, slice_id: int,
+                             engine: str = "scalar") -> float:
     """A group of SMs (e.g. one GPC) streaming to one slice (Fig 9c)."""
+    from repro.core.fastpath import resolve_engine
+    if resolve_engine(engine) == "vectorized":
+        from repro.core.fastpath.bandwidth import (
+            vectorized_group_to_slice_bandwidth)
+        return vectorized_group_to_slice_bandwidth(gpu, sms, slice_id)
     sms = list(sms)
     if not sms:
         raise ConfigurationError("need at least one SM")
     return measure_bandwidth(gpu, {sm: [slice_id]for sm in sms}).total_gbps
 
 
-def aggregate_l2_bandwidth(gpu: SimulatedGPU) -> float:
+def aggregate_l2_bandwidth(gpu: SimulatedGPU,
+                           engine: str = "scalar") -> float:
     """All SMs streaming to all slices, hitting in L2 (Fig 9a), GB/s."""
+    from repro.core.fastpath import resolve_engine
+    if resolve_engine(engine) == "vectorized":
+        from repro.core.fastpath.bandwidth import (
+            vectorized_aggregate_l2_bandwidth)
+        return vectorized_aggregate_l2_bandwidth(gpu)
     traffic = {sm: gpu.hier.all_slices for sm in gpu.hier.all_sms}
     return measure_bandwidth(gpu, traffic).total_gbps
 
 
-def aggregate_memory_bandwidth(gpu: SimulatedGPU) -> float:
+def aggregate_memory_bandwidth(gpu: SimulatedGPU,
+                               engine: str = "scalar") -> float:
     """All SMs streaming with L2 misses: off-chip DRAM bandwidth (Fig 9a)."""
+    from repro.core.fastpath import resolve_engine
+    if resolve_engine(engine) == "vectorized":
+        from repro.core.fastpath.bandwidth import (
+            vectorized_aggregate_memory_bandwidth)
+        return vectorized_aggregate_memory_bandwidth(gpu)
     traffic = {sm: gpu.hier.all_slices for sm in gpu.hier.all_sms}
     return measure_bandwidth(gpu, traffic, l2_hit=False).total_gbps
 
 
 def _saturation_shard(args) -> float:
     """Sweep-runner worker: one point of the saturation curve."""
-    spec_data, seed, sms, slice_id, n = args
+    spec_data, seed, sms, slice_id, n, engine = args
     from repro.exec.runner import rebuild_device
     gpu = rebuild_device(spec_data, seed)
+    if engine == "vectorized":
+        from repro.core.fastpath.bandwidth import solve_traffic
+        return solve_traffic(gpu, {sm: [slice_id] for sm in sms[:n]})
     return measure_bandwidth(
         gpu, {sm: [slice_id] for sm in sms[:n]}).total_gbps
 
 
 def slice_saturation_curve(gpu: SimulatedGPU, slice_id: int, sms,
-                           counts=None, jobs: int | None = None) -> dict:
+                           counts=None, jobs: int | None = None,
+                           engine: str = "scalar") -> dict:
     """Slice bandwidth as more SMs target it (Fig 14).
 
     ``sms`` is the ordered pool to draw from; returns {n: GB/s}.
     ``jobs`` solves the curve's points in parallel (one shard per point).
+    ``engine="vectorized"`` assembles each point's solver arrays directly
+    from the traffic pattern, bit-identical to the scalar build.
     """
+    from repro.core.fastpath import resolve_engine
+    engine = resolve_engine(engine)
     sms = list(sms)
+    if engine == "vectorized" and jobs is None:
+        from repro.core.fastpath.bandwidth import vectorized_saturation_curve
+        return vectorized_saturation_curve(gpu, slice_id, sms, counts)
     counts = list(counts) if counts is not None else list(
         range(1, len(sms) + 1))
     if not sms:
@@ -112,6 +160,7 @@ def slice_saturation_curve(gpu: SimulatedGPU, slice_id: int, sms,
             for n in counts}
     from repro.exec import SweepRunner, device_payload
     spec_data, seed = device_payload(gpu)
-    shards = [(spec_data, seed, tuple(sms), slice_id, n) for n in counts]
+    shards = [(spec_data, seed, tuple(sms), slice_id, n, engine)
+              for n in counts]
     values = SweepRunner(jobs).map(_saturation_shard, shards)
     return dict(zip(counts, values))

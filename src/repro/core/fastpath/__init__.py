@@ -1,0 +1,60 @@
+"""Vectorized measurement engine (the batched Algorithm 1/2 fast path).
+
+The scalar interpreter path (``repro.runtime`` warps driven by
+``repro.core.latency_bench`` / ``bandwidth_bench``) is the *golden
+model*: every fast-path result must be bit-identical to it, the same
+contract ``Mesh2D`` holds against ``ReferenceMesh2D``.  This package
+computes entire SM x slice matrices, bandwidth distributions, saturation
+curves and speedup tables as batched NumPy array operations while
+consuming the *same* deterministic ``repro.rng`` noise streams:
+
+* :mod:`repro.core.fastpath.noise` — draws keyed Gaussian jitter for
+  thousands of (seed, key) streams at once, bit-equal to
+  ``rng.jitter(seed, *key)[0]``;
+* :mod:`repro.core.fastpath.latency` — Algorithm 1: the measured
+  latency matrix, including the golden path's device-state side effects
+  (L2 residency/counters, DRAM bytes, access sequence);
+* :mod:`repro.core.fastpath.bandwidth` — Algorithm 2: batched
+  single-flow solves and direct array assembly for the shared max-min
+  flow solver core (:func:`repro.noc.flows.solve_arrays`).
+
+Callers select the engine with ``engine="scalar"|"vectorized"`` on the
+measurement APIs; ``tests/test_fastpath_equivalence.py`` asserts exact
+equality between the two, and the REP004 lint rule keeps the public
+surfaces from drifting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Engine names accepted by every ``engine=`` selector.
+ENGINES = ("scalar", "vectorized")
+
+#: Bumped whenever the vectorized engine's implementation changes in a
+#: way that *could* alter results; folded into ResultCache keys so a
+#: stale vectorized entry can never alias a scalar one (or vice versa).
+FASTPATH_VERSION = 1
+
+
+def resolve_engine(engine: str | None) -> str:
+    """Validate an ``engine=`` argument (``None`` means scalar)."""
+    if engine is None:
+        return "scalar"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}")
+    return engine
+
+
+def engine_fingerprint(engine: str | None) -> dict:
+    """Cache-key fragment identifying the engine that produced a result.
+
+    The scalar golden model is version-free (its results define
+    correctness); vectorized results carry :data:`FASTPATH_VERSION` so
+    recalibrating the fast path invalidates exactly its own entries.
+    """
+    name = resolve_engine(engine)
+    if name == "vectorized":
+        return {"name": name, "fastpath_version": FASTPATH_VERSION}
+    return {"name": name}

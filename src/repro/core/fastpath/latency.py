@@ -1,0 +1,269 @@
+"""Vectorized Algorithm 1: whole latency matrices as array operations.
+
+Replicates the scalar interpreter's arithmetic *operation for operation*
+(same associativity, same ``np.where`` branches as its ``if``\\ s, same
+noise streams via :mod:`repro.core.fastpath.noise`) so every cell is
+bit-identical to ``measure_l2_latency`` driving simulated warps — the
+scalar path stays the golden model.  The measured matrix also replays the
+golden path's device-state side effects: L2 residency/LRU and hit/miss
+counters, DRAM bytes serviced, per-slice request counters and the memory
+access sequence, so interleaving engines on one device never diverges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fastpath.noise import get_bank
+from repro.errors import ConfigurationError, LaunchError
+from repro.runtime.device_api import (ISSUE_SLOT_CYCLES,
+                                      MEM_ISSUE_OVERHEAD_CYCLES)
+
+
+class _Geometry:
+    """Array form of hierarchy + floorplan facts, cached per model."""
+
+    def __init__(self, model):
+        spec, hier, fp = model.spec, model.hier, model.floorplan
+        sm_infos = [hier.sm_info(sm) for sm in range(spec.num_sms)]
+        sl_infos = [hier.slice_info(s) for s in range(spec.num_slices)]
+        self.sm_x = np.array([p.x for p in fp._sm_pos])
+        self.sm_y = np.array([p.y for p in fp._sm_pos])
+        self.sm_tpc = np.array([i.tpc for i in sm_infos])
+        self.sm_gpc = np.array([i.gpc for i in sm_infos])
+        self.sm_cpc = np.array([i.cpc for i in sm_infos])
+        self.sm_part = np.array([i.partition for i in sm_infos])
+        self.sl_x = np.array([p.x for p in fp._slice_pos])
+        self.sl_y = np.array([p.y for p in fp._slice_pos])
+        self.sl_part = np.array([i.partition for i in sl_infos])
+        self.sl_mp = np.array([i.mp for i in sl_infos])
+        self.part_first = np.array(
+            [p * spec.slices_per_partition
+             for p in range(spec.num_partitions)])
+        self.bridge = fp.bridge_point
+
+
+def _geometry(model) -> _Geometry:
+    geo = getattr(model, "_fastpath_geometry", None)
+    if geo is None:
+        geo = _Geometry(model)
+        model._fastpath_geometry = geo
+    return geo
+
+
+def _service_matrix(model, sm_idx: np.ndarray, sl_idx: np.ndarray,
+                    for_hit: bool) -> np.ndarray:
+    """[n x m] servicing slice ids (``HierarchicalCrossbar.path``)."""
+    geo = _geometry(model)
+    home = sl_idx[None, :]
+    if for_hit and model.spec.local_l2_policy:
+        sm_part = geo.sm_part[sm_idx][:, None]
+        home_part = geo.sl_part[home]
+        local = geo.part_first[sm_part] + (home - geo.part_first[home_part])
+        return np.where(home_part == sm_part, home, local)
+    n = len(sm_idx)
+    return np.broadcast_to(home, (n, len(sl_idx))).copy()
+
+
+def _structural_base(model, sm_idx: np.ndarray, sl_idx: np.ndarray,
+                     hit: bool) -> tuple:
+    """(total, service) for every (sm, slice) pair, bit-equal to the
+    scalar ``hit_latency`` / ``miss_latency``."""
+    spec = model.spec
+    geo = _geometry(model)
+    # miss_latency = hit_latency + miss_penalty: both engines build the
+    # structural part on the *hit* path (aliased service slice)
+    service = _service_matrix(model, sm_idx, sl_idx, for_hit=True)
+    sm_part = geo.sm_part[sm_idx][:, None]
+    crosses = sm_part != geo.sl_part[service]
+    px, py = geo.sm_x[sm_idx][:, None], geo.sm_y[sm_idx][:, None]
+    qx, qy = geo.sl_x[service], geo.sl_y[service]
+    bx, by = geo.bridge.x, geo.bridge.y
+    wyf = spec.wire_y_factor
+    direct = np.abs(px - qx) + wyf * np.abs(py - qy)
+    via = ((np.abs(px - bx) + wyf * np.abs(py - by))
+           + (np.abs(bx - qx) + wyf * np.abs(by - qy)))
+    dist = np.where(crosses, via, direct)
+    oneway = spec.noc_base_oneway_cycles + spec.cycles_per_mm * dist
+    oneway = np.where(crosses, oneway + spec.partition_cross_oneway_cycles,
+                      oneway)
+    # LatencyBreakdown.total: left-associative sum of the five parts
+    structural = (((spec.sm_pipeline_cycles + oneway)
+                   + spec.l2_hit_cycles) + oneway) + 0.0
+    total = structural + _route_offsets(model, sm_idx, service)
+    if not hit:
+        total = total + _miss_penalty(model, sm_idx, sl_idx, service)
+    return total, service
+
+
+def _miss_penalty(model, sm_idx: np.ndarray, sl_idx: np.ndarray,
+                  service: np.ndarray) -> np.ndarray:
+    """[n x m] ``LatencyModel.miss_penalty`` values."""
+    spec = model.spec
+    penalty = np.full((len(sm_idx), len(sl_idx)),
+                      spec.dram_miss_penalty_cycles)
+    if spec.local_l2_policy:
+        geo = _geometry(model)
+        home = np.broadcast_to(sl_idx[None, :], service.shape)
+        qx, qy = geo.sl_x[service], geo.sl_y[service]
+        hx, hy = geo.sl_x[home], geo.sl_y[home]
+        bx, by = geo.bridge.x, geo.bridge.y
+        extra_mm = ((np.abs(qx - bx) + np.abs(qy - by))
+                    + (np.abs(bx - hx) + np.abs(by - hy)))
+        refill = 2 * (spec.partition_cross_oneway_cycles
+                      + spec.cycles_per_mm * extra_mm)
+        penalty = np.where(service != home, penalty + refill, penalty)
+    return penalty
+
+
+def _route_offsets(model, sm_idx: np.ndarray,
+                   service: np.ndarray) -> np.ndarray:
+    """[n x m] ``LatencyModel._route_offset`` values.
+
+    Consults and populates the model's scalar ``_offset_cache`` so the
+    two engines share one deterministic offset table per device.
+    """
+    spec = model.spec
+    geo = _geometry(model)
+    num_slices = spec.num_slices
+    pair_codes = (np.asarray(sm_idx)[:, None] * num_slices + service).ravel()
+    uniq, inverse = np.unique(pair_codes, return_inverse=True)
+    values = np.empty(len(uniq))
+    cache = model._offset_cache
+    missing: list[int] = []
+    for k, code in enumerate(uniq.tolist()):
+        cached = cache.get((code // num_slices, code % num_slices))
+        if cached is not None:
+            values[k] = cached
+        else:
+            missing.append(k)
+    if missing:
+        sms = [int(uniq[k]) // num_slices for k in missing]
+        svs = [int(uniq[k]) % num_slices for k in missing]
+        bank = get_bank()
+        off = bank.batch_normal(
+            model.seed, [("route-sm", sm, sv) for sm, sv in zip(sms, svs)],
+            spec.sm_route_sigma_cycles)
+        gpc_codes = np.array([geo.sm_gpc[sm] * num_slices + sv
+                              for sm, sv in zip(sms, svs)])
+        guniq, ginv = np.unique(gpc_codes, return_inverse=True)
+        gdraws = bank.batch_normal(
+            model.seed,
+            [("route-gpc", int(c) // num_slices, int(c) % num_slices)
+             for c in guniq],
+            spec.gpc_route_sigma_cycles)
+        off = off + gdraws[ginv]
+        if spec.cpc_route_sigma_cycles and spec.tpcs_per_cpc:
+            cpc_codes = np.array([geo.sm_cpc[sm] * num_slices + sv
+                                  for sm, sv in zip(sms, svs)])
+            cuniq, cinv = np.unique(cpc_codes, return_inverse=True)
+            cdraws = bank.batch_normal(
+                model.seed,
+                [("route-cpc", int(c) // num_slices, int(c) % num_slices)
+                 for c in cuniq],
+                spec.cpc_route_sigma_cycles)
+            off = off + cdraws[cinv]
+        off_list = off.tolist()
+        for k, sm, sv, val in zip(missing, sms, svs, off_list):
+            values[k] = val
+            cache[(sm, sv)] = val
+    return values[inverse].reshape(service.shape)
+
+
+def structural_latency_matrix(model, sms=None, slices=None,
+                              hit: bool = True) -> np.ndarray:
+    """Vectorized ``LatencyModel.latency_matrix`` (structural, no jitter)."""
+    sms = list(sms) if sms is not None else model.hier.all_sms
+    slices = list(slices) if slices is not None else model.hier.all_slices
+    total, _service = _structural_base(model, np.asarray(sms, dtype=int),
+                                       np.asarray(slices, dtype=int), hit)
+    return total
+
+
+def slice_address_table(memory, slices) -> list:
+    """First address homing to each requested slice (vectorized M[s] scan).
+
+    Bit-equal to ``AddressHasher.addresses_for_slice(s, 1)[0]`` including
+    its failure mode, and cached on the hasher (the scan is pure).
+    """
+    hasher = memory.hasher
+    cache = getattr(hasher, "_fastpath_first_address", None)
+    if cache is None:
+        cache = {}
+        hasher._fastpath_first_address = cache
+    todo = [s for s in slices if s not in cache]
+    if todo:
+        num_slices = hasher.num_slices
+        line_bytes = hasher.line_bytes
+        limit = 1 * num_slices * line_bytes * 8
+        grid = np.arange(0, limit, line_bytes, dtype=np.uint64)
+        homes = hasher.slice_of_array(grid)
+        for s in todo:
+            matches = np.flatnonzero(homes == s)
+            if matches.size == 0:
+                raise ConfigurationError(
+                    f"only found 0/1 addresses for slice {s} "
+                    f"in a {limit}-byte region")
+            cache[s] = int(grid[matches[0]])
+    return [cache[s] for s in slices]
+
+
+def vectorized_latency_matrix(gpu, sms=None, slices=None,
+                              samples: int = 2) -> np.ndarray:
+    """[SM x slice] measured hit-latency matrix, one NumPy block.
+
+    Bit-identical to the scalar serial ``measured_latency_matrix`` on the
+    same device instance, including all device-state side effects of the
+    simulated measurement kernels.
+    """
+    if samples <= 0:
+        raise LaunchError("samples must be positive")
+    sms = list(sms) if sms is not None else gpu.hier.all_sms
+    slices = list(slices) if slices is not None else gpu.hier.all_slices
+    memory = gpu.memory
+    model = memory.latency
+    spec = gpu.spec
+    addresses = slice_address_table(memory, slices)
+    n, m = len(sms), len(slices)
+    base, service = _structural_base(model, np.asarray(sms, dtype=int),
+                                     np.asarray(slices, dtype=int), hit=True)
+
+    # measurement jitter: one stream per timed access, keyed by the
+    # golden path's monotone access sequence (warm-up draws are consumed
+    # by no one — each (seed, key) stream is independent)
+    seq0 = memory._access_seq
+    keys = []
+    for i, sm in enumerate(sms):
+        for j, home in enumerate(slices):
+            cell_seq = seq0 + (i * m + j) * (samples + 1)
+            for k in range(samples):
+                keys.append(("measure", sm, home, True, (0, cell_seq + 2 + k)))
+    noise = get_bank().batch_normal(
+        model.seed, keys, spec.measurement_jitter_cycles).reshape(n, m,
+                                                                  samples)
+
+    # Warp.ldcg timing: completion = max(0, issue_slot*0 + rint(base+noise)),
+    # stall = issue overhead + completion, observed via integer clock()s
+    measured = MEM_ISSUE_OVERHEAD_CYCLES + np.maximum(
+        0.0, ISSUE_SLOT_CYCLES * 0 + np.rint(base[:, :, None] + noise))
+    matrix = measured.sum(axis=2) / float(samples)
+
+    # replay the golden path's device-state effects: per cell one real
+    # warm access (installs the line, may touch DRAM) and `samples`
+    # guaranteed hits on the line just installed
+    l2 = memory.l2
+    dram = memory.dram
+    requests = memory.slice_requests
+    line_bytes = spec.cache_line_bytes
+    home_mp = [gpu.hier.slice_info(s).mp for s in slices]
+    service_rows = service.tolist()
+    for i in range(n):
+        row = service_rows[i]
+        for j in range(m):
+            sv = row[j]
+            if not l2.access(sv, addresses[j]):
+                dram.channel(home_mp[j]).service(line_bytes)
+            l2.slices[sv].hits += samples
+            requests[sv] += samples + 1
+    memory._access_seq += n * m * (samples + 1)
+    return matrix

@@ -65,9 +65,13 @@ def measure_l2_latency(gpu: SimulatedGPU, sm: int, slices=None,
     return sums / counts
 
 
-def latency_profile(gpu: SimulatedGPU, sm: int, samples: int = 3
-                    ) -> np.ndarray:
+def latency_profile(gpu: SimulatedGPU, sm: int, samples: int = 3,
+                    engine: str = "scalar") -> np.ndarray:
     """The SM's full latency vector over all slices (Fig 1a)."""
+    from repro.core.fastpath import resolve_engine
+    if resolve_engine(engine) == "vectorized":
+        from repro.core.fastpath.latency import vectorized_latency_matrix
+        return vectorized_latency_matrix(gpu, [sm], None, samples)[0]
     return measure_l2_latency(gpu, sm, samples=samples)
 
 
@@ -77,18 +81,23 @@ def _latency_shard(args) -> list:
     Each shard rebuilds its :class:`SimulatedGPU` from the spec dict, so
     the measurement stream it sees depends only on the shard contents —
     results are bit-identical no matter how many workers run the sweep.
+    With the vectorized engine a shard is one NumPy block instead of a
+    per-SM interpreter loop, same contents either way.
     """
-    spec_data, seed, sms, slices, samples = args
+    spec_data, seed, sms, slices, samples, engine = args
     from repro.exec.runner import rebuild_device
     gpu = rebuild_device(spec_data, seed)
     slices = list(slices) if slices is not None else None
+    if engine == "vectorized":
+        from repro.core.fastpath.latency import vectorized_latency_matrix
+        return vectorized_latency_matrix(gpu, sms, slices, samples).tolist()
     return [measure_l2_latency(gpu, sm, slices, samples).tolist()
             for sm in sms]
 
 
 def measured_latency_matrix(gpu: SimulatedGPU, sms=None, slices=None,
-                            samples: int = 2, jobs: int | None = None
-                            ) -> np.ndarray:
+                            samples: int = 2, jobs: int | None = None,
+                            engine: str = "scalar") -> np.ndarray:
     """[SM x slice] measured hit-latency matrix (input of Fig 2/3/5/6).
 
     ``jobs=None`` keeps the legacy serial path (all SMs measured on the
@@ -97,15 +106,24 @@ def measured_latency_matrix(gpu: SimulatedGPU, sms=None, slices=None,
     device rebuilt from ``gpu``'s spec and seed, optionally across a
     process pool — ``jobs=1`` and ``jobs=N`` produce bit-identical
     matrices.
+
+    ``engine="vectorized"`` computes the same matrix as batched array
+    operations (``repro.core.fastpath``), bit-identical to the scalar
+    golden path under every ``jobs`` setting.
     """
+    from repro.core.fastpath import resolve_engine
+    engine = resolve_engine(engine)
     sms = list(sms) if sms is not None else gpu.hier.all_sms
     if jobs is None:
+        if engine == "vectorized":
+            from repro.core.fastpath.latency import vectorized_latency_matrix
+            return vectorized_latency_matrix(gpu, sms, slices, samples)
         return np.array([measure_l2_latency(gpu, sm, slices, samples)
                          for sm in sms])
     from repro.exec import SweepRunner, chunk, device_payload
     spec_data, seed = device_payload(gpu)
     slices_key = tuple(slices) if slices is not None else None
-    shards = [(spec_data, seed, shard, slices_key, samples)
+    shards = [(spec_data, seed, shard, slices_key, samples, engine)
               for shard in chunk(sms)]
     shard_rows = SweepRunner(jobs).map(_latency_shard, shards)
     return np.array([row for rows in shard_rows for row in rows])

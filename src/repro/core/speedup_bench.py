@@ -41,8 +41,12 @@ class SpeedupMeasurement:
         return self.speedup / self.required
 
 
-def _group_bandwidth(gpu: SimulatedGPU, sms, kind: AccessKind) -> float:
+def _group_bandwidth(gpu: SimulatedGPU, sms, kind: AccessKind,
+                     engine: str = "scalar") -> float:
     traffic = {sm: gpu.hier.all_slices for sm in sms}
+    if engine == "vectorized":
+        from repro.core.fastpath.bandwidth import solve_traffic
+        return solve_traffic(gpu, traffic, kind=kind)
     return gpu.topology.solve(traffic, kind=kind).total_gbps
 
 
@@ -63,12 +67,16 @@ def _level_sms(gpu: SimulatedGPU, level: str, gpc: int = 0) -> list:
 
 
 def measure_speedups(gpu: SimulatedGPU, gpc: int = 0,
-                     kinds=(AccessKind.READ, AccessKind.WRITE)) -> list:
+                     kinds=(AccessKind.READ, AccessKind.WRITE),
+                     engine: str = "scalar") -> list:
     """All speedup levels of a device, for each access kind (Fig 10)."""
+    from repro.core.fastpath import resolve_engine
+    engine = resolve_engine(engine)
     config = SpeedupConfig.for_spec(gpu.spec)
     results = []
     for kind in kinds:
-        baseline = _group_bandwidth(gpu, [gpu.hier.sm_id(gpc, 0, 0)], kind)
+        baseline = _group_bandwidth(gpu, [gpu.hier.sm_id(gpc, 0, 0)], kind,
+                                    engine)
         for level in config.levels():
             sms = _level_sms(gpu, level, gpc)
             results.append(SpeedupMeasurement(
@@ -76,7 +84,7 @@ def measure_speedups(gpu: SimulatedGPU, gpc: int = 0,
                 kind=kind,
                 sms_used=len(sms),
                 required=config.required(level),
-                bandwidth_gbps=_group_bandwidth(gpu, sms, kind),
+                bandwidth_gbps=_group_bandwidth(gpu, sms, kind, engine),
                 baseline_gbps=baseline,
             ))
     return results

@@ -49,14 +49,23 @@ def _jsonify(value):
     raise TypeError(f"not JSON-serializable: {type(value).__name__}")
 
 
-def cache_key(algorithm: str, payload: dict) -> str:
-    """Stable content hash for (algorithm, payload) at CACHE_VERSION."""
+def cache_key(algorithm: str, payload: dict, engine: str | None = None) -> str:
+    """Stable content hash for (algorithm, payload) at CACHE_VERSION.
+
+    ``engine`` folds the measurement engine's fingerprint (name plus, for
+    the fast path, its version) into the key: results produced by
+    different engines — or different fastpath revisions — never alias,
+    even though they are bit-identical by contract today.
+    """
     if not algorithm:
         raise ConfigurationError("cache key needs an algorithm name")
-    canonical = json.dumps(
-        {"version": CACHE_VERSION, "algorithm": algorithm,
-         "payload": payload},
-        sort_keys=True, separators=(",", ":"), default=_jsonify)
+    entry = {"version": CACHE_VERSION, "algorithm": algorithm,
+             "payload": payload}
+    if engine is not None:
+        from repro.core.fastpath import engine_fingerprint
+        entry["engine"] = engine_fingerprint(engine)
+    canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"),
+                           default=_jsonify)
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
@@ -120,7 +129,8 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
             raise
 
-    def get_or_compute(self, algorithm: str, payload: dict, compute):
+    def get_or_compute(self, algorithm: str, payload: dict, compute,
+                       engine: str | None = None):
         """Memoize ``compute()`` under the content key of the inputs.
 
         Concurrent callers of the same key in one process are coalesced:
@@ -129,7 +139,7 @@ class ResultCache:
         processes the atomic :meth:`put` keeps a stampede harmless
         (duplicate computation, never a torn entry).
         """
-        key = cache_key(algorithm, payload)
+        key = cache_key(algorithm, payload, engine)
         value = self.get(key, _MISS)
         if value is not _MISS:
             return value

@@ -59,6 +59,94 @@ def _inflation_curve(rho: np.ndarray) -> np.ndarray:
     return 1.0 + rho ** 8 / (1.0 - rho)
 
 
+def progressive_fill(caps, capacities, pair_flow, pair_link,
+                     num_links) -> np.ndarray:
+    """Max-min fair water-filling, vectorised.
+
+    Every round grows all unfrozen flows by the largest uniform step
+    no flow cap or link capacity forbids, then freezes flows that hit
+    their cap or a saturated link.  Terminates: each round freezes at
+    least one flow.
+    """
+    num_flows = caps.shape[0]
+    rates = np.zeros(num_flows)
+    active = np.ones(num_flows, dtype=bool)
+    residual = capacities.astype(float).copy()
+    while active.any():
+        active_pairs = active[pair_flow]
+        counts = np.bincount(pair_link[active_pairs], minlength=num_links)
+        headroom = caps[active] - rates[active]
+        step = headroom.min() if headroom.size else math.inf
+        busy = counts > 0
+        if busy.any():
+            step = min(step, (residual[busy] / counts[busy]).min())
+        if not math.isfinite(step):
+            break
+        step = max(step, 0.0)
+        rates[active] += step
+        residual -= step * counts
+        saturated = residual <= _EPS
+        hit_saturated = np.zeros(num_flows, dtype=bool)
+        sat_pairs = saturated[pair_link] & active_pairs
+        hit_saturated[pair_flow[sat_pairs]] = True
+        frozen_now = hit_saturated | (rates >= caps - _EPS)
+        still_active = active & ~frozen_now
+        if (still_active == active).all():
+            # numerical guard: force-freeze the tightest flow
+            idx = np.flatnonzero(active)
+            tightest = idx[np.argmin(caps[idx] - rates[idx])]
+            still_active[tightest] = False
+        active = still_active
+    return rates
+
+
+def solve_arrays(pair_flow, pair_link, littles_caps, hard_caps, capacity,
+                 is_conc, is_littles) -> tuple:
+    """The solver core on flat arrays: (rates, flow_inf, iters, converged).
+
+    Shared by :meth:`FlowNetwork.solve` and the vectorized measurement
+    engine (``repro.core.fastpath.bandwidth``), which assembles the same
+    arrays directly from the traffic pattern — both paths therefore run
+    the identical fixed-point iteration, keeping them bit-identical.
+    """
+    num_flows = littles_caps.shape[0]
+    num_links = capacity.shape[0]
+    flow_inf = np.ones(num_flows)
+    link_inf = np.ones(num_links)
+    prev_rates = np.zeros(num_flows)
+    rates = prev_rates
+    converged = False
+    iteration = 0
+    for iteration in range(1, _MAX_FIXPOINT_ITERS + 1):
+        damping = _DAMPING / (1.0 + iteration / 60.0)
+        eff_capacity = np.where(is_littles, capacity / link_inf, capacity)
+        caps = np.minimum(littles_caps / flow_inf, hard_caps)
+        rates = progressive_fill(caps, eff_capacity, pair_flow,
+                                 pair_link, num_links)
+        load = np.bincount(pair_link, weights=rates[pair_flow],
+                           minlength=num_links)
+        util = load / capacity
+        conc_rho = np.where(is_conc, np.minimum(util, _RHO_CLAMP), 0.0)
+        # worst concentrator utilisation along each flow's path
+        flow_rho = np.zeros(num_flows)
+        np.maximum.at(flow_rho, pair_flow, conc_rho[pair_link])
+        flow_target = _inflation_curve(flow_rho)
+        # budget links inherit the worst inflation among member flows
+        link_target = np.ones(num_links)
+        np.maximum.at(link_target, pair_link, flow_target[pair_flow])
+        link_target = np.where(is_littles, link_target, 1.0)
+
+        flow_inf += damping * (flow_target - flow_inf)
+        link_inf += damping * (link_target - link_inf)
+
+        scale = max(rates.max(initial=0.0), 1.0)
+        if iteration > 1 and np.abs(rates - prev_rates).max() <= _RATE_TOL * scale:
+            converged = True
+            break
+        prev_rates = rates
+    return rates, flow_inf, iteration, converged
+
+
 @dataclass
 class Link:
     """A shared capacity in the NoC (GB/s).
@@ -163,7 +251,7 @@ class FlowNetwork:
     def flows(self) -> dict:
         return dict(self._flows)
 
-    # ---- vectorised core ---------------------------------------------------
+    # ---- array assembly -----------------------------------------------------
     def _arrays(self):
         """Flatten the network into numpy arrays (built once per solve)."""
         flow_list = list(self._flows.values())
@@ -186,46 +274,8 @@ class FlowNetwork:
             np.array([l.littles for l in link_list]),
         )
 
-    @staticmethod
-    def _progressive_fill(caps, capacities, pair_flow, pair_link,
-                          num_links) -> np.ndarray:
-        """Max-min fair water-filling, vectorised.
-
-        Every round grows all unfrozen flows by the largest uniform step
-        no flow cap or link capacity forbids, then freezes flows that hit
-        their cap or a saturated link.  Terminates: each round freezes at
-        least one flow.
-        """
-        num_flows = caps.shape[0]
-        rates = np.zeros(num_flows)
-        active = np.ones(num_flows, dtype=bool)
-        residual = capacities.astype(float).copy()
-        while active.any():
-            active_pairs = active[pair_flow]
-            counts = np.bincount(pair_link[active_pairs], minlength=num_links)
-            headroom = caps[active] - rates[active]
-            step = headroom.min() if headroom.size else math.inf
-            busy = counts > 0
-            if busy.any():
-                step = min(step, (residual[busy] / counts[busy]).min())
-            if not math.isfinite(step):
-                break
-            step = max(step, 0.0)
-            rates[active] += step
-            residual -= step * counts
-            saturated = residual <= _EPS
-            hit_saturated = np.zeros(num_flows, dtype=bool)
-            sat_pairs = saturated[pair_link] & active_pairs
-            hit_saturated[pair_flow[sat_pairs]] = True
-            frozen_now = hit_saturated | (rates >= caps - _EPS)
-            still_active = active & ~frozen_now
-            if (still_active == active).all():
-                # numerical guard: force-freeze the tightest flow
-                idx = np.flatnonzero(active)
-                tightest = idx[np.argmin(caps[idx] - rates[idx])]
-                still_active[tightest] = False
-            active = still_active
-        return rates
+    # retained alias: tests and downstream callers use the method form
+    _progressive_fill = staticmethod(progressive_fill)
 
     def solve(self) -> SolverResult:
         """Fixed-point max-min fair allocation with concentrator queueing."""
@@ -233,46 +283,15 @@ class FlowNetwork:
             return SolverResult({}, {n: 0.0 for n in self._links}, {}, 0)
         (flow_list, link_list, pair_flow, pair_link,
          littles_caps, hard_caps, capacity, is_conc, is_littles) = self._arrays()
-        num_flows, num_links = len(flow_list), len(link_list)
 
-        flow_inf = np.ones(num_flows)
-        link_inf = np.ones(num_links)
-        prev_rates = np.zeros(num_flows)
-        rates = prev_rates
-        converged = False
-        iteration = 0
-        for iteration in range(1, _MAX_FIXPOINT_ITERS + 1):
-            damping = _DAMPING / (1.0 + iteration / 60.0)
-            eff_capacity = np.where(is_littles, capacity / link_inf, capacity)
-            caps = np.minimum(littles_caps / flow_inf, hard_caps)
-            rates = self._progressive_fill(caps, eff_capacity, pair_flow,
-                                           pair_link, num_links)
-            load = np.bincount(pair_link, weights=rates[pair_flow],
-                               minlength=num_links)
-            util = load / capacity
-            conc_rho = np.where(is_conc, np.minimum(util, _RHO_CLAMP), 0.0)
-            # worst concentrator utilisation along each flow's path
-            flow_rho = np.zeros(num_flows)
-            np.maximum.at(flow_rho, pair_flow, conc_rho[pair_link])
-            flow_target = _inflation_curve(flow_rho)
-            # budget links inherit the worst inflation among member flows
-            link_target = np.ones(num_links)
-            np.maximum.at(link_target, pair_link, flow_target[pair_flow])
-            link_target = np.where(is_littles, link_target, 1.0)
-
-            flow_inf += damping * (flow_target - flow_inf)
-            link_inf += damping * (link_target - link_inf)
-
-            scale = max(rates.max(initial=0.0), 1.0)
-            if iteration > 1 and np.abs(rates - prev_rates).max() <= _RATE_TOL * scale:
-                converged = True
-                break
-            prev_rates = rates
+        rates, flow_inf, iteration, converged = solve_arrays(
+            pair_flow, pair_link, littles_caps, hard_caps, capacity,
+            is_conc, is_littles)
 
         rates_dict = {flow.name: float(rates[i])
                       for i, flow in enumerate(flow_list)}
         load = np.bincount(pair_link, weights=rates[pair_flow],
-                           minlength=num_links)
+                           minlength=len(link_list))
         util_dict = {link.name: float(load[i] / capacity[i])
                      for i, link in enumerate(link_list)}
         inf_dict = {flow.name: float(flow_inf[i])

@@ -143,8 +143,13 @@ class LatencyModel:
         return np.rint(base + noise)
 
     # ---- bulk queries -------------------------------------------------------------
-    def latency_matrix(self, sms=None, slices=None, hit: bool = True) -> np.ndarray:
+    def latency_matrix(self, sms=None, slices=None, hit: bool = True,
+                       engine: str = "scalar") -> np.ndarray:
         """Structural latency matrix [len(sms) x len(slices)] in cycles."""
+        from repro.core.fastpath import resolve_engine
+        if resolve_engine(engine) == "vectorized":
+            from repro.core.fastpath.latency import structural_latency_matrix
+            return structural_latency_matrix(self, sms, slices, hit)
         sms = list(sms) if sms is not None else self.hier.all_sms
         slices = list(slices) if slices is not None else self.hier.all_slices
         fn = self.hit_latency if hit else self.miss_latency

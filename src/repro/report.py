@@ -44,13 +44,13 @@ class ReportRow:
 # task metrics: pure (seed -> JSON-able dict) functions, one per section
 # --------------------------------------------------------------------------
 
-def _latency_metrics(seed: int) -> dict:
+def _latency_metrics(seed: int, engine: str = "scalar") -> dict:
     v100 = SimulatedGPU("V100", seed=seed)
     a100 = SimulatedGPU("A100", seed=seed)
     h100 = SimulatedGPU("H100", seed=seed)
-    lat = v100.latency.latency_matrix()
+    lat = v100.latency.latency_matrix(engine=engine)
     sigmas = [float(lat[v100.hier.sms_in_gpc(g)].std()) for g in range(6)]
-    a_lat = a100.latency.latency_matrix()
+    a_lat = a100.latency.latency_matrix(engine=engine)
     sm0 = a100.hier.sms_in_partition(0)[0]
     pens = [h100.latency.miss_penalty(0, s) for s in range(h100.num_slices)]
     return {
@@ -68,7 +68,7 @@ def _latency_metrics(seed: int) -> dict:
     }
 
 
-def _bandwidth_metrics(seed: int) -> dict:
+def _bandwidth_metrics(seed: int, engine: str = "scalar") -> dict:
     from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
                                             aggregate_memory_bandwidth,
                                             group_to_slice_bandwidth,
@@ -77,18 +77,21 @@ def _bandwidth_metrics(seed: int) -> dict:
     a100 = SimulatedGPU("A100", seed=seed)
     sm0 = a100.hier.sms_in_partition(0)[0]
     return {
-        "v100_sm": single_sm_slice_bandwidth(v100, 0, 0),
+        "v100_sm": single_sm_slice_bandwidth(v100, 0, 0, engine),
         "v100_gpc": group_to_slice_bandwidth(v100,
-                                             v100.hier.sms_in_gpc(0), 0),
-        "v100_l2": aggregate_l2_bandwidth(v100),
-        "v100_mem": aggregate_memory_bandwidth(v100),
-        "a100_near": single_sm_slice_bandwidth(a100, sm0, 0),
+                                             v100.hier.sms_in_gpc(0), 0,
+                                             engine),
+        "v100_l2": aggregate_l2_bandwidth(v100, engine),
+        "v100_mem": aggregate_memory_bandwidth(v100, engine),
+        "a100_near": single_sm_slice_bandwidth(a100, sm0, 0, engine),
         "a100_far": single_sm_slice_bandwidth(
-            a100, sm0, a100.hier.slices_in_partition(1)[0]),
+            a100, sm0, a100.hier.slices_in_partition(1)[0], engine),
     }
 
 
-def _mesh_bottleneck_metrics(seed: int) -> dict:
+def _mesh_bottleneck_metrics(seed: int, engine: str = "scalar") -> dict:
+    # the cycle-level mesh has no vectorized twin; engine is accepted for
+    # a uniform task signature and ignored
     from repro.noc.mesh.interfaces import run_reply_bottleneck
     rb = run_reply_bottleneck(cycles=6000, window=100)
     return {"mean_utilization": float(rb.mean_utilization)}
@@ -107,8 +110,10 @@ _TASK_FUNCS = {
     "latency": _latency_metrics,
     "bandwidth": _bandwidth_metrics,
     "mesh-bottleneck": _mesh_bottleneck_metrics,
-    "mesh-fairness-rr": lambda seed: _mesh_fairness_metrics("rr", seed),
-    "mesh-fairness-age": lambda seed: _mesh_fairness_metrics("age", seed),
+    "mesh-fairness-rr":
+        lambda seed, engine="scalar": _mesh_fairness_metrics("rr", seed),
+    "mesh-fairness-age":
+        lambda seed, engine="scalar": _mesh_fairness_metrics("age", seed),
 }
 
 _DEVICE_TASKS = ("latency", "bandwidth")
@@ -117,8 +122,8 @@ _MESH_TASKS = ("mesh-bottleneck", "mesh-fairness-rr", "mesh-fairness-age")
 
 def _report_task(args) -> dict:
     """Sweep-runner worker: compute one report task's metrics."""
-    task, seed = args
-    return _TASK_FUNCS[task](seed)
+    task, seed, engine = args
+    return _TASK_FUNCS[task](seed, engine)
 
 
 def _task_payload(task: str, seed: int) -> dict:
@@ -138,14 +143,15 @@ def _task_payload(task: str, seed: int) -> dict:
     return payload
 
 
-def _collect_metrics(tasks, seed: int, jobs, cache) -> dict:
+def _collect_metrics(tasks, seed: int, jobs, cache,
+                     engine: str = "scalar") -> dict:
     """Metrics for every task, via cache where possible, pool if asked."""
     from repro.exec import cache_key
     metrics = {}
     missing = []
     for task in tasks:
         cached = (cache.get(cache_key("report-task",
-                                      _task_payload(task, seed)))
+                                      _task_payload(task, seed), engine))
                   if cache is not None else None)
         if cached is not None:
             metrics[task] = cached
@@ -153,13 +159,14 @@ def _collect_metrics(tasks, seed: int, jobs, cache) -> dict:
             missing.append(task)
     if missing:
         from repro.exec import SweepRunner
-        computed = SweepRunner(jobs).map(_report_task,
-                                         [(t, seed) for t in missing])
+        computed = SweepRunner(jobs).map(
+            _report_task, [(t, seed, engine) for t in missing])
         for task, result in zip(missing, computed):
             metrics[task] = result
             if cache is not None:
                 cache.put(cache_key("report-task",
-                                    _task_payload(task, seed)), result)
+                                    _task_payload(task, seed), engine),
+                          result)
     return metrics
 
 
@@ -224,21 +231,26 @@ def _mesh_rows(bottleneck: dict, rr: dict, age: dict) -> list:
 
 
 def generate_report(seed: int = 0, include_mesh: bool = True,
-                    jobs: int | None = None, cache=None) -> str:
+                    jobs: int | None = None, cache=None,
+                    engine: str = "scalar") -> str:
     """Markdown paper-vs-measured report (fast benchmark subset).
 
     ``jobs`` fans the report's independent tasks out over a process pool
     (``None`` = in-process, same results).  ``cache`` is a
     :class:`repro.exec.ResultCache` (or a directory path) memoizing task
-    metrics across invocations.
+    metrics across invocations.  ``engine`` selects the measurement
+    engine for the device-bound tasks; the report is bit-identical
+    either way, but cache entries never alias across engines.
     """
+    from repro.core.fastpath import resolve_engine
+    engine = resolve_engine(engine)
     if isinstance(cache, str):
         from repro.exec import ResultCache
         cache = ResultCache(cache)
     tasks = list(_DEVICE_TASKS)
     if include_mesh:
         tasks += list(_MESH_TASKS)
-    metrics = _collect_metrics(tasks, seed, jobs, cache)
+    metrics = _collect_metrics(tasks, seed, jobs, cache, engine)
     rows = _latency_rows(metrics["latency"])
     rows += _bandwidth_rows(metrics["bandwidth"])
     if include_mesh:

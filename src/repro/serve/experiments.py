@@ -138,7 +138,8 @@ def _latency_matrix(params) -> dict:
     gpu = _device(params)
     sms = params["sms"] if params["sms"] is not None else gpu.hier.all_sms
     matrix = measured_latency_matrix(gpu, sms=params["sms"],
-                                     samples=params["samples"])
+                                     samples=params["samples"],
+                                     engine=params["engine"])
     return {"gpu": gpu.name, "sms": list(sms),
             "num_slices": gpu.num_slices,
             "matrix": matrix.tolist(),
@@ -152,7 +153,8 @@ def _bandwidth_distribution(params) -> dict:
     gpu = _device(params)
     sms = params["sms"] if params["sms"] is not None else gpu.hier.all_sms
     values = slice_bandwidth_distribution(gpu, params["slice"],
-                                          sms=params["sms"])
+                                          sms=params["sms"],
+                                          engine=params["engine"])
     return {"gpu": gpu.name, "slice": params["slice"], "sms": list(sms),
             "gbps": values.tolist(),
             "min": float(values.min()), "mean": float(values.mean()),
@@ -168,7 +170,8 @@ def _speedup_table(params) -> dict:
              "bandwidth_gbps": m.bandwidth_gbps,
              "speedup": m.speedup,
              "fraction_of_full": m.fraction_of_full}
-            for m in measure_speedups(gpu, gpc=params["gpc"])]
+            for m in measure_speedups(gpu, gpc=params["gpc"],
+                                      engine=params["engine"])]
     return {"gpu": gpu.name, "gpc": params["gpc"], "rows": rows}
 
 
@@ -197,18 +200,28 @@ def _report_section(params) -> dict:
     """One report task's raw metrics (the report's cacheable unit)."""
     from repro.report import _TASK_FUNCS
     return {"section": params["section"],
-            "metrics": _TASK_FUNCS[params["section"]](params["seed"])}
+            "metrics": _TASK_FUNCS[params["section"]](params["seed"],
+                                                      params["engine"])}
 
 
 def _report(params) -> dict:
     """The full markdown paper-vs-measured report."""
     from repro.report import generate_report
     return {"markdown": generate_report(seed=params["seed"],
-                                        include_mesh=params["mesh"])}
+                                        include_mesh=params["mesh"],
+                                        engine=params["engine"])}
 
 
 _SEED = Param("seed", "int", 0, doc="device seed")
 _GPU = Param("gpu", "gpu", "V100", doc="V100/A100/H100")
+#: Hot endpoints default to the vectorized fast path (bit-identical to
+#: scalar); report endpoints keep the scalar golden model as default.
+_ENGINE_FAST = Param("engine", "str", "vectorized",
+                     choices=("scalar", "vectorized"),
+                     doc="measurement engine (results bit-identical)")
+_ENGINE_SCALAR = Param("engine", "str", "scalar",
+                       choices=("scalar", "vectorized"),
+                       doc="measurement engine (results bit-identical)")
 
 EXPERIMENTS = {e.name: e for e in (
     Experiment(
@@ -217,19 +230,22 @@ EXPERIMENTS = {e.name: e for e in (
         _latency_matrix,
         (_GPU, _SEED,
          Param("sms", "int-list", None, doc="SM subset (default: all)"),
-         Param("samples", "int", 2, doc="timed trials per cell"))),
+         Param("samples", "int", 2, doc="timed trials per cell"),
+         _ENGINE_FAST)),
     Experiment(
         "bandwidth-distribution",
         "per-SM solo bandwidth to one L2 slice (Fig 9b/13)",
         _bandwidth_distribution,
         (_GPU, _SEED,
          Param("slice", "int", 0, doc="destination L2 slice"),
-         Param("sms", "int-list", None, doc="SM subset (default: all)"))),
+         Param("sms", "int-list", None, doc="SM subset (default: all)"),
+         _ENGINE_FAST)),
     Experiment(
         "speedup-table",
         "input speedups per hierarchy level (Fig 10)",
         _speedup_table,
-        (_GPU, _SEED, Param("gpc", "int", 0, doc="GPC to scale within"))),
+        (_GPU, _SEED, Param("gpc", "int", 0, doc="GPC to scale within"),
+         _ENGINE_FAST)),
     Experiment(
         "observations",
         "the paper's twelve observations, checked",
@@ -240,13 +256,14 @@ EXPERIMENTS = {e.name: e for e in (
         "raw metrics of one report section",
         _report_section,
         (_SEED, Param("section", "str", "latency",
-                      choices=REPORT_SECTIONS))),
+                      choices=REPORT_SECTIONS), _ENGINE_SCALAR)),
     Experiment(
         "report",
         "full markdown paper-vs-measured report",
         _report,
         (_SEED, Param("mesh", "bool", True,
-                      doc="include the slower mesh sections"))),
+                      doc="include the slower mesh sections"),
+         _ENGINE_SCALAR)),
 )}
 
 

@@ -249,7 +249,8 @@ class ExperimentServer:
             params = normalize(name, raw)
         except ExperimentRequestError as exc:
             raise _HttpError(400, str(exc)) from None
-        key = cache_key(f"serve:{name}", cache_payload(name, params))
+        key = cache_key(f"serve:{name}", cache_payload(name, params),
+                        engine=params.get("engine"))
         value = await self._resolve(name, params, key)
         return canonical_json(
             {"experiment": name, "params": params, "value": value})

@@ -1,0 +1,11 @@
+"""REP004 fixture: scalar bandwidth APIs with drifting/absent twins."""
+
+
+def slice_bandwidth_distribution(gpu, slice_id, sms=None, jobs=None,
+                                 engine="scalar"):
+    return []
+
+
+def slice_saturation_curve(gpu, slice_id, sms, counts=None, jobs=None,
+                           engine="scalar"):
+    return {}

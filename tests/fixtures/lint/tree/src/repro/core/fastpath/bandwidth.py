@@ -1,0 +1,5 @@
+"""REP004 fixture: twin with drifted required params; saturation twin gone."""
+
+
+def vectorized_bandwidth_distribution(gpu, slice_id, extra, sms=None):
+    return []

@@ -1,0 +1,5 @@
+"""REP004 fixture: vectorized twin in agreement on required params."""
+
+
+def vectorized_latency_matrix(gpu, sms=None, slices=None, samples=2):
+    return []

@@ -1,0 +1,6 @@
+"""REP004 fixture: scalar measurement API that lost its engine selector."""
+
+
+def measured_latency_matrix(gpu, sms=None, slices=None, samples=2,
+                            jobs=None):
+    return []

@@ -33,6 +33,36 @@ def test_key_changes_with_any_input():
                                  "spec": {"name": "A100"}}) != base
 
 
+def test_key_separates_engines():
+    """Engine-addressed entries never alias across engines or versions."""
+    from repro.core.fastpath import FASTPATH_VERSION, engine_fingerprint
+    base = cache_key("latency", {"seed": 0})
+    scalar = cache_key("latency", {"seed": 0}, engine="scalar")
+    fast = cache_key("latency", {"seed": 0}, engine="vectorized")
+    assert len({base, scalar, fast}) == 3
+    # the vectorized fingerprint pins the fastpath version, so bumping it
+    # invalidates vectorized entries without touching scalar ones
+    assert engine_fingerprint("vectorized") == {
+        "name": "vectorized", "fastpath_version": FASTPATH_VERSION}
+    assert engine_fingerprint("scalar") == {"name": "scalar"}
+    with pytest.raises(ConfigurationError):
+        cache_key("latency", {"seed": 0}, engine="turbo")
+
+
+def test_get_or_compute_keys_by_engine(cache):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"answer": 42}
+
+    cache.get_or_compute("alg", {"p": 1}, compute, engine="scalar")
+    cache.get_or_compute("alg", {"p": 1}, compute, engine="vectorized")
+    assert len(calls) == 2
+    cache.get_or_compute("alg", {"p": 1}, compute, engine="vectorized")
+    assert len(calls) == 2
+
+
 def test_key_accepts_numpy_payloads():
     a = cache_key("x", {"values": np.arange(3), "n": np.int64(3)})
     b = cache_key("x", {"values": [0, 1, 2], "n": 3})

@@ -1,0 +1,207 @@
+"""Exact-equality parity: the vectorized engine vs the scalar golden model.
+
+Every assertion here is ``==`` on floats — the fast path consumes the
+same deterministic noise streams as the scalar interpreter, so results
+must be *bit-identical*, not merely close.  Devices are always built in
+pairs (one per engine) so device-state side effects are compared too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bandwidth_bench import (aggregate_l2_bandwidth,
+                                        aggregate_memory_bandwidth,
+                                        group_to_slice_bandwidth,
+                                        single_sm_slice_bandwidth,
+                                        slice_bandwidth_distribution,
+                                        slice_saturation_curve)
+from repro.core.fastpath import resolve_engine
+from repro.core.fastpath.noise import get_bank
+from repro.core.latency_bench import measured_latency_matrix
+from repro.core.speedup_bench import measure_speedups
+from repro.errors import ConfigurationError
+from repro.gpu.device import SimulatedGPU
+from repro import rng
+
+SPECS = ("V100", "A100", "H100")
+SEEDS = (0, 11)
+
+
+def device_pair(spec, seed):
+    return SimulatedGPU(spec, seed=seed), SimulatedGPU(spec, seed=seed)
+
+
+# ------------------------------------------------------------- engine arg
+
+def test_resolve_engine():
+    assert resolve_engine(None) == "scalar"
+    assert resolve_engine("scalar") == "scalar"
+    assert resolve_engine("vectorized") == "vectorized"
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        resolve_engine("turbo")
+
+
+def test_measurement_apis_reject_unknown_engine():
+    gpu = SimulatedGPU("V100", seed=0)
+    with pytest.raises(ConfigurationError):
+        measured_latency_matrix(gpu, sms=[0], engine="turbo")
+    with pytest.raises(ConfigurationError):
+        slice_bandwidth_distribution(gpu, 0, sms=[0], engine="turbo")
+
+
+# ------------------------------------------------------------ noise bank
+
+def test_batch_normal_matches_rng_jitter():
+    bank = get_bank()
+    keys = [("measure", sm, sv, hit, (0, seq))
+            for sm in (0, 3) for sv in (1, 7)
+            for hit in (True, False) for seq in (2, 900)]
+    keys += [("route-sm", 5, 9), ("slice-bw", 12)]
+    for seed in SEEDS:
+        batch = bank.batch_normal(seed, keys, 4.5)
+        scalar = np.array([rng.jitter(seed, *key, sigma=4.5, n=1)[0]
+                           for key in keys])
+        assert (batch == scalar).all()
+
+
+# ------------------------------------------------- Algorithm 1 (latency)
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_latency_matrix_bit_identical(spec, seed):
+    g_scalar, g_fast = device_pair(spec, seed)
+    sms = range(0, g_scalar.num_sms, 7)
+    a = measured_latency_matrix(g_scalar, sms=sms, samples=2)
+    b = measured_latency_matrix(g_fast, sms=sms, samples=2,
+                                engine="vectorized")
+    assert (a == b).all()
+
+
+def test_full_v100_matrix_and_device_state():
+    g_scalar, g_fast = device_pair("V100", 0)
+    a = measured_latency_matrix(g_scalar, samples=2)
+    b = measured_latency_matrix(g_fast, samples=2, engine="vectorized")
+    assert (a == b).all()
+    # the vectorized engine replays the golden path's side effects
+    assert g_scalar.memory._access_seq == g_fast.memory._access_seq
+    for s_sl, f_sl in zip(g_scalar.memory.l2.slices, g_fast.memory.l2.slices):
+        assert (s_sl.hits, s_sl.misses) == (f_sl.hits, f_sl.misses)
+    assert g_scalar.memory.slice_requests == g_fast.memory.slice_requests
+    assert [c.bytes_serviced for c in g_scalar.memory.dram.channels] \
+        == [c.bytes_serviced for c in g_fast.memory.dram.channels]
+
+
+def test_interleaved_engines_share_one_stream():
+    """Running vectorized then scalar on ONE device continues the same
+    measurement stream a scalar-only device would see."""
+    g_mixed, g_scalar = device_pair("V100", 3)
+    first = measured_latency_matrix(g_mixed, sms=[0, 1], samples=2,
+                                    engine="vectorized")
+    second = measured_latency_matrix(g_mixed, sms=[2, 3], samples=2)
+    ref = measured_latency_matrix(g_scalar, sms=[0, 1, 2, 3], samples=2)
+    assert (np.vstack([first, second]) == ref).all()
+
+
+def test_sliced_and_shuffled_requests():
+    g_scalar, g_fast = device_pair("A100", 1)
+    sms = [17, 3, 40, 8]
+    slices = [31, 0, 12, 5, 19]
+    a = measured_latency_matrix(g_scalar, sms=sms, slices=slices, samples=3)
+    b = measured_latency_matrix(g_fast, sms=sms, slices=slices, samples=3,
+                                engine="vectorized")
+    assert (a == b).all()
+
+
+def test_sharded_jobs_parity():
+    g_scalar, g_fast = device_pair("V100", 0)
+    a = measured_latency_matrix(g_scalar, sms=range(20), samples=2, jobs=1)
+    b = measured_latency_matrix(g_fast, sms=range(20), samples=2, jobs=1,
+                                engine="vectorized")
+    assert (a == b).all()
+
+
+def test_structural_matrix_parity():
+    for spec in SPECS:
+        gpu = SimulatedGPU(spec, seed=5)
+        for hit in (True, False):
+            a = gpu.latency.latency_matrix(hit=hit)
+            b = gpu.latency.latency_matrix(hit=hit, engine="vectorized")
+            assert (a == b).all()
+
+
+# ----------------------------------------------- Algorithm 2 (bandwidth)
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bandwidth_distribution_bit_identical(spec, seed):
+    g_scalar, g_fast = device_pair(spec, seed)
+    sms = range(0, g_scalar.num_sms, 5)
+    a = slice_bandwidth_distribution(g_scalar, 2, sms=sms)
+    b = slice_bandwidth_distribution(g_fast, 2, sms=sms,
+                                     engine="vectorized")
+    assert (a == b).all()
+
+
+def test_bandwidth_point_and_group_parity():
+    for spec in SPECS:
+        g_scalar, g_fast = device_pair(spec, 7)
+        assert single_sm_slice_bandwidth(g_scalar, 4, 3) \
+            == single_sm_slice_bandwidth(g_fast, 4, 3, engine="vectorized")
+        gpc0 = g_scalar.hier.sms_in_gpc(0)
+        assert group_to_slice_bandwidth(g_scalar, gpc0, 0) \
+            == group_to_slice_bandwidth(g_fast, gpc0, 0,
+                                        engine="vectorized")
+
+
+def test_aggregate_bandwidth_parity():
+    g_scalar, g_fast = device_pair("V100", 0)
+    assert aggregate_l2_bandwidth(g_scalar) \
+        == aggregate_l2_bandwidth(g_fast, engine="vectorized")
+    assert aggregate_memory_bandwidth(g_scalar) \
+        == aggregate_memory_bandwidth(g_fast, engine="vectorized")
+
+
+def test_saturation_curve_parity():
+    g_scalar, g_fast = device_pair("A100", 2)
+    pool = g_scalar.hier.sms_in_partition(0)
+    counts = [1, 2, len(pool) // 2, len(pool)]
+    a = slice_saturation_curve(g_scalar, 0, pool, counts=counts)
+    b = slice_saturation_curve(g_fast, 0, pool, counts=counts,
+                               engine="vectorized")
+    assert a == b
+
+
+def test_speedup_table_parity():
+    for spec in SPECS:
+        g_scalar, g_fast = device_pair(spec, 0)
+        assert measure_speedups(g_scalar) \
+            == measure_speedups(g_fast, engine="vectorized")
+
+
+# -------------------------------------------------------- property test
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_random_submatrix_parity(data):
+    spec = data.draw(st.sampled_from(SPECS))
+    seed = data.draw(st.integers(min_value=0, max_value=50))
+    g_scalar, g_fast = device_pair(spec, seed)
+    sms = data.draw(st.lists(
+        st.integers(min_value=0, max_value=g_scalar.num_sms - 1),
+        min_size=1, max_size=6, unique=True))
+    slices = data.draw(st.lists(
+        st.integers(min_value=0, max_value=g_scalar.num_slices - 1),
+        min_size=1, max_size=6, unique=True))
+    samples = data.draw(st.integers(min_value=1, max_value=4))
+    a = measured_latency_matrix(g_scalar, sms=sms, slices=slices,
+                                samples=samples)
+    b = measured_latency_matrix(g_fast, sms=sms, slices=slices,
+                                samples=samples, engine="vectorized")
+    assert (a == b).all()
+    sm = data.draw(st.sampled_from(sms))
+    s = data.draw(st.sampled_from(slices))
+    assert single_sm_slice_bandwidth(g_scalar, sm, s) \
+        == single_sm_slice_bandwidth(g_fast, sm, s, engine="vectorized")

@@ -133,6 +133,35 @@ def test_rep004_needs_both_sides():
     assert result.findings == []
 
 
+def test_rep004_function_pairs_positive():
+    result = run_lint(
+        ["src/repro/core/latency_bench.py",
+         "src/repro/core/bandwidth_bench.py",
+         "src/repro/core/fastpath"], root=TREE, select=("REP004",))
+    assert rules_found(result) == {"REP004"}
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 3
+    assert any("`measured_latency_matrix` lacks the `engine=` selector"
+               in m for m in messages)
+    assert any("`vectorized_bandwidth_distribution` required parameters "
+               "differ" in m for m in messages)
+    assert any("`slice_saturation_curve` has no vectorized twin"
+               in m for m in messages)
+
+
+def test_rep004_function_pairs_clean_on_real_tree():
+    result = run_lint(["src/repro/core"], root=REPO_ROOT,
+                      select=("REP004",))
+    assert result.findings == []
+
+
+def test_rep004_function_pairs_skip_without_scalar_side():
+    # only the fastpath side linted: nothing to diff against
+    result = run_lint(["src/repro/core/fastpath"], root=TREE,
+                      select=("REP004",))
+    assert result.findings == []
+
+
 # ------------------------------------------------------------------ REP005
 
 def test_rep005_positive():

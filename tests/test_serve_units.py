@@ -121,7 +121,8 @@ def test_admission_rejects_bad_limit_and_overrelease():
 
 def test_normalize_fills_defaults_canonically():
     assert normalize("latency-matrix", {}) == {
-        "gpu": "V100", "seed": 0, "sms": None, "samples": 2}
+        "gpu": "V100", "seed": 0, "sms": None, "samples": 2,
+        "engine": "vectorized"}
     # lower-case gpu name is canonicalized, explicit defaults identical
     assert normalize("latency-matrix", {"gpu": "v100"}) \
         == normalize("latency-matrix", {"gpu": "V100", "seed": 0})
