@@ -16,6 +16,12 @@ closed-loop model).  Two phases:
 * ``cold`` — every request is unique (distinct seeds), so each one
   pays an admitted pool computation; rejections under the in-flight
   bound count as backpressure, not errors.
+* ``mesh`` — the mesh endpoints under both mesh kernels (``scalar`` vs
+  the batched fastmesh engine, ``--mesh-engine`` picks one): cold
+  ``mesh-load-sweep`` and ``report-section(mesh-bottleneck)`` requests
+  pay the real simulation, so their timings compare the kernels
+  end-to-end through the service; a short hot loop then measures the
+  cached-path rps of the sweep endpoint.
 
 Emits one JSON document (printed under ``pytest -s``, or run the file
 directly: ``python benchmarks/bench_serve.py``) with client-side
@@ -43,6 +49,12 @@ COLD_REQUESTS = 12
 _HOT_PARAMS = {"gpu": "V100", "seed": 0, "sms": [0, 1, 2, 3],
                "samples": 1}
 ENGINES = ("scalar", "vectorized")
+
+MESH_HOT_SECONDS = 1.0
+MESH_HOT_WORKERS = 4
+_MESH_SWEEP_PARAMS = {"rates": [0.05, 0.1, 0.2, 0.3], "arbiter": "rr",
+                      "cycles": 2000, "warmup": 500}
+MESH_ENGINES = ("scalar", "batched")
 
 
 def _percentiles(samples: list) -> dict:
@@ -132,7 +144,68 @@ def _cold_phase(port: int) -> dict:
             "latency": _percentiles(latencies)}
 
 
-def collect(engines=ENGINES) -> dict:
+def _mesh_phase(port: int, mesh_engine: str) -> dict:
+    """Mesh endpoints end-to-end under one mesh kernel.
+
+    Cold requests (distinct seeds force distinct cache keys) pay the
+    real simulation; the min over seeds is the kernel's honest service
+    time.  The hot loop then measures cached-path rps.
+    """
+    client = ServeClient(port=port)
+    statuses: list = []
+
+    def timed(name, **params):
+        begin = time.perf_counter()
+        reply = client.experiment(name, **params)
+        statuses.append(reply.status)
+        return time.perf_counter() - begin
+
+    sweep_s = min(timed("mesh-load-sweep", seed=seed,
+                        mesh_engine=mesh_engine, **_MESH_SWEEP_PARAMS)
+                  for seed in (0, 1))
+    section_s = timed("report-section", section="mesh-bottleneck",
+                      seed=1, mesh_engine=mesh_engine)
+
+    hot_params = dict(_MESH_SWEEP_PARAMS, seed=0, mesh_engine=mesh_engine)
+    latencies: list = []
+    errors = [0]
+    lock = threading.Lock()
+    stop = time.monotonic() + MESH_HOT_SECONDS
+
+    def worker():
+        worker_client = ServeClient(port=port)
+        local: list = []
+        while time.monotonic() < stop:
+            begin = time.perf_counter()
+            reply = worker_client.experiment("mesh-load-sweep", **hot_params)
+            elapsed = time.perf_counter() - begin
+            if reply.status == 200:
+                local.append(elapsed)
+            else:
+                with lock:
+                    errors[0] += 1
+        with lock:
+            latencies.extend(local)
+
+    threads = [threading.Thread(target=worker)
+               for _ in range(MESH_HOT_WORKERS)]
+    begin = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - begin
+    return {"mesh_engine": mesh_engine,
+            "cold_sweep_s": sweep_s,
+            "cold_bottleneck_section_s": section_s,
+            "cold_statuses": sorted(set(statuses)),
+            "hot": {"workers": MESH_HOT_WORKERS, "wall_s": wall,
+                    "throughput_rps": len(latencies) / wall,
+                    "errors": errors[0],
+                    "latency": _percentiles(latencies)}}
+
+
+def collect(engines=ENGINES, mesh_engines=MESH_ENGINES) -> dict:
     with tempfile.TemporaryDirectory() as cache_dir:
         with serve_in_thread(jobs=2, cache_dir=cache_dir,
                              max_inflight=4) as server:
@@ -141,10 +214,16 @@ def collect(engines=ENGINES) -> dict:
             hot = {engine: _hot_phase(server.port, engine)
                    for engine in engines}
             cold = _cold_phase(server.port)
+            mesh = {engine: _mesh_phase(server.port, engine)
+                    for engine in mesh_engines}
             metrics = client.metricz().json
-    return {"hot": hot, "cold": cold,
-            "server_counters": metrics["counters"],
-            "server_latency": metrics["latency"]}
+    record = {"hot": hot, "cold": cold, "mesh": mesh,
+              "server_counters": metrics["counters"],
+              "server_latency": metrics["latency"]}
+    if set(mesh_engines) >= {"scalar", "batched"}:
+        record["mesh"]["cold_sweep_speedup"] = (
+            mesh["scalar"]["cold_sweep_s"] / mesh["batched"]["cold_sweep_s"])
+    return record
 
 
 def bench_serve(benchmark):
@@ -158,6 +237,14 @@ def bench_serve(benchmark):
         # the cache/coalescing layer, not the simulator, bounds it
         assert hot["throughput_rps"] > 20
     assert record["cold"]["other_statuses"] == []
+    for engine in MESH_ENGINES:
+        mesh = record["mesh"][engine]
+        assert mesh["cold_statuses"] == [200]
+        assert mesh["hot"]["errors"] == 0
+        assert mesh["hot"]["throughput_rps"] > 20
+    # one batched lockstep run beats the per-point scalar sweep even
+    # through the full HTTP + cache + JSON service path
+    assert record["mesh"]["cold_sweep_speedup"] > 1.0
     counters = record["server_counters"]
     assert counters["errors"] == 0
     # each hot phase computed its result exactly once
@@ -171,6 +258,13 @@ if __name__ == "__main__":
                         default="both",
                         help="measurement engine for the hot phase "
                              "(default: both, reported side by side)")
-    choice = parser.parse_args().engine
-    selected = ENGINES if choice == "both" else (choice,)
-    print(json.dumps(collect(engines=selected), indent=2))
+    parser.add_argument("--mesh-engine", choices=MESH_ENGINES + ("both",),
+                        default="both",
+                        help="mesh kernel for the mesh phase "
+                             "(default: both, reported side by side)")
+    args = parser.parse_args()
+    selected = ENGINES if args.engine == "both" else (args.engine,)
+    mesh_selected = (MESH_ENGINES if args.mesh_engine == "both"
+                     else (args.mesh_engine,))
+    print(json.dumps(collect(engines=selected, mesh_engines=mesh_selected),
+                     indent=2))

@@ -14,11 +14,13 @@ Extra *defaulted* parameters on either side are allowed — that is how
 the optimized engine grows opt-in features (``retain_packets=False``)
 without forking the golden model's contract.
 
-The same discipline covers the vectorized measurement engine
-(:data:`WATCHED_FUNCTION_PAIRS`): each scalar measurement API and its
-``repro.core.fastpath`` twin must agree on required parameters, and the
-scalar side must keep its ``engine=`` selector — otherwise the fast path
-exists but the equivalence suite and callers cannot reach it.
+The same discipline covers the vectorized measurement engine and the
+batched mesh kernel (:data:`WATCHED_FUNCTION_PAIRS`): each scalar
+measurement API and its ``repro.core.fastpath`` twin — and each mesh
+entry point and its ``repro.noc.mesh.fastmesh`` twin — must agree on
+required parameters, and the scalar side must keep its ``engine=``
+selector — otherwise the fast path exists but the equivalence suite and
+callers cannot reach it.
 """
 
 from __future__ import annotations
@@ -32,8 +34,9 @@ from repro.analysis.lint.rules import Rule
 WATCHED_PAIRS = (("repro.noc.mesh.network", "Mesh2D",
                   "repro.noc.mesh.reference", "ReferenceMesh2D"),)
 
-#: (scalar_module, scalar_fn, fastpath_module, fastpath_fn) pairs: the
-#: scalar golden measurement API and its vectorized twin.
+#: (scalar_module, scalar_fn, fast_module, fast_fn) pairs: the scalar
+#: golden APIs and their vectorized (fastpath) / batched (fastmesh)
+#: twins.
 WATCHED_FUNCTION_PAIRS = (
     ("repro.core.latency_bench", "measured_latency_matrix",
      "repro.core.fastpath.latency", "vectorized_latency_matrix"),
@@ -41,6 +44,14 @@ WATCHED_FUNCTION_PAIRS = (
      "repro.core.fastpath.bandwidth", "vectorized_bandwidth_distribution"),
     ("repro.core.bandwidth_bench", "slice_saturation_curve",
      "repro.core.fastpath.bandwidth", "vectorized_saturation_curve"),
+    ("repro.noc.mesh.loadcurve", "sweep_load",
+     "repro.noc.mesh.fastmesh", "batched_sweep_load"),
+    ("repro.noc.mesh.traffic", "run_fairness_experiment",
+     "repro.noc.mesh.fastmesh", "batched_fairness_experiment"),
+    ("repro.noc.mesh.traffic", "run_fairness_experiments",
+     "repro.noc.mesh.fastmesh", "batched_fairness_experiments"),
+    ("repro.noc.mesh.interfaces", "run_reply_bottleneck",
+     "repro.noc.mesh.fastmesh", "batched_reply_bottleneck"),
 )
 
 #: Defaulted parameters the scalar side owns (execution knobs the

@@ -111,7 +111,8 @@ def _cmd_report(args) -> int:
     from repro.report import generate_report
     print(generate_report(seed=args.seed, include_mesh=not args.no_mesh,
                           jobs=args.jobs, cache=args.cache,
-                          engine=args.engine))
+                          engine=args.engine,
+                          mesh_engine=args.mesh_engine))
     return 0
 
 
@@ -225,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-mesh", action="store_true",
                         help="skip the (slower) mesh experiments")
     _engine_argument(report)
+    report.add_argument("--mesh-engine", choices=("scalar", "batched"),
+                        default="batched",
+                        help="mesh kernel; batched is the lockstep "
+                             "fastmesh engine, bit-identical to scalar")
     report.add_argument("--jobs", type=_jobs_argument, default=None,
                         metavar="N",
                         help="run report sections on N worker processes "

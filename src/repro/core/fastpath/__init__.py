@@ -53,7 +53,12 @@ def engine_fingerprint(engine: str | None) -> dict:
     The scalar golden model is version-free (its results define
     correctness); vectorized results carry :data:`FASTPATH_VERSION` so
     recalibrating the fast path invalidates exactly its own entries.
+    The mesh kernel's ``"batched"`` engine carries
+    :data:`repro.noc.mesh.fastmesh.FASTMESH_VERSION` the same way.
     """
+    if engine == "batched":
+        from repro.noc.mesh.fastmesh import FASTMESH_VERSION
+        return {"name": engine, "fastmesh_version": FASTMESH_VERSION}
     name = resolve_engine(engine)
     if name == "vectorized":
         return {"name": name, "fastpath_version": FASTPATH_VERSION}

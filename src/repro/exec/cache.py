@@ -31,7 +31,9 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 #: Bump when a model recalibration changes results for identical inputs.
-CACHE_VERSION = 1
+#: 2: the report's mesh-bottleneck task now honours ``seed`` (it was
+#: silently ignored), so pre-existing non-zero-seed entries are stale.
+CACHE_VERSION = 2
 
 _MISS = object()
 

@@ -91,8 +91,22 @@ class ReplyBottleneckResult:
 def run_reply_bottleneck(cycles: int = 20000, window: int = 100,
                          reply_flits: int = 5, width: int = 6,
                          height: int = 6, seed: int = 0,
-                         arbiter: str = "rr") -> ReplyBottleneckResult:
-    """Memory-intensive run measuring one channel's utilisation over time."""
+                         arbiter: str = "rr",
+                         engine: str | None = None) -> ReplyBottleneckResult:
+    """Memory-intensive run measuring one channel's utilisation over time.
+
+    ``engine`` selects the kernel: the default ``"batched"`` runs the
+    request/reply mesh pair as one two-lane lockstep simulation
+    (:func:`repro.noc.mesh.fastmesh.batched_reply_bottleneck`,
+    bit-identical by contract); ``"scalar"`` steps two :class:`Mesh2D`.
+    """
+    from repro.noc.mesh.fastmesh import resolve_mesh_engine
+    engine = resolve_mesh_engine(engine)
+    if engine == "batched":
+        from repro.noc.mesh.fastmesh import batched_reply_bottleneck
+        return batched_reply_bottleneck(
+            cycles=cycles, window=window, reply_flits=reply_flits,
+            width=width, height=height, seed=seed, arbiter=arbiter)
     if cycles <= 0 or window <= 0 or cycles < window:
         raise MeshConfigError("need cycles >= window > 0")
     # long Fig 21 runs deliver tens of thousands of packets; keep only

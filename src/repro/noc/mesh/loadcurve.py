@@ -85,16 +85,26 @@ def _load_point_shard(args) -> LoadPoint:
 
 
 def sweep_load(rates, arbiter: str = "rr", jobs: int | None = None,
-               **kwargs) -> LoadCurve:
+               engine: str | None = None, **kwargs) -> LoadCurve:
     """Measure a list of injection rates into a :class:`LoadCurve`.
 
-    Every point builds its own mesh from the (rate, arbiter, seed)
-    parameters, so ``jobs`` can fan the sweep out over a process pool
-    without changing any point's result.
+    ``engine`` selects the kernel: the default ``"batched"`` runs the
+    whole sweep as ONE lockstep simulation
+    (:func:`repro.noc.mesh.fastmesh.batched_sweep_load`, bit-identical
+    to scalar by contract); ``"scalar"`` steps one :class:`Mesh2D` per
+    rate.  Every scalar point builds its own mesh from the (rate,
+    arbiter, seed) parameters, so ``jobs`` can fan the scalar sweep out
+    over a process pool without changing any point's result; the batched
+    engine is already one run and ignores ``jobs``.
     """
+    from repro.noc.mesh.fastmesh import resolve_mesh_engine
+    engine = resolve_mesh_engine(engine)
     rates = list(rates)
     if not rates:
         raise MeshConfigError("need at least one rate")
+    if engine == "batched":
+        from repro.noc.mesh.fastmesh import batched_sweep_load
+        return batched_sweep_load(rates, arbiter=arbiter, **kwargs)
     if jobs is None:
         points = tuple(measure_load_point(r, arbiter=arbiter, **kwargs)
                        for r in rates)

@@ -98,15 +98,24 @@ class FairnessResult:
 def run_fairness_experiment(arbiter: str = "rr", width: int = 6,
                             height: int = 6, cycles: int = 20000,
                             warmup: int = 2000, seed: int = 0,
-                            injection_rate: float | None = None
-                            ) -> FairnessResult:
+                            injection_rate: float | None = None,
+                            engine: str | None = None) -> FairnessResult:
     """Saturated many-to-few run; per-source delivered throughput.
 
     Greedy sources (the default) measure each node's *accepted* throughput
     at saturation, the regime where round-robin's parking-lot unfairness
     shows (paper Fig 23).  Pass an ``injection_rate`` for open-loop
-    Bernoulli load instead.
+    Bernoulli load instead.  ``engine`` selects the kernel: the default
+    ``"batched"`` delegates to the lockstep fastmesh twin (bit-identical
+    by contract), ``"scalar"`` steps a :class:`Mesh2D`.
     """
+    from repro.noc.mesh.fastmesh import resolve_mesh_engine
+    engine = resolve_mesh_engine(engine)
+    if engine == "batched":
+        from repro.noc.mesh.fastmesh import batched_fairness_experiment
+        return batched_fairness_experiment(
+            arbiter, width=width, height=height, cycles=cycles,
+            warmup=warmup, seed=seed, injection_rate=injection_rate)
     if cycles <= warmup:
         raise MeshConfigError("cycles must exceed warmup")
     # aggregate stats are enough here; don't retain every Packet object
@@ -130,25 +139,34 @@ def run_fairness_experiment(arbiter: str = "rr", width: int = 6,
 
 
 def _fairness_shard(args) -> FairnessResult:
-    """Sweep-runner worker: one self-contained fairness run."""
+    """Sweep-runner worker: one self-contained scalar fairness run."""
     arbiter, kwargs = args
-    return run_fairness_experiment(arbiter, **kwargs)
+    return run_fairness_experiment(arbiter, engine="scalar", **kwargs)
 
 
 def run_fairness_experiments(arbiters=("rr", "age"),
                              jobs: int | None = None,
+                             engine: str | None = None,
                              **kwargs) -> dict:
     """Fairness runs for several arbiters, optionally in parallel.
 
-    Returns {arbiter: :class:`FairnessResult`}.  Each run builds its own
-    mesh and traffic from (arbiter, seed), so parallel results match
-    serial ones exactly.
+    Returns {arbiter: :class:`FairnessResult`}.  The default
+    ``engine="batched"`` runs the whole arbiter list as ONE lockstep
+    simulation (and ignores ``jobs``); with ``engine="scalar"`` each run
+    builds its own mesh and traffic from (arbiter, seed), so parallel
+    results match serial ones exactly.
     """
+    from repro.noc.mesh.fastmesh import resolve_mesh_engine
+    engine = resolve_mesh_engine(engine)
     arbiters = list(arbiters)
     if not arbiters:
         raise MeshConfigError("need at least one arbiter kind")
+    if engine == "batched":
+        from repro.noc.mesh.fastmesh import batched_fairness_experiments
+        return batched_fairness_experiments(arbiters, **kwargs)
     if jobs is None:
-        results = [run_fairness_experiment(a, **kwargs) for a in arbiters]
+        results = [run_fairness_experiment(a, engine="scalar", **kwargs)
+                   for a in arbiters]
     else:
         from repro.exec import SweepRunner
         shards = [(a, kwargs) for a in arbiters]

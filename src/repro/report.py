@@ -89,18 +89,17 @@ def _bandwidth_metrics(seed: int, engine: str = "scalar") -> dict:
     }
 
 
-def _mesh_bottleneck_metrics(seed: int, engine: str = "scalar") -> dict:
-    # the cycle-level mesh has no vectorized twin; engine is accepted for
-    # a uniform task signature and ignored
+def _mesh_bottleneck_metrics(seed: int, engine: str = "batched") -> dict:
     from repro.noc.mesh.interfaces import run_reply_bottleneck
-    rb = run_reply_bottleneck(cycles=6000, window=100)
+    rb = run_reply_bottleneck(cycles=6000, window=100, seed=seed,
+                              engine=engine)
     return {"mean_utilization": float(rb.mean_utilization)}
 
 
-def _mesh_fairness_metrics(arbiter: str, seed: int) -> dict:
+def _mesh_fairness_metrics(arbiter: str, seed: int, engine: str) -> dict:
     from repro.noc.mesh.traffic import run_fairness_experiment
     result = run_fairness_experiment(arbiter, cycles=10000, warmup=2000,
-                                     seed=seed)
+                                     seed=seed, engine=engine)
     vals = result.values
     return {"max": float(vals.max()), "mean": float(vals.mean()),
             "std": float(vals.std())}
@@ -111,9 +110,11 @@ _TASK_FUNCS = {
     "bandwidth": _bandwidth_metrics,
     "mesh-bottleneck": _mesh_bottleneck_metrics,
     "mesh-fairness-rr":
-        lambda seed, engine="scalar": _mesh_fairness_metrics("rr", seed),
+        lambda seed, engine="batched":
+            _mesh_fairness_metrics("rr", seed, engine),
     "mesh-fairness-age":
-        lambda seed, engine="scalar": _mesh_fairness_metrics("age", seed),
+        lambda seed, engine="batched":
+            _mesh_fairness_metrics("age", seed, engine),
 }
 
 _DEVICE_TASKS = ("latency", "bandwidth")
@@ -121,7 +122,11 @@ _MESH_TASKS = ("mesh-bottleneck", "mesh-fairness-rr", "mesh-fairness-age")
 
 
 def _report_task(args) -> dict:
-    """Sweep-runner worker: compute one report task's metrics."""
+    """Sweep-runner worker: compute one report task's metrics.
+
+    ``engine`` is the task's own axis: scalar/vectorized for the device
+    tasks, scalar/batched for the mesh tasks.
+    """
     task, seed, engine = args
     return _TASK_FUNCS[task](seed, engine)
 
@@ -143,15 +148,25 @@ def _task_payload(task: str, seed: int) -> dict:
     return payload
 
 
-def _collect_metrics(tasks, seed: int, jobs, cache,
-                     engine: str = "scalar") -> dict:
-    """Metrics for every task, via cache where possible, pool if asked."""
+def _collect_metrics(tasks, seed: int, jobs, cache, engine: str = "scalar",
+                     mesh_engine: str = "batched") -> dict:
+    """Metrics for every task, via cache where possible, pool if asked.
+
+    Device tasks run on ``engine`` (scalar/vectorized); mesh tasks run on
+    ``mesh_engine`` (scalar/batched).  The per-task engine is folded into
+    each task's cache key, so entries never alias across engines.
+    """
     from repro.exec import cache_key
+
+    def _task_engine(task: str) -> str:
+        return mesh_engine if task in _MESH_TASKS else engine
+
     metrics = {}
     missing = []
     for task in tasks:
         cached = (cache.get(cache_key("report-task",
-                                      _task_payload(task, seed), engine))
+                                      _task_payload(task, seed),
+                                      _task_engine(task)))
                   if cache is not None else None)
         if cached is not None:
             metrics[task] = cached
@@ -160,12 +175,13 @@ def _collect_metrics(tasks, seed: int, jobs, cache,
     if missing:
         from repro.exec import SweepRunner
         computed = SweepRunner(jobs).map(
-            _report_task, [(t, seed, engine) for t in missing])
+            _report_task, [(t, seed, _task_engine(t)) for t in missing])
         for task, result in zip(missing, computed):
             metrics[task] = result
             if cache is not None:
                 cache.put(cache_key("report-task",
-                                    _task_payload(task, seed), engine),
+                                    _task_payload(task, seed),
+                                    _task_engine(task)),
                           result)
     return metrics
 
@@ -232,25 +248,30 @@ def _mesh_rows(bottleneck: dict, rr: dict, age: dict) -> list:
 
 def generate_report(seed: int = 0, include_mesh: bool = True,
                     jobs: int | None = None, cache=None,
-                    engine: str = "scalar") -> str:
+                    engine: str = "scalar",
+                    mesh_engine: str | None = None) -> str:
     """Markdown paper-vs-measured report (fast benchmark subset).
 
     ``jobs`` fans the report's independent tasks out over a process pool
     (``None`` = in-process, same results).  ``cache`` is a
     :class:`repro.exec.ResultCache` (or a directory path) memoizing task
     metrics across invocations.  ``engine`` selects the measurement
-    engine for the device-bound tasks; the report is bit-identical
-    either way, but cache entries never alias across engines.
+    engine for the device-bound tasks and ``mesh_engine`` the kernel for
+    the mesh tasks (default: the batched fastmesh engine); the report is
+    bit-identical either way, but cache entries never alias across
+    engines.
     """
     from repro.core.fastpath import resolve_engine
+    from repro.noc.mesh.fastmesh import resolve_mesh_engine
     engine = resolve_engine(engine)
+    mesh_engine = resolve_mesh_engine(mesh_engine)
     if isinstance(cache, str):
         from repro.exec import ResultCache
         cache = ResultCache(cache)
     tasks = list(_DEVICE_TASKS)
     if include_mesh:
         tasks += list(_MESH_TASKS)
-    metrics = _collect_metrics(tasks, seed, jobs, cache, engine)
+    metrics = _collect_metrics(tasks, seed, jobs, cache, engine, mesh_engine)
     rows = _latency_rows(metrics["latency"])
     rows += _bandwidth_rows(metrics["bandwidth"])
     if include_mesh:

@@ -97,6 +97,13 @@ def _coerce(experiment: str, param: Param, value):
             raise ExperimentRequestError(
                 f"{where} must be a list of integers")
         return list(value)
+    if param.kind == "float-list":
+        if not isinstance(value, list) or any(
+                isinstance(v, bool) or not isinstance(v, (int, float))
+                for v in value):
+            raise ExperimentRequestError(
+                f"{where} must be a list of numbers")
+        return [float(v) for v in value]
     raise ExperimentRequestError(f"{where}: undeclared kind {param.kind!r}")
 
 
@@ -196,12 +203,41 @@ def _observations(params) -> dict:
                              for r, ev in zip(results, evidence)]}
 
 
+def _mesh_load_sweep(params) -> dict:
+    """Load-latency curve of the 2-D mesh (Fig 22/23 input).
+
+    The default ``mesh_engine="batched"`` runs every injection rate as
+    one lockstep fastmesh simulation; results are bit-identical to the
+    per-rate scalar ``Mesh2D`` runs.  Infinite latency (a point that
+    delivered nothing) is encoded as JSON ``null``.
+    """
+    from repro.noc.mesh.loadcurve import sweep_load
+    curve = sweep_load(params["rates"], arbiter=params["arbiter"],
+                       cycles=params["cycles"], warmup=params["warmup"],
+                       seed=params["seed"], engine=params["mesh_engine"])
+    inf = float("inf")
+    saturation = curve.saturation_rate()
+    return {"arbiter": curve.arbiter,
+            "points": [{"offered_rate": p.offered_rate,
+                        "accepted_rate": p.accepted_rate,
+                        "avg_latency": (p.avg_latency
+                                        if p.avg_latency != inf else None)}
+                       for p in curve.points],
+            "saturation_rate": saturation if saturation != inf else None}
+
+
 def _report_section(params) -> dict:
-    """One report task's raw metrics (the report's cacheable unit)."""
-    from repro.report import _TASK_FUNCS
-    return {"section": params["section"],
-            "metrics": _TASK_FUNCS[params["section"]](params["seed"],
-                                                      params["engine"])}
+    """One report task's raw metrics (the report's cacheable unit).
+
+    Mesh sections run on ``mesh_engine`` (scalar/batched); device
+    sections run on ``engine`` (scalar/vectorized).
+    """
+    from repro.report import _MESH_TASKS, _TASK_FUNCS
+    section = params["section"]
+    engine = (params["mesh_engine"] if section in _MESH_TASKS
+              else params["engine"])
+    return {"section": section,
+            "metrics": _TASK_FUNCS[section](params["seed"], engine)}
 
 
 def _report(params) -> dict:
@@ -209,7 +245,8 @@ def _report(params) -> dict:
     from repro.report import generate_report
     return {"markdown": generate_report(seed=params["seed"],
                                         include_mesh=params["mesh"],
-                                        engine=params["engine"])}
+                                        engine=params["engine"],
+                                        mesh_engine=params["mesh_engine"])}
 
 
 _SEED = Param("seed", "int", 0, doc="device seed")
@@ -222,6 +259,11 @@ _ENGINE_FAST = Param("engine", "str", "vectorized",
 _ENGINE_SCALAR = Param("engine", "str", "scalar",
                        choices=("scalar", "vectorized"),
                        doc="measurement engine (results bit-identical)")
+#: Mesh sections default to the batched fastmesh kernel (bit-identical
+#: to the scalar Mesh2D golden model).
+_MESH_ENGINE = Param("mesh_engine", "str", "batched",
+                     choices=("scalar", "batched"),
+                     doc="mesh kernel (results bit-identical)")
 
 EXPERIMENTS = {e.name: e for e in (
     Experiment(
@@ -252,18 +294,31 @@ EXPERIMENTS = {e.name: e for e in (
         _observations,
         (_SEED,)),
     Experiment(
+        "mesh-load-sweep",
+        "mesh load-latency curve as one batched run (Fig 22/23)",
+        _mesh_load_sweep,
+        (_SEED,
+         Param("rates", "float-list", [0.05, 0.1, 0.2, 0.3],
+               doc="injection rates (packets/cycle/compute-node)"),
+         Param("arbiter", "str", "rr", choices=("rr", "age"),
+               doc="router arbitration policy"),
+         Param("cycles", "int", 2000, doc="cycles simulated per point"),
+         Param("warmup", "int", 500, doc="cycles excluded from the stats"),
+         _MESH_ENGINE)),
+    Experiment(
         "report-section",
         "raw metrics of one report section",
         _report_section,
         (_SEED, Param("section", "str", "latency",
-                      choices=REPORT_SECTIONS), _ENGINE_SCALAR)),
+                      choices=REPORT_SECTIONS), _ENGINE_SCALAR,
+         _MESH_ENGINE)),
     Experiment(
         "report",
         "full markdown paper-vs-measured report",
         _report,
         (_SEED, Param("mesh", "bool", True,
                       doc="include the slower mesh sections"),
-         _ENGINE_SCALAR)),
+         _ENGINE_SCALAR, _MESH_ENGINE)),
 )}
 
 
@@ -278,14 +333,15 @@ def cache_payload(name: str, params: dict) -> dict:
 
     GPU-bound experiments fold in the full spec dict (editing a spec
     invalidates their entries); ``observations``/``report*`` run all
-    three Table I devices, so they fold in all three specs.
+    three Table I devices, so they fold in all three specs.  Pure mesh
+    experiments depend only on their parameters — no device specs.
     """
     from repro.gpu.serialization import spec_to_dict
     from repro.gpu.specs import get_spec
     payload = {"experiment": name, "params": params}
     if "gpu" in params:
         payload["spec"] = spec_to_dict(get_spec(params["gpu"]))
-    else:
+    elif not name.startswith("mesh-"):
         payload["specs"] = {n: spec_to_dict(get_spec(n))
                             for n in _GPU_NAMES}
     return payload

@@ -249,8 +249,13 @@ class ExperimentServer:
             params = normalize(name, raw)
         except ExperimentRequestError as exc:
             raise _HttpError(400, str(exc)) from None
+        # mesh experiments key on the mesh kernel's fingerprint (so a
+        # FASTMESH_VERSION bump invalidates exactly the batched entries);
+        # device experiments key on the measurement engine's
         key = cache_key(f"serve:{name}", cache_payload(name, params),
-                        engine=params.get("engine"))
+                        engine=params.get("mesh_engine")
+                        if name.startswith("mesh-")
+                        else params.get("engine"))
         value = await self._resolve(name, params, key)
         return canonical_json(
             {"experiment": name, "params": params, "value": value})

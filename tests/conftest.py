@@ -9,9 +9,17 @@ real Table I devices.
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.gpu.device import SimulatedGPU
 from repro.gpu.specs import GPUSpec
+
+# Property tests must be reproducible in CI: derandomize draws the same
+# example set on every run (seeded from the test name) and skips the
+# local example database, so a run's verdict never depends on what a
+# previous run happened to explore.
+settings.register_profile("repro-ci", derandomize=True, database=None)
+settings.load_profile("repro-ci")
 
 
 TINY = GPUSpec(

@@ -1,0 +1,18 @@
+"""REP004 fixture: batched mesh twins — one agreeing, one drifted.
+
+``batched_sweep_load`` and ``batched_fairness_experiments`` agree with
+their scalar sides; ``batched_fairness_experiment`` grew a required
+parameter; ``batched_reply_bottleneck`` is missing entirely.
+"""
+
+
+def batched_sweep_load(rates, arbiter="rr"):
+    return []
+
+
+def batched_fairness_experiment(arbiter, cycles=20000):
+    return None
+
+
+def batched_fairness_experiments(arbiters=("rr", "age")):
+    return {}

@@ -1,0 +1,5 @@
+"""REP004 fixture: reply-bottleneck entry point with no batched twin."""
+
+
+def run_reply_bottleneck(cycles=20000, window=100, engine=None):
+    return None

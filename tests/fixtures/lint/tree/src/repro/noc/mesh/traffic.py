@@ -1,0 +1,9 @@
+"""REP004 fixture: fairness entry points (the single-run twin drifted)."""
+
+
+def run_fairness_experiment(arbiter="rr", cycles=20000, engine=None):
+    return None
+
+
+def run_fairness_experiments(arbiters=("rr", "age"), jobs=None, engine=None):
+    return {}

@@ -109,10 +109,12 @@ def test_rep003_const_eval_helpers():
 # ------------------------------------------------------------------ REP004
 
 def test_rep004_positive():
+    # the fixture mesh tree carries 4 class-pair drifts and 3 mesh
+    # function-pair drifts (see test_rep004_mesh_function_pairs_positive)
     result = run_lint(["src/repro/noc/mesh"], root=TREE, select=("REP004",))
     assert rules_found(result) == {"REP004"}
     messages = [f.message for f in result.findings]
-    assert len(messages) == 4
+    assert len(messages) == 7
     assert any("missing public method `drain`" in m for m in messages)
     assert any("missing public method `golden_only`" in m for m in messages)
     assert any("`delivered_count` is a method on ReferenceMesh2D but a "
@@ -158,6 +160,33 @@ def test_rep004_function_pairs_clean_on_real_tree():
 def test_rep004_function_pairs_skip_without_scalar_side():
     # only the fastpath side linted: nothing to diff against
     result = run_lint(["src/repro/core/fastpath"], root=TREE,
+                      select=("REP004",))
+    assert result.findings == []
+
+
+def test_rep004_mesh_function_pairs_positive():
+    # mesh entry points vs their fastmesh twins, isolated from the
+    # class-pair fixtures by linting the function files only
+    result = run_lint(
+        ["src/repro/noc/mesh/loadcurve.py",
+         "src/repro/noc/mesh/traffic.py",
+         "src/repro/noc/mesh/interfaces.py",
+         "src/repro/noc/mesh/fastmesh.py"], root=TREE, select=("REP004",))
+    assert rules_found(result) == {"REP004"}
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 3
+    assert any("`sweep_load` lacks the `engine=` selector"
+               in m for m in messages)
+    assert any("`batched_fairness_experiment` required parameters differ"
+               in m for m in messages)
+    assert any("`run_reply_bottleneck` has no vectorized twin"
+               in m for m in messages)
+    # the agreeing pair (run_fairness_experiments) reports nothing
+    assert not any("batched_fairness_experiments" in m for m in messages)
+
+
+def test_rep004_mesh_function_pairs_skip_without_scalar_side():
+    result = run_lint(["src/repro/noc/mesh/fastmesh.py"], root=TREE,
                       select=("REP004",))
     assert result.findings == []
 
