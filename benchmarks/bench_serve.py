@@ -22,17 +22,24 @@ closed-loop model).  Two phases:
   pay the real simulation, so their timings compare the kernels
   end-to-end through the service; a short hot loop then measures the
   cached-path rps of the sweep endpoint.
+* ``scaling`` — the worker tier's reason to exist: the same cold sweep
+  against a fresh server at each worker count the machine can host
+  (single-process baseline, then 2/4/8 workers up to ``os.cpu_count()``),
+  reporting throughput and the speedup over the baseline.
 
 Emits one JSON document (printed under ``pytest -s``, or run the file
 directly: ``python benchmarks/bench_serve.py``) with client-side
 throughput and latency percentiles next to the server's own
 ``/metricz`` view of the same traffic, alongside the engine timings of
-``bench_perf_engine.py``.
+``bench_perf_engine.py`` — and writes a machine-readable summary
+(per-phase rps, p50/p99, worker count) to ``BENCH_serve.json`` for CI
+artifact upload.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import threading
 import time
@@ -105,12 +112,13 @@ def _hot_phase(port: int, engine: str) -> dict:
             "errors": errors[0], "latency": _percentiles(latencies)}
 
 
-def _cold_phase(port: int) -> dict:
-    """Unique requests: each pays a real computation (or a clean 429)."""
+def _cold_sweep(port: int, seed_range, drivers: int) -> dict:
+    """Closed loop of unique requests: each pays a real computation
+    (or a clean 429 under backpressure)."""
     statuses: list = []
     latencies: list = []
     lock = threading.Lock()
-    seeds = iter(range(1000, 1000 + COLD_REQUESTS))
+    seeds = iter(seed_range)
 
     def worker():
         client = ServeClient(port=port)
@@ -128,8 +136,7 @@ def _cold_phase(port: int) -> dict:
                 if reply.status == 200:
                     latencies.append(elapsed)
 
-    threads = [threading.Thread(target=worker)
-               for _ in range(COLD_WORKERS)]
+    threads = [threading.Thread(target=worker) for _ in range(drivers)]
     begin = time.perf_counter()
     for t in threads:
         t.start()
@@ -137,11 +144,56 @@ def _cold_phase(port: int) -> dict:
         t.join()
     wall = time.perf_counter() - begin
     completed = statuses.count(200)
-    return {"workers": COLD_WORKERS, "requests": len(statuses),
+    return {"drivers": drivers, "requests": len(statuses),
             "completed": completed, "rejected_429": statuses.count(429),
             "other_statuses": sorted(set(statuses) - {200, 429}),
             "wall_s": wall, "throughput_rps": completed / wall,
             "latency": _percentiles(latencies)}
+
+
+def _cold_phase(port: int) -> dict:
+    cold = _cold_sweep(port, range(1000, 1000 + COLD_REQUESTS),
+                       COLD_WORKERS)
+    cold["workers"] = cold.pop("drivers")      # historical field name
+    return cold
+
+
+#: Cold requests per scaling tier; identical work at every worker count
+#: so throughputs divide cleanly into a speedup.
+SCALING_REQUESTS = 16
+
+
+def _scaling_phase(worker_counts=None) -> dict:
+    """Cold-sweep throughput vs worker count, one fresh server each.
+
+    The single-process tier (``workers=0``) is the baseline; each tier
+    gets its own empty cache directory so every request is a real
+    computation.  ``max_inflight`` tracks the driver count so admission
+    never rejects — the measured quantity is compute capacity, not
+    backpressure policy.
+    """
+    cores = os.cpu_count() or 1
+    if worker_counts is None:
+        worker_counts = [n for n in (2, 4, 8) if n <= cores]
+    tiers = {}
+    for workers in [0] + list(worker_counts):
+        drivers = max(4, 2 * workers)
+        kwargs = dict(max_inflight=drivers)
+        if workers:
+            kwargs["workers"] = workers
+        with tempfile.TemporaryDirectory() as cache_dir:
+            with serve_in_thread(cache_dir=cache_dir, **kwargs) as server:
+                ServeClient(port=server.port).wait_healthy(deadline_s=60)
+                stats = _cold_sweep(server.port,
+                                    range(5000, 5000 + SCALING_REQUESTS),
+                                    drivers)
+        tiers[str(workers)] = {"workers": workers, **stats}
+    baseline = tiers["0"]["throughput_rps"]
+    for tier in tiers.values():
+        tier["speedup_vs_single"] = (tier["throughput_rps"] / baseline
+                                     if baseline > 0 else 0.0)
+    return {"cores": cores, "requests_per_tier": SCALING_REQUESTS,
+            "tiers": tiers}
 
 
 def _mesh_phase(port: int, mesh_engine: str) -> dict:
@@ -205,7 +257,8 @@ def _mesh_phase(port: int, mesh_engine: str) -> dict:
                     "latency": _percentiles(latencies)}}
 
 
-def collect(engines=ENGINES, mesh_engines=MESH_ENGINES) -> dict:
+def collect(engines=ENGINES, mesh_engines=MESH_ENGINES,
+            scaling: bool = True) -> dict:
     with tempfile.TemporaryDirectory() as cache_dir:
         with serve_in_thread(jobs=2, cache_dir=cache_dir,
                              max_inflight=4) as server:
@@ -223,7 +276,44 @@ def collect(engines=ENGINES, mesh_engines=MESH_ENGINES) -> dict:
     if set(mesh_engines) >= {"scalar", "batched"}:
         record["mesh"]["cold_sweep_speedup"] = (
             mesh["scalar"]["cold_sweep_s"] / mesh["batched"]["cold_sweep_s"])
+    if scaling:
+        record["scaling"] = _scaling_phase()
     return record
+
+
+def summarize(record: dict) -> dict:
+    """The machine-readable ``BENCH_serve.json`` document: one flat
+    ``phases`` table of rps / p50 / p99 / worker count per phase."""
+    def row(stats: dict, workers: int, **extra) -> dict:
+        latency = stats.get("latency", stats)
+        return {"rps": stats["throughput_rps"],
+                "p50_ms": latency.get("p50_ms"),
+                "p99_ms": latency.get("p99_ms"),
+                "workers": workers, **extra}
+
+    phases = {}
+    for engine, hot in record["hot"].items():
+        phases[f"hot-{engine}"] = row(hot, hot["workers"])
+    phases["cold"] = row(record["cold"], record["cold"]["workers"])
+    for engine, mesh in record["mesh"].items():
+        if isinstance(mesh, dict):
+            phases[f"mesh-hot-{engine}"] = row(mesh["hot"],
+                                               mesh["hot"]["workers"])
+    scaling = record.get("scaling", {})
+    for label, tier in scaling.get("tiers", {}).items():
+        phases[f"scaling-workers-{label}"] = row(
+            tier, tier["workers"],
+            speedup_vs_single=tier["speedup_vs_single"])
+    return {"benchmark": "bench_serve", "cores": os.cpu_count(),
+            "phases": phases}
+
+
+def emit(record: dict, path: str = "BENCH_serve.json") -> dict:
+    summary = summarize(record)
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return summary
 
 
 def bench_serve(benchmark):
@@ -249,6 +339,21 @@ def bench_serve(benchmark):
     assert counters["errors"] == 0
     # each hot phase computed its result exactly once
     assert counters["cache_hits"] > 0
+    _check_scaling(record["scaling"])
+    emit(record)
+
+
+def _check_scaling(scaling: dict) -> None:
+    """The worker tier's throughput contract, gated on available cores
+    (a 1–2 core machine cannot demonstrate scaling, only correctness)."""
+    tiers = scaling["tiers"]
+    for tier in tiers.values():
+        assert tier["other_statuses"] == []
+        assert tier["completed"] + tier["rejected_429"] == tier["requests"]
+    if scaling["cores"] >= 4 and "4" in tiers:
+        assert tiers["4"]["speedup_vs_single"] >= 3.0, tiers["4"]
+    if scaling["cores"] >= 8 and "8" in tiers:
+        assert tiers["8"]["speedup_vs_single"] >= 5.0, tiers["8"]
 
 
 if __name__ == "__main__":
@@ -262,9 +367,19 @@ if __name__ == "__main__":
                         default="both",
                         help="mesh kernel for the mesh phase "
                              "(default: both, reported side by side)")
+    parser.add_argument("--no-scaling", action="store_true",
+                        help="skip the worker-count scaling sweep")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        metavar="FILE",
+                        help="machine-readable summary path "
+                             "(default: BENCH_serve.json)")
     args = parser.parse_args()
     selected = ENGINES if args.engine == "both" else (args.engine,)
     mesh_selected = (MESH_ENGINES if args.mesh_engine == "both"
                      else (args.mesh_engine,))
-    print(json.dumps(collect(engines=selected, mesh_engines=mesh_selected),
-                     indent=2))
+    full_record = collect(engines=selected, mesh_engines=mesh_selected,
+                          scaling=not args.no_scaling)
+    if not args.no_scaling:
+        _check_scaling(full_record["scaling"])
+    emit(full_record, args.out)
+    print(json.dumps(full_record, indent=2))

@@ -1,0 +1,71 @@
+"""CI smoke: the CLI's 2-worker serve tier, end to end.
+
+Computes reference responses on an in-process single-tier server, then
+starts the real thing — ``python -m repro.cli serve --workers 2`` as a
+subprocess — and checks the multi-worker answers are byte-identical,
+the pool reports two live workers, and SIGINT drains it to a clean
+exit.  Exercises exactly the path an operator runs, not the embedding
+helper.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.serve import ServeClient, serve_in_thread
+
+LATENCY_PARAMS = dict(gpu="V100", seed=0, sms=[0, 1, 2], samples=1)
+MESH_PARAMS = dict(seed=0, rates=[0.05, 0.1], cycles=300, warmup=100)
+
+
+def _reference_bytes() -> tuple:
+    with serve_in_thread() as single:
+        client = ServeClient(port=single.port)
+        latency = client.experiment("latency-matrix", **LATENCY_PARAMS)
+        mesh = client.experiment("mesh-load-sweep", **MESH_PARAMS)
+        assert latency.ok, latency.body
+        assert mesh.ok, mesh.body
+        return latency.body, mesh.body
+
+
+def main() -> int:
+    latency_ref, mesh_ref = _reference_bytes()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "2", "--cache", cache_dir],
+            stdout=subprocess.PIPE, text=True, env=dict(os.environ))
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no listen banner, got: {banner!r}"
+            client = ServeClient(port=int(match.group(1)))
+            health = client.wait_healthy(deadline_s=60)
+            assert health["tier"] == "workers", health
+            assert health["workers"] == 2, health
+
+            latency = client.experiment("latency-matrix", **LATENCY_PARAMS)
+            assert latency.body == latency_ref, "latency bytes differ"
+            mesh = client.experiment("mesh-load-sweep", **MESH_PARAMS)
+            assert mesh.body == mesh_ref, "mesh bytes differ"
+
+            snapshot = client.metricz().json
+            assert snapshot["workers"]["live"] == 2, snapshot["workers"]
+            assert snapshot["counters"]["computations"] >= 2
+            assert snapshot["registry"]["receipts"] >= 2
+        finally:
+            process.send_signal(signal.SIGINT)
+            returncode = process.wait(timeout=120)
+        assert returncode == 0, f"serve exited with {returncode}"
+    print("serve 2-worker smoke: byte-identical responses, "
+          "2 live workers, graceful shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """REP002 — async-safety: keep the event loop unblocked.
 
 ``repro.serve`` is a single asyncio event loop; one blocking call in an
-``async def`` stalls every in-flight request.  Three checks:
+``async def`` stalls every in-flight request.  Four checks:
 
 * blocking calls (``time.sleep``, sync file I/O, ``subprocess``/
   ``os.system``) inside any ``async def``;
@@ -9,7 +9,12 @@
   (deadlock + loop stall: the loop may never reach the releasing task);
 * ``time.sleep`` anywhere in ``repro.serve`` — even sync helpers run
   near the loop, so the blocking *sync client* must opt in with an
-  explicit ``# repro: noqa[REP002]``.
+  explicit ``# repro: noqa[REP002]``;
+* ``pickle.dump(s)`` or ``SharedMemory`` creation inside an ``async
+  def`` in ``repro.serve`` — result serialization and segment setup
+  belong to the worker tier (or a thread), not the loop: pickling a
+  multi-megabyte result stalls every request for its full duration,
+  and the worker tier's transport contract is pickle-free.
 """
 
 from __future__ import annotations
@@ -25,6 +30,13 @@ _BLOCKING = {"time.sleep", "open", "io.open", "os.system",
              "subprocess.run", "subprocess.call", "subprocess.check_call",
              "subprocess.check_output", "subprocess.Popen",
              "socket.create_connection", "urllib.request.urlopen"}
+
+#: Serialization/transport setup banned from serve-layer coroutines:
+#: the worker tier owns result transport (canonical JSON + shm), and
+#: both pickling and segment creation are unbounded-latency work.
+_SERVE_TRANSPORT = ("pickle.dump", "pickle.dumps")
+
+_SHM_CREATOR = "SharedMemory"
 
 _LOCKISH = ("lock", "mutex", "semaphore", "condition")
 
@@ -54,7 +66,8 @@ class AsyncSafetyRule(Rule):
     id = "REP002"
     name = "async-safety"
     summary = ("no blocking calls in `async def`, no thread locks held "
-               "across `await`, no time.sleep in repro.serve")
+               "across `await`, no time.sleep / coroutine pickling / "
+               "SharedMemory setup in repro.serve")
     interests = ("Call", "With")
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
@@ -78,6 +91,21 @@ class AsyncSafetyRule(Rule):
                        "time.sleep in repro.serve blocks threads the event "
                        "loop shares; an intentionally-blocking sync helper "
                        "needs `# repro: noqa[REP002]`")
+        elif ctx.in_async_function and ctx.module_in(ASYNC_PACKAGES):
+            if target in _SERVE_TRANSPORT:
+                ctx.report(self.id, node,
+                           f"`{target}()` inside `async def "
+                           f"{ctx.function_stack[-1].name}`: result "
+                           "transport is the worker tier's job — ship "
+                           "canonical JSON bytes, or serialize in "
+                           "asyncio.to_thread")
+            elif target == _SHM_CREATOR or \
+                    target.endswith("." + _SHM_CREATOR):
+                ctx.report(self.id, node,
+                           f"SharedMemory creation inside `async def "
+                           f"{ctx.function_stack[-1].name}` blocks the "
+                           "loop on segment setup; create segments in "
+                           "worker processes or a thread")
 
     def _check_with(self, node: ast.With, ctx: FileContext) -> None:
         if not ctx.in_async_function:

@@ -125,12 +125,17 @@ def _cmd_serve(args) -> int:
     async def _run() -> None:
         server = ExperimentServer(host=args.host, port=args.port,
                                   jobs=args.jobs or 1, cache_dir=args.cache,
-                                  max_inflight=args.max_inflight)
+                                  max_inflight=args.max_inflight,
+                                  workers=args.workers,
+                                  registry_path=args.registry)
         await server.start()
+        tier = (f"workers={server.pool.size}" if server.pool is not None
+                else f"jobs={server.runner.jobs}")
         print(f"repro.serve listening on http://{server.host}:{server.port}"
-              f"  (jobs={server.runner.jobs}, "
+              f"  ({tier}, "
               f"max_inflight={server.admission.limit}, "
-              f"cache={'on' if server.cache else 'off'})")
+              f"cache={'on' if server.cache else 'off'}, "
+              f"receipts={'on' if server.registry.path else 'memory'})")
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -251,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-inflight", type=_jobs_argument, default=8,
                        metavar="N",
                        help="admitted cold computations before 429s")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="run the sharded worker tier on N processes "
+                            "(0 = single persistent pool; with N >= 1, "
+                            "--jobs is ignored)")
+    serve.add_argument("--registry", default=None, metavar="FILE",
+                       help="durable receipts JSONL (default: "
+                            "<cache>/receipts.jsonl when --cache is set, "
+                            "else in-memory)")
     lint = sub.add_parser(
         "lint", help="AST invariant linter (REP001-REP005)")
     lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],

@@ -19,6 +19,7 @@ on the way in (and come back as plain lists/floats).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import itertools
 import json
@@ -29,6 +30,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+try:                                    # POSIX: cross-process key locks
+    import fcntl
+except ImportError:                     # non-POSIX: thread-level only
+    fcntl = None
 
 #: Bump when a model recalibration changes results for identical inputs.
 #: 2: the report's mesh-bottleneck task now honours ``seed`` (it was
@@ -121,9 +127,25 @@ class ResultCache:
         file — last completed writer wins, every reader always sees a
         complete entry.
         """
+        body = json.dumps({"key": key, "value": value}, default=_jsonify)
+        self._write_atomic(key, body)
+
+    def put_bytes(self, key: str, value_bytes: bytes) -> None:
+        """Store already-serialized JSON ``value_bytes`` under ``key``.
+
+        The serve worker tier produces canonical-JSON result bytes
+        anyway (they *are* the wire format); this splices them into the
+        entry envelope instead of parsing and re-dumping.  :meth:`get`
+        parses the written entry to exactly the value :meth:`put` of
+        the parsed bytes would have stored.
+        """
+        body = '{"key": %s, "value": %s}' % (json.dumps(key),
+                                             value_bytes.decode())
+        self._write_atomic(key, body)
+
+    def _write_atomic(self, key: str, body: str) -> None:
         path = self._path(key)
         tmp = path.parent / f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
-        body = json.dumps({"key": key, "value": value}, default=_jsonify)
         try:
             tmp.write_text(body)
             os.replace(tmp, path)
@@ -131,15 +153,43 @@ class ResultCache:
             tmp.unlink(missing_ok=True)
             raise
 
+    @contextlib.contextmanager
+    def _process_lock(self, key: str):
+        """Cross-process exclusive lock for ``key`` (POSIX ``flock``).
+
+        Serializes :meth:`get_or_compute` stampedes *across worker
+        processes* sharing one cache directory: exactly one process
+        computes a cold key while the rest block, then read its entry.
+        The lock file persists (flock metadata only, no content); a
+        crashed holder's lock is released by the kernel automatically.
+        On platforms without ``fcntl`` this degrades to the documented
+        thread-level coalescing (duplicate cross-process computation,
+        still never a torn entry).
+        """
+        if fcntl is None:
+            yield
+            return
+        fd = os.open(self.directory / f"{key}.lock",
+                     os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
     def get_or_compute(self, algorithm: str, payload: dict, compute,
                        engine: str | None = None):
         """Memoize ``compute()`` under the content key of the inputs.
 
-        Concurrent callers of the same key in one process are coalesced:
-        a per-key lock lets exactly one thread run ``compute()`` while
-        the others block and then read its stored value.  Across
-        processes the atomic :meth:`put` keeps a stampede harmless
-        (duplicate computation, never a torn entry).
+        Concurrent callers of the same key are coalesced at two levels:
+        a per-key thread lock lets exactly one *thread* per process run
+        ``compute()``, and a per-key ``flock`` (POSIX) lets exactly one
+        *process* per shared cache directory run it — the rest block,
+        then read the winner's stored value.  Where ``fcntl`` is
+        unavailable the cross-process level degrades to harmless
+        duplicate computation (the atomic :meth:`put` still never
+        tears an entry).
         """
         key = cache_key(algorithm, payload, engine)
         value = self.get(key, _MISS)
@@ -149,8 +199,12 @@ class ResultCache:
             value = self.get(key, _MISS)      # recheck after the wait
             if value is not _MISS:
                 return value
-            value = compute()
-            self.put(key, value)
+            with self._process_lock(key):
+                value = self.get(key, _MISS)  # recheck: another process?
+                if value is not _MISS:
+                    return value
+                value = compute()
+                self.put(key, value)
         return value
 
     def __len__(self) -> int:

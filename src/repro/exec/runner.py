@@ -55,13 +55,20 @@ def chunk(items, size: int = DEFAULT_SHARD_SMS) -> list:
 class SweepRunner:
     """Maps a picklable worker over shard arguments, serially or not."""
 
-    def __init__(self, jobs: int | None = None, persistent: bool = False):
+    def __init__(self, jobs: int | None = None, persistent: bool = False,
+                 initializer=None):
         if jobs is None:
             jobs = 1
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.persistent = persistent
+        #: Module-level callable run once in each pool worker as it
+        #: starts (e.g. :func:`repro.serve.workers.warm_imports`, so a
+        #: long-lived service pays import cost at spawn, not on the
+        #: first request).  Only the persistent pool uses it: per-call
+        #: pools are short-lived and would pay the warm-up per map().
+        self.initializer = initializer
         self._pool: ProcessPoolExecutor | None = None
 
     def _persistent_pool(self) -> ProcessPoolExecutor:
@@ -70,7 +77,8 @@ class SweepRunner:
                 "this SweepRunner is per-call; construct it with "
                 "persistent=True to keep a pool alive")
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, initializer=self.initializer)
         return self._pool
 
     def map(self, worker, shard_args) -> list:

@@ -8,37 +8,58 @@ and bounded-admission backpressure (:mod:`~repro.serve.coalesce`), live
 counters and streaming latency quantiles (:mod:`~repro.serve.metrics`),
 and a blocking stdlib client (:mod:`~repro.serve.client`).
 
+Computations run on one of two tiers.  The default (``workers=0``) is a
+single persistent process pool.  ``workers=N`` enables the sharded
+worker tier (:mod:`~repro.serve.workers`): N spawned worker processes,
+each owning a consistent-hash shard of the cache-key space, sharing the
+content-addressed on-disk cache, shipping large results back through
+POSIX shared memory (:mod:`~repro.serve.shm`), and surviving crashes
+and rolling restarts without dropping requests.  Every computation on
+either tier leaves a durable receipt (:mod:`~repro.serve.registry`)
+that ``POST /v1/replay`` can recompute and digest-check.
+
 Start one from a shell::
 
-    python -m repro serve --port 8737 --jobs 4 --cache ~/.cache/repro
+    python -m repro serve --port 8737 --workers 4 --cache ~/.cache/repro
 
 or embed one in-process::
 
     from repro.serve import ServeClient, serve_in_thread
 
-    with serve_in_thread(jobs=2, cache_dir="/tmp/repro-cache") as server:
+    with serve_in_thread(workers=2, cache_dir="/tmp/repro-cache") as server:
         client = ServeClient(port=server.port)
         reply = client.experiment("latency-matrix", gpu="V100", seed=0)
         matrix = reply.value()["matrix"]
 """
 
-from repro.serve.client import ServeClient, ServeClientError, ServeReply
+from repro.serve.client import (Backoff, ServeClient, ServeClientError,
+                                ServeReply)
 from repro.serve.coalesce import AdmissionController, Singleflight
 from repro.serve.experiments import (EXPERIMENTS, Experiment,
                                      ExperimentRequestError, Param,
                                      cache_payload, describe_experiments,
-                                     normalize, run_experiment)
+                                     engine_param, normalize,
+                                     run_experiment)
 from repro.serve.metrics import ServeMetrics, StreamingDigest
+from repro.serve.registry import RunRegistry, request_sha, result_sha
 from repro.serve.server import (DEFAULT_MAX_INFLIGHT, ExperimentServer,
-                                canonical_json, serve_in_thread)
+                                canonical_json, serve_in_thread,
+                                splice_envelope)
+from repro.serve.shm import SHM_MIN_BYTES, ShmRef, ShmTransportError
+from repro.serve.workers import (HashRing, NoLiveWorkersError, WorkerPool,
+                                 WorkerResult, warm_imports)
 
 __all__ = [
-    "ServeClient", "ServeClientError", "ServeReply",
+    "Backoff", "ServeClient", "ServeClientError", "ServeReply",
     "AdmissionController", "Singleflight",
     "EXPERIMENTS", "Experiment", "ExperimentRequestError", "Param",
-    "cache_payload", "describe_experiments", "normalize",
+    "cache_payload", "describe_experiments", "engine_param", "normalize",
     "run_experiment",
     "ServeMetrics", "StreamingDigest",
+    "RunRegistry", "request_sha", "result_sha",
     "DEFAULT_MAX_INFLIGHT", "ExperimentServer", "canonical_json",
-    "serve_in_thread",
+    "serve_in_thread", "splice_envelope",
+    "SHM_MIN_BYTES", "ShmRef", "ShmTransportError",
+    "HashRing", "NoLiveWorkersError", "WorkerPool", "WorkerResult",
+    "warm_imports",
 ]

@@ -81,15 +81,41 @@ class ServeReply:
 
 
 class ServeClient:
-    """Issue requests against one server address."""
+    """Issue requests against one server address.
+
+    Every endpoint the server exposes is idempotent (experiments are
+    pure functions of their normalized params), so :meth:`request`
+    transparently retries ``503 Service Unavailable`` answers — the
+    status a draining worker shard returns during a rolling restart —
+    up to ``retry_attempts`` tries, sleeping per ``retry`` between
+    them.  Connection-level failures are *not* retried here: callers
+    that want to wait for a server to exist use :meth:`wait_healthy`,
+    which owns its own deadline.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8737,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, retry: Backoff | None = None,
+                 retry_attempts: int = 5):
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry or Backoff()
+        self.retry_attempts = retry_attempts
 
     def request(self, method: str, path: str, payload=None) -> ServeReply:
+        delays = self.retry.delays()
+        for attempt in range(self.retry_attempts):
+            reply = self._request_once(method, path, payload)
+            if reply.status != 503 or attempt == self.retry_attempts - 1:
+                return reply
+            # blocking client by design; never runs on the event loop
+            time.sleep(next(delays))  # repro: noqa[REP002]
+        return reply
+
+    def _request_once(self, method: str, path: str,
+                      payload=None) -> ServeReply:
         body = None
         headers = {}
         if payload is not None:
@@ -122,6 +148,18 @@ class ServeClient:
     def experiment(self, name: str, **params) -> ServeReply:
         return self.request("POST", f"/v1/experiments/{name}",
                             payload=params)
+
+    def receipts(self) -> ServeReply:
+        return self.request("GET", "/v1/receipts")
+
+    def replay(self, *, request_sha: str | None = None,
+               seq: int | None = None) -> ServeReply:
+        payload = ({"request_sha": request_sha}
+                   if request_sha is not None else {"seq": seq})
+        return self.request("POST", "/v1/replay", payload=payload)
+
+    def restart_workers(self) -> ServeReply:
+        return self.request("POST", "/v1/workers/restart")
 
     def wait_healthy(self, deadline_s: float = 10.0,
                      backoff: Backoff | None = None) -> dict:

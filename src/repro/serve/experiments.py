@@ -347,6 +347,19 @@ def cache_payload(name: str, params: dict) -> dict:
     return payload
 
 
+def engine_param(name: str, params: dict):
+    """The engine whose fingerprint addresses this experiment's cache.
+
+    Mesh experiments are keyed on the mesh kernel (``mesh_engine``:
+    a FASTMESH_VERSION bump invalidates exactly the batched entries);
+    everything else on the measurement engine.  ``None`` for
+    experiments with no engine parameter (``observations``).
+    """
+    if name.startswith("mesh-"):
+        return params.get("mesh_engine")
+    return params.get("engine")
+
+
 def run_experiment(args) -> dict:
     """Pool worker: compute ``(name, params)`` — params pre-normalized."""
     name, params = args

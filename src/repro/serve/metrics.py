@@ -98,6 +98,11 @@ class ServeMetrics:
     * ``cache_hits`` / ``cache_misses`` — result-cache lookups on the
       hot path (followers of a flight never consult the cache).
     * ``rejected`` — fast 429 responses from admission control.
+    * ``shm_results`` / ``inline_results`` — how each computation's
+      result bytes travelled back from the compute tier: a shared-memory
+      segment (large payloads on the worker tier) or in-band (small
+      payloads; the legacy pool's pickle transport also counts here).
+    * ``replays`` — completed ``POST /v1/replay`` recomputations.
     * For any experiment:  requests == computations + coalesced +
       cache_hits + rejected + errors (each request takes exactly one of
       those paths).
@@ -113,6 +118,9 @@ class ServeMetrics:
         self.computations = 0
         self.rejected = 0
         self.errors = 0
+        self.shm_results = 0
+        self.inline_results = 0
+        self.replays = 0
         self.inflight_requests = 0
         self.inflight_computations = 0
         self.request_latency = StreamingDigest()
@@ -140,6 +148,9 @@ class ServeMetrics:
                 "computations": self.computations,
                 "rejected": self.rejected,
                 "errors": self.errors,
+                "shm_results": self.shm_results,
+                "inline_results": self.inline_results,
+                "replays": self.replays,
             },
             "gauges": {
                 "inflight_requests": self.inflight_requests,

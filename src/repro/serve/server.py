@@ -14,18 +14,24 @@ long-lived JSON-over-HTTP service.  A request's life:
    (:class:`AdmissionController`); when the budget is exhausted the
    request gets an immediate ``429`` with ``Retry-After`` instead of an
    unbounded queue.
-5. **Compute** — the experiment runs on a persistent
-   :class:`~repro.exec.runner.SweepRunner` process pool, off the event
-   loop; the result is cached, and every coalesced waiter gets the same
-   value.
+5. **Compute** — on the sharded :class:`~repro.serve.workers.WorkerPool`
+   tier (``workers=N``: consistent-hash routing by cache key, shared
+   on-disk cache, shm result transport, receipts), or on the legacy
+   single :class:`~repro.exec.runner.SweepRunner` pool (``workers=0``).
+   Every computation leaves a :mod:`~repro.serve.registry` receipt that
+   ``POST /v1/replay`` can recompute and digest-check.
 
 Responses for an experiment are canonical JSON (sorted keys, fixed
-separators) of ``{experiment, params, value}``, so the bytes are
-identical whether a given response was computed, coalesced, or a cache
-hit — a property the end-to-end tests assert.
+separators) of ``{experiment, params, value}``.  The worker tier ships
+the *value*'s canonical bytes (often via shared memory) and the server
+splices them into the envelope, so the bytes are identical whether a
+given response was computed by a worker, computed by the legacy pool,
+coalesced, or a cache hit — a property the end-to-end tests assert.
 
 ``stop()`` drains gracefully: the listener closes first, in-flight
-requests (and their computations) finish, then the pool shuts down.
+requests (and their computations) finish, then the compute tier shuts
+down.  ``POST /v1/workers/restart`` rolls the worker pool one process
+at a time *without* stopping the server.
 
 HTTP handling is deliberately minimal — HTTP/1.1, one request per
 connection, ``Connection: close`` — because the server's clients are
@@ -37,17 +43,24 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hashlib
 import json
 import threading
 import time
+from pathlib import Path
 
 from repro.exec import ResultCache, SweepRunner, cache_key
 from repro.exec.cache import _jsonify
 from repro.serve.coalesce import AdmissionController, Singleflight
 from repro.serve.experiments import (EXPERIMENTS, ExperimentRequestError,
                                      cache_payload, describe_experiments,
-                                     normalize, run_experiment)
+                                     engine_param, normalize,
+                                     run_experiment)
 from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import RunRegistry
+from repro.serve.shm import SHM_MIN_BYTES
+from repro.serve.workers import (NoLiveWorkersError, WorkerPool,
+                                 WorkerResult, warm_imports)
 from repro.units import MIB
 
 #: Default bound on concurrently admitted (cold) computations.
@@ -59,9 +72,9 @@ MAX_BODY_BYTES = MIB
 _REQUEST_TIMEOUT_S = 30.0
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 _MISS = object()
 
@@ -70,6 +83,20 @@ def canonical_json(value) -> bytes:
     """Deterministic JSON bytes (sorted keys, tight separators)."""
     return json.dumps(value, sort_keys=True, separators=(",", ":"),
                       default=_jsonify).encode()
+
+
+def splice_envelope(name: str, params: dict, value_bytes: bytes) -> bytes:
+    """The response envelope with pre-serialized value bytes spliced in.
+
+    Byte-identical to ``canonical_json({"experiment": name, "params":
+    params, "value": value})`` when ``value_bytes == canonical_json(
+    value)`` — the keys are already in sorted order — so worker-tier
+    responses never re-serialize the payload, yet compare equal to the
+    single-process tier's.
+    """
+    return (b'{"experiment":' + canonical_json(name)
+            + b',"params":' + canonical_json(params)
+            + b',"value":' + value_bytes + b"}")
 
 
 class _HttpError(Exception):
@@ -82,15 +109,33 @@ class _HttpError(Exception):
 
 
 class ExperimentServer:
-    """Serve the registry's experiments over HTTP on one event loop."""
+    """Serve the registry's experiments over HTTP on one event loop.
+
+    ``workers=0`` (default) computes on one persistent ``SweepRunner``
+    pool; ``workers=N`` runs the sharded multi-process worker tier.
+    With a ``cache_dir``, receipts default to ``<cache_dir>/
+    receipts.jsonl`` (durable); otherwise they live in memory.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  jobs: int = 1, cache_dir=None,
-                 max_inflight: int = DEFAULT_MAX_INFLIGHT):
+                 max_inflight: int = DEFAULT_MAX_INFLIGHT,
+                 workers: int = 0, registry_path=None,
+                 shm_min_bytes: int = SHM_MIN_BYTES):
         self.host = host
         self.port = port                      # 0 = ephemeral; set on start
         self.cache = ResultCache(cache_dir) if cache_dir else None
-        self.runner = SweepRunner(jobs, persistent=True)
+        if workers > 0:
+            self.pool = WorkerPool(workers, cache_dir=cache_dir,
+                                   shm_min_bytes=shm_min_bytes)
+            self.runner = None
+        else:
+            self.pool = None
+            self.runner = SweepRunner(jobs, persistent=True,
+                                      initializer=warm_imports)
+        if registry_path is None and cache_dir is not None:
+            registry_path = Path(cache_dir) / "receipts.jsonl"
+        self.registry = RunRegistry(registry_path)
         self.metrics = ServeMetrics()
         self.flights = Singleflight()
         self.admission = AdmissionController(max_inflight)
@@ -98,6 +143,7 @@ class ExperimentServer:
         self._draining = False
         self._open_handlers = 0
         self._handlers_idle: asyncio.Event | None = None
+        self._restart_task: asyncio.Task | None = None
 
     # ---------------------------------------------------------------- setup
 
@@ -105,6 +151,8 @@ class ExperimentServer:
         """Bind and start accepting (resolves ``self.port`` if it was 0)."""
         self._handlers_idle = asyncio.Event()
         self._handlers_idle.set()
+        if self.pool is not None:
+            await asyncio.to_thread(self.pool.start)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -121,7 +169,13 @@ class ExperimentServer:
         with contextlib.suppress(asyncio.TimeoutError):
             await asyncio.wait_for(self._handlers_idle.wait(),
                                    drain_timeout)
-        self.runner.close()
+        if self._restart_task is not None:
+            with contextlib.suppress(Exception):
+                await self._restart_task
+        if self.pool is not None:
+            await asyncio.to_thread(self.pool.close)
+        else:
+            self.runner.close()
 
     # ------------------------------------------------------------- protocol
 
@@ -189,7 +243,7 @@ class ExperimentServer:
                 "Content-Type: application/json\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n")
-        if status == 429:
+        if status in (429, 503):
             head += "Retry-After: 1\r\n"
         with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             writer.write(head.encode("latin-1") + b"\r\n" + body)
@@ -210,11 +264,25 @@ class ExperimentServer:
         if path == "/metricz":
             self.metrics.note_request("metricz")
             self._require(method, "GET")
-            return 200, canonical_json(self.metrics.snapshot())
+            return 200, canonical_json(self._metricz())
         if path == "/v1/experiments":
             self.metrics.note_request("experiments")
             self._require(method, "GET")
             return 200, canonical_json(describe_experiments())
+        if path == "/v1/receipts":
+            self.metrics.note_request("receipts")
+            self._require(method, "GET")
+            return 200, canonical_json(
+                {"recorded": self.registry.count,
+                 "receipts": self.registry.recent()})
+        if path == "/v1/replay":
+            self.metrics.note_request("replay")
+            self._require(method, "POST")
+            return 200, await self._replay_response(payload)
+        if path == "/v1/workers/restart":
+            self.metrics.note_request("workers-restart")
+            self._require(method, "POST")
+            return 200, canonical_json(self._start_rolling_restart())
         if path.startswith("/v1/experiments/"):
             name = path[len("/v1/experiments/"):]
             self.metrics.note_request(name)
@@ -235,7 +303,29 @@ class ExperimentServer:
         return {"status": "draining" if self._draining else "ok",
                 "inflight_requests": self.metrics.inflight_requests,
                 "inflight_computations": self.admission.active,
-                "experiments": len(EXPERIMENTS)}
+                "experiments": len(EXPERIMENTS),
+                "tier": "workers" if self.pool is not None else "single",
+                "workers": (self.pool.live_workers
+                            if self.pool is not None else 0)}
+
+    def _metricz(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["registry"] = {"receipts": self.registry.count,
+                                "durable": self.registry.path is not None}
+        if self.pool is not None:
+            snapshot["workers"] = self.pool.stats()
+        return snapshot
+
+    def _start_rolling_restart(self) -> dict:
+        if self.pool is None:
+            raise _HttpError(
+                400, "single-process tier has no workers to restart; "
+                     "start the server with workers >= 1")
+        if self._restart_task is not None and not self._restart_task.done():
+            raise _HttpError(409, "a rolling restart is already running")
+        self._restart_task = asyncio.get_running_loop().create_task(
+            asyncio.to_thread(self.pool.rolling_restart))
+        return {"status": "restarting", "workers": self.pool.size}
 
     # ----------------------------------------------------- experiment paths
 
@@ -253,12 +343,11 @@ class ExperimentServer:
         # FASTMESH_VERSION bump invalidates exactly the batched entries);
         # device experiments key on the measurement engine's
         key = cache_key(f"serve:{name}", cache_payload(name, params),
-                        engine=params.get("mesh_engine")
-                        if name.startswith("mesh-")
-                        else params.get("engine"))
+                        engine=engine_param(name, params))
         value = await self._resolve(name, params, key)
-        return canonical_json(
-            {"experiment": name, "params": params, "value": value})
+        if isinstance(value, WorkerResult):
+            return splice_envelope(name, params, value.value_bytes)
+        return splice_envelope(name, params, canonical_json(value))
 
     async def _resolve(self, name: str, params: dict, key: str):
         """Coalesce -> cache -> admission -> compute, in that order."""
@@ -295,20 +384,102 @@ class ExperimentServer:
             self.metrics.coalesced += 1
         return value
 
-    async def _compute(self, name: str, params: dict, key: str):
+    async def _compute(self, name: str, params: dict,
+                       key: str) -> WorkerResult:
         started = time.monotonic()
         self.metrics.inflight_computations += 1
         try:
-            future = self.runner.submit(run_experiment, (name, params))
-            value = await asyncio.wrap_future(future)
+            result = await self._dispatch(name, params, key)
             self.metrics.computations += 1
-            if self.cache is not None:
-                await asyncio.to_thread(self.cache.put, key, value)
-            return value
+            if result.transport == "shm":
+                self.metrics.shm_results += 1
+            else:
+                self.metrics.inline_results += 1
+            await asyncio.to_thread(self._record_receipt, name, params,
+                                    key, result)
+            return result
         finally:
             self.metrics.inflight_computations -= 1
             self.metrics.compute_latency.add(time.monotonic() - started)
             self.admission.release()
+
+    async def _dispatch(self, name: str, params: dict,
+                        key: str) -> WorkerResult:
+        """Run the computation on whichever tier this server owns."""
+        if self.pool is not None:
+            try:
+                future = self.pool.submit(name, params, key)
+            except NoLiveWorkersError:
+                raise _HttpError(
+                    503, "every worker shard is draining; retry") from None
+            return await asyncio.wrap_future(future)
+        started = time.perf_counter()
+        future = self.runner.submit(run_experiment, (name, params))
+        value = await asyncio.wrap_future(future)
+        value_bytes = canonical_json(value)
+        wall_ms = (time.perf_counter() - started) * 1e3
+        if self.cache is not None:
+            await asyncio.to_thread(self.cache.put_bytes, key,
+                                    value_bytes)
+        return WorkerResult(
+            value_bytes=value_bytes,
+            digest=hashlib.sha256(value_bytes).hexdigest(),
+            worker="local", wall_ms=wall_ms, transport="pickle")
+
+    def _record_receipt(self, name: str, params: dict, key: str,
+                        result: WorkerResult) -> None:
+        engine = engine_param(name, params)
+        fingerprint = None
+        if engine is not None:
+            from repro.core.fastpath import engine_fingerprint
+            fingerprint = engine_fingerprint(engine)
+        self.registry.record(
+            experiment=name, params=params, key=key, engine=fingerprint,
+            worker=result.worker, wall_ms=result.wall_ms,
+            digest=result.digest, transport=result.transport)
+
+    # --------------------------------------------------------------- replay
+
+    async def _replay_response(self, payload: bytes) -> bytes:
+        """Recompute a receipt's experiment; compare result digests."""
+        try:
+            raw = json.loads(payload.decode()) if payload else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _HttpError(400, "request body must be JSON") from None
+        if not isinstance(raw, dict) or \
+                ("request_sha" in raw) == ("seq" in raw):
+            raise _HttpError(
+                400, "replay wants exactly one of request_sha / seq")
+        receipt = self.registry.find(
+            request_sha=raw.get("request_sha"), seq=raw.get("seq"))
+        if receipt is None:
+            raise _HttpError(404, "no receipt matches that request")
+        name, params = receipt["experiment"], receipt["params"]
+        if name not in EXPERIMENTS:
+            raise _HttpError(
+                400, f"receipt names unknown experiment {name!r}")
+        if self._draining:
+            raise _HttpError(503, "server is draining")
+        if not self.admission.try_acquire():
+            self.metrics.rejected += 1
+            raise _HttpError(429, "server at capacity",
+                             inflight=self.admission.active,
+                             limit=self.admission.limit)
+        try:
+            result = await self._dispatch(name, params, receipt["key"])
+        finally:
+            self.admission.release()
+        self.metrics.replays += 1
+        return canonical_json({
+            "seq": receipt["seq"],
+            "request_sha": receipt["request_sha"],
+            "experiment": name,
+            "match": result.digest == receipt["result_sha"],
+            "result_sha": receipt["result_sha"],
+            "recomputed_sha": result.digest,
+            "recorded_worker": receipt["worker"],
+            "replayed_worker": result.worker,
+        })
 
 
 # --------------------------------------------------------------------------
@@ -342,7 +513,7 @@ def serve_in_thread(**kwargs):
 
     thread = threading.Thread(target=_run, name="repro-serve", daemon=True)
     thread.start()
-    ready.wait(timeout=30)
+    ready.wait(timeout=120)
     if boot_error:
         loop.close()
         raise boot_error[0]
@@ -351,7 +522,7 @@ def serve_in_thread(**kwargs):
     finally:
         future = asyncio.run_coroutine_threadsafe(server.stop(), loop)
         with contextlib.suppress(Exception):
-            future.result(timeout=60)
+            future.result(timeout=120)
         loop.call_soon_threadsafe(loop.stop)
         thread.join(timeout=30)
         if not loop.is_running():

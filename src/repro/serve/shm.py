@@ -1,0 +1,143 @@
+"""Pickle-free result transport over ``multiprocessing.shared_memory``.
+
+The worker tier's results are canonical-JSON byte strings (often tens
+to hundreds of kilobytes for a latency matrix or a mesh sweep).  The
+default ``multiprocessing`` transport would pickle those bytes into a
+pipe, copy them through the OS, and unpickle them on the other side —
+three copies and two serializations of data that is already in its
+final wire format.  This module moves any payload above
+:data:`SHM_MIN_BYTES` through a POSIX shared-memory segment instead:
+
+* the **worker** (producer) creates a segment, copies the bytes in
+  once, detaches, and ships only ``(name, size, sha256)`` over the
+  queue — a fixed ~100-byte message regardless of payload size;
+* the **front-end** (consumer) attaches, reads the bytes, verifies the
+  digest, then closes *and unlinks* the segment, so the kernel frees it
+  the moment the response is built.
+
+Ownership protocol: the consumer always unlinks.  The producer
+unregisters the segment from its own ``resource_tracker`` (see
+:func:`_untrack`) because otherwise the tracker of the *creating*
+process would try to destroy the segment at exit — after the consumer
+already unlinked it — and log spurious leak warnings.  A worker that
+dies between creating a segment and its message being consumed leaks
+that one segment; :func:`cleanup_orphans` sweeps such segments by name
+prefix when a replacement worker spawns.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import itertools
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.units import KIB
+
+#: Payloads at or above this size move through shared memory; smaller
+#: ones ride the queue inline (the segment setup costs ~2 syscalls and
+#: a page fault, which only pays off past a few pages).
+SHM_MIN_BYTES = 32 * KIB
+
+#: Name prefix of every segment this module creates: lets a respawning
+#: pool sweep segments an earlier crashed worker left behind.
+_PREFIX = "repro-serve"
+
+#: Where Linux exposes POSIX shared memory as files (orphan sweeping is
+#: best-effort and skipped on platforms without it).
+_SHM_DIR = Path("/dev/shm")
+
+#: Distinguishes segments of one producer process (identical payloads
+#: would otherwise collide on a digest-derived name).
+_SEGMENT_COUNTER = itertools.count()
+
+
+def _shared_memory():
+    """The SharedMemory class (imported lazily: not on the hot path)."""
+    from multiprocessing import shared_memory
+    return shared_memory.SharedMemory
+
+
+def _untrack(shm) -> None:
+    """Unregister ``shm`` from this process's resource tracker.
+
+    The producer hands ownership to the consumer, who unlinks.  Without
+    this, the producer-side tracker would unlink the segment again at
+    process exit and warn about a leak that never happened.  Private
+    API, so failures are tolerated — the worst case is a harmless
+    warning at worker exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except (ImportError, AttributeError, KeyError):
+        pass
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A handle to payload bytes parked in a shared-memory segment."""
+
+    name: str
+    size: int
+    sha256: str
+
+
+def share_bytes(data: bytes, worker_id: int = 0) -> ShmRef:
+    """Producer side: park ``data`` in a fresh segment, return its ref."""
+    if not data:
+        raise ValueError("cannot share an empty payload")
+    cls = _shared_memory()
+    segment = cls(create=True, size=len(data),
+                  name=f"{_PREFIX}-{worker_id}-{os.getpid()}-"
+                       f"{next(_SEGMENT_COUNTER)}")
+    try:
+        segment.buf[:len(data)] = data
+    finally:
+        segment.close()
+    _untrack(segment)
+    return ShmRef(name=segment.name, size=len(data),
+                  sha256=hashlib.sha256(data).hexdigest())
+
+
+class ShmTransportError(RuntimeError):
+    """The segment was missing or its content failed digest check."""
+
+
+def read_shared(ref: ShmRef) -> bytes:
+    """Consumer side: read, verify, and *unlink* the segment."""
+    cls = _shared_memory()
+    try:
+        segment = cls(name=ref.name)
+    except FileNotFoundError:
+        raise ShmTransportError(
+            f"shared segment {ref.name!r} vanished before it was read")
+    try:
+        data = bytes(segment.buf[:ref.size])
+    finally:
+        segment.close()
+        with contextlib.suppress(FileNotFoundError):
+            segment.unlink()
+    if hashlib.sha256(data).hexdigest() != ref.sha256:
+        raise ShmTransportError(
+            f"shared segment {ref.name!r} failed its digest check")
+    return data
+
+
+def cleanup_orphans(worker_id: int) -> int:
+    """Unlink segments a dead worker ``worker_id`` left behind.
+
+    Called when a replacement worker spawns after a crash.  Best-effort
+    and Linux-only (``/dev/shm``); returns the number of segments
+    removed.
+    """
+    if not _SHM_DIR.is_dir():
+        return 0
+    removed = 0
+    for path in _SHM_DIR.glob(f"{_PREFIX}-{worker_id}-*"):
+        with contextlib.suppress(OSError):
+            path.unlink()
+            removed += 1
+    return removed

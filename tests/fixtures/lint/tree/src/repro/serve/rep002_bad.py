@@ -1,8 +1,10 @@
 """Fixture: REP002 async-safety violations."""
 
+import pickle
 import subprocess
 import threading
 import time
+from multiprocessing import shared_memory
 
 _lock = threading.Lock()
 
@@ -27,3 +29,11 @@ async def lock_across_await(awaitable):
 
 def sync_sleep_in_serve():
     time.sleep(0.01)
+
+
+async def pickling_on_the_loop(value):
+    return pickle.dumps(value)
+
+
+async def segment_setup_on_the_loop(data):
+    return shared_memory.SharedMemory(create=True, size=len(data))

@@ -1,7 +1,9 @@
 """Fixture: async-safe serving code (no REP002 findings)."""
 
 import asyncio
+import pickle
 import time
+from multiprocessing import shared_memory
 
 _alock = asyncio.Lock()
 
@@ -26,3 +28,13 @@ def _read(path):
 
 def sanctioned_sync_sleep():
     time.sleep(0.01)  # repro: noqa[REP002]
+
+
+def worker_side_transport(data):
+    segment = shared_memory.SharedMemory(create=True, size=len(data))
+    segment.close()
+    return pickle.dumps(data)
+
+
+async def offloaded_transport(data):
+    return await asyncio.to_thread(worker_side_transport, data)

@@ -228,3 +228,63 @@ def test_process_stampede_yields_one_value_and_no_tmp(tmp_path):
     assert all(r == expected for r in results)
     _assert_clean(directory, cache_key("proc-stampede", {"k": 1}),
                   expected)
+
+
+def _exactly_once_racer(directory, spool, barrier, replies):
+    """Child process: race one cold key; log every actual computation."""
+    import os
+    import time
+
+    cache = ResultCache(directory)
+
+    def compute():
+        marker = spool / f"computed-by-{os.getpid()}-{time.monotonic_ns()}"
+        marker.write_text("x")
+        time.sleep(0.05)                        # widen the race window
+        return {"winner": True, "stable": [1.5, 2.5]}
+
+    barrier.wait()                              # all racers start together
+    value = cache.get_or_compute("exactly-once", {"k": 1}, compute)
+    replies.put(json.dumps(value, sort_keys=True))
+
+
+def test_process_stampede_computes_exactly_once(tmp_path):
+    """The cross-process flock: N processes racing one cold key perform
+    exactly one computation, and every process gets identical bytes."""
+    pytest.importorskip("fcntl")                # POSIX-only guarantee
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    directory = tmp_path / "cache"
+    spool = tmp_path / "spool"
+    spool.mkdir()
+    ResultCache(directory)
+
+    racers = 6
+    barrier = context.Barrier(racers)
+    replies = context.Queue()
+    processes = [context.Process(target=_exactly_once_racer,
+                                 args=(directory, spool, barrier, replies))
+                 for _ in range(racers)]
+    for process in processes:
+        process.start()
+    payloads = [replies.get(timeout=60) for _ in range(racers)]
+    for process in processes:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+
+    assert len(list(spool.iterdir())) == 1      # exactly one computation
+    assert len(set(payloads)) == 1              # identical bytes for all
+    _assert_clean(directory, cache_key("exactly-once", {"k": 1}),
+                  {"winner": True, "stable": [1.5, 2.5]})
+
+
+def test_put_bytes_round_trips_canonical_payloads(cache):
+    """put_bytes splices pre-serialized JSON; get() parses it back."""
+    key = cache_key("spliced", {"k": 1})
+    value = {"matrix": [[1.0, 2.5]], "text": "µ", "none": None}
+    canonical = json.dumps(value, sort_keys=True,
+                           separators=(",", ":")).encode()
+    cache.put_bytes(key, canonical)
+    assert cache.get(key) == value
+    assert list(cache.directory.glob("*.tmp")) == []

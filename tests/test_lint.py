@@ -56,11 +56,13 @@ def test_rep001_out_of_scope_module():
 def test_rep002_positive():
     result = lint_fixture("src/repro/serve/rep002_bad.py", ("REP002",))
     assert rules_found(result) == {"REP002"}
-    assert len(result.findings) == 5
+    assert len(result.findings) == 7
     messages = " ".join(f.message for f in result.findings)
     assert "blocking call" in messages
     assert "thread lock held across `await`" in messages
     assert "noqa[REP002]" in messages        # the sync-sleep allowance hint
+    assert "pickle.dumps" in messages        # coroutine serialization
+    assert "SharedMemory creation" in messages
 
 
 def test_rep002_clean():
