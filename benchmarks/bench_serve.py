@@ -26,6 +26,10 @@ closed-loop model).  Two phases:
   against a fresh server at each worker count the machine can host
   (single-process baseline, then 2/4/8 workers up to ``os.cpu_count()``),
   reporting throughput and the speedup over the baseline.
+* ``traffic`` — the *open-loop* counterpart: a compiled deterministic
+  :mod:`repro.traffic` schedule replayed at several offered loads,
+  reporting offered vs achieved rps, schedule-relative p50/p99 and the
+  429 rate — written to ``BENCH_traffic.json`` for CI artifact upload.
 
 Emits one JSON document (printed under ``pytest -s``, or run the file
 directly: ``python benchmarks/bench_serve.py``) with client-side
@@ -257,6 +261,55 @@ def _mesh_phase(port: int, mesh_engine: str) -> dict:
                     "latency": _percentiles(latencies)}}
 
 
+#: Offered loads (rps) for the open-loop traffic phase.
+TRAFFIC_LOADS = (10.0, 60.0)
+TRAFFIC_DURATION_S = 2.0
+
+
+def _traffic_phase(loads=TRAFFIC_LOADS) -> dict:
+    """Open-loop replay at each offered load against a fresh server.
+
+    Each point compiles the deterministic schedule twice and asserts
+    byte-identity (the reproducibility contract), then replays it with
+    the coordinated-omission-safe driver: latency percentiles are
+    relative to *scheduled* send times, and requests the server bounced
+    with 429 are a reported rate, not an error.
+    """
+    from repro.traffic import OpenLoopDriver, background_spec, \
+        compile_schedule
+
+    points = []
+    for load in loads:
+        spec = background_spec(f"bench-{load}", load, TRAFFIC_DURATION_S,
+                               window_s=0.5)
+        schedule = compile_schedule(spec)
+        assert schedule.canonical_bytes() == \
+            compile_schedule(spec).canonical_bytes()
+        with tempfile.TemporaryDirectory() as cache_dir:
+            with serve_in_thread(jobs=2, cache_dir=cache_dir,
+                                 max_inflight=8) as server:
+                ServeClient(port=server.port).wait_healthy(deadline_s=60)
+                driver = OpenLoopDriver(schedule, port=server.port,
+                                        deadline_s=30.0)
+                report = driver.run()
+        totals = report.totals
+        digest = report.latency_digest()
+        points.append({
+            "offered_rps_target": load,
+            "offered_rps": report.offered_rps,
+            "achieved_rps": report.achieved_rps,
+            "requests": len(schedule.requests),
+            "ok": totals["ok"], "rejected_429": totals["rejected"],
+            "deadline_missed": totals["deadline_missed"],
+            "failed": totals["failed"], "shed": totals["shed"],
+            "rate_429": (totals["rejected"] / totals["sent"]
+                         if totals["sent"] else 0.0),
+            "p50_ms": digest.quantile(0.5) * 1e3,
+            "p99_ms": digest.quantile(0.99) * 1e3,
+            "schedule_digest": schedule.digest()})
+    return {"duration_s": TRAFFIC_DURATION_S, "points": points}
+
+
 def collect(engines=ENGINES, mesh_engines=MESH_ENGINES,
             scaling: bool = True) -> dict:
     with tempfile.TemporaryDirectory() as cache_dir:
@@ -278,6 +331,7 @@ def collect(engines=ENGINES, mesh_engines=MESH_ENGINES,
             mesh["scalar"]["cold_sweep_s"] / mesh["batched"]["cold_sweep_s"])
     if scaling:
         record["scaling"] = _scaling_phase()
+    record["traffic"] = _traffic_phase()
     return record
 
 
@@ -316,6 +370,16 @@ def emit(record: dict, path: str = "BENCH_serve.json") -> dict:
     return summary
 
 
+def emit_traffic(record: dict, path: str = "BENCH_traffic.json") -> dict:
+    """``BENCH_traffic.json``: offered vs achieved per open-loop point."""
+    summary = {"benchmark": "bench_traffic", "cores": os.cpu_count(),
+               **record["traffic"]}
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return summary
+
+
 def bench_serve(benchmark):
     record = benchmark.pedantic(collect, rounds=1, iterations=1)
     show("repro.serve closed-loop load (JSON)",
@@ -340,7 +404,21 @@ def bench_serve(benchmark):
     # each hot phase computed its result exactly once
     assert counters["cache_hits"] > 0
     _check_scaling(record["scaling"])
+    _check_traffic(record["traffic"])
     emit(record)
+    emit_traffic(record)
+
+
+def _check_traffic(traffic: dict) -> None:
+    """The open-loop phase's contract: every scheduled request is
+    accounted for, and the replay actually landed work."""
+    for point in traffic["points"]:
+        accounted = (point["ok"] + point["rejected_429"]
+                     + point["deadline_missed"] + point["failed"]
+                     + point["shed"])
+        assert accounted == point["requests"], point
+        assert point["achieved_rps"] > 0, point
+        assert len(point["schedule_digest"]) == 64
 
 
 def _check_scaling(scaling: dict) -> None:
@@ -373,6 +451,10 @@ if __name__ == "__main__":
                         metavar="FILE",
                         help="machine-readable summary path "
                              "(default: BENCH_serve.json)")
+    parser.add_argument("--traffic-out", default="BENCH_traffic.json",
+                        metavar="FILE",
+                        help="open-loop traffic summary path "
+                             "(default: BENCH_traffic.json)")
     args = parser.parse_args()
     selected = ENGINES if args.engine == "both" else (args.engine,)
     mesh_selected = (MESH_ENGINES if args.mesh_engine == "both"
@@ -381,5 +463,7 @@ if __name__ == "__main__":
                           scaling=not args.no_scaling)
     if not args.no_scaling:
         _check_scaling(full_record["scaling"])
+    _check_traffic(full_record["traffic"])
     emit(full_record, args.out)
+    emit_traffic(full_record, args.traffic_out)
     print(json.dumps(full_record, indent=2))

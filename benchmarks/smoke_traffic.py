@@ -1,0 +1,97 @@
+"""CI smoke: open-loop traffic replay against the real 2-worker server.
+
+Exercises the operator path end to end: ``repro traffic compile`` twice
+(byte-identical schedule artifacts — the determinism contract), then
+``repro traffic run`` against a ``python -m repro.cli serve --workers
+2`` subprocess with a trace stream attached, asserting nonzero achieved
+throughput, full request accounting, and that the server's stream
+rollup saw the replay's windows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+
+from repro.serve import ServeClient
+
+RATE_RPS = 12.0
+DURATION_S = 2.0
+
+
+def _cli(*args) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, env=dict(os.environ))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as workdir:
+        spec_path = os.path.join(workdir, "spec.json")
+        example = _cli("traffic", "example", "--rate", str(RATE_RPS),
+                       "--duration", str(DURATION_S))
+        assert example.returncode == 0, example.stderr
+        with open(spec_path, "w") as handle:
+            handle.write(example.stdout)
+
+        # determinism: two independent compiles, byte-identical artifact
+        paths = [os.path.join(workdir, f"schedule{i}.bin") for i in (1, 2)]
+        digests = []
+        for path in paths:
+            compiled = _cli("traffic", "compile", spec_path, "--out", path)
+            assert compiled.returncode == 0, compiled.stderr
+            digests.append(json.loads(compiled.stdout)["schedule_digest"])
+        with open(paths[0], "rb") as a, open(paths[1], "rb") as b:
+            assert a.read() == b.read(), "schedule bytes differ"
+        assert digests[0] == digests[1]
+
+        cache_dir = os.path.join(workdir, "cache")
+        process = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "2", "--cache", cache_dir],
+            stdout=subprocess.PIPE, text=True, env=dict(os.environ))
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://[\d.]+:(\d+)", banner)
+            assert match, f"no listen banner, got: {banner!r}"
+            port = int(match.group(1))
+            client = ServeClient(port=port)
+            health = client.wait_healthy(deadline_s=60)
+            assert health["workers"] == 2, health
+
+            report_path = os.path.join(workdir, "report.json")
+            run = _cli("traffic", "run", spec_path, "--port", str(port),
+                       "--stream", "smoke-replay", "--deadline", "30",
+                       "--out", report_path)
+            assert run.returncode == 0, (run.stdout, run.stderr)
+            with open(report_path) as handle:
+                doc = json.load(handle)
+
+            measured = doc["measured"]
+            assert measured["schedule_digest"] == digests[0]
+            totals = measured["totals"]
+            accounted = (totals["ok"] + totals["rejected"]
+                         + totals["deadline_missed"] + totals["failed"]
+                         + totals["shed"])
+            assert accounted == doc["deterministic"]["requests"], totals
+            assert measured["achieved_rps"] > 0, measured
+
+            summary = client.stream_summary("smoke-replay").json
+            assert summary["totals"]["count"] == totals["ok"], summary
+        finally:
+            process.send_signal(signal.SIGINT)
+            returncode = process.wait(timeout=120)
+        assert returncode == 0, f"serve exited with {returncode}"
+    print(f"traffic smoke: deterministic schedule ({digests[0][:12]}…), "
+          f"{totals['ok']} replayed ok at "
+          f"{measured['achieved_rps']:.1f} rps through 2 workers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

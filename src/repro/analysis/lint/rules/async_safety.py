@@ -24,7 +24,7 @@ import ast
 from repro.analysis.lint.context import FileContext, resolve_attribute
 from repro.analysis.lint.rules import Rule
 
-ASYNC_PACKAGES = ("repro.serve",)
+ASYNC_PACKAGES = ("repro.serve", "repro.traffic")
 
 _BLOCKING = {"time.sleep", "open", "io.open", "os.system",
              "subprocess.run", "subprocess.call", "subprocess.check_call",

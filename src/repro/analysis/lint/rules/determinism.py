@@ -19,7 +19,7 @@ from repro.analysis.lint.rules import Rule
 #: Packages whose modules must be bit-reproducible.
 SIMULATION_PACKAGES = ("repro.noc", "repro.gpu", "repro.memory",
                        "repro.core", "repro.runtime", "repro.sidechannel",
-                       "repro.workloads")
+                       "repro.workloads", "repro.traffic")
 
 #: The sanctioned wrapper is exempt (it *implements* the discipline).
 EXEMPT_MODULES = ("repro.rng",)

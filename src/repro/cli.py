@@ -10,6 +10,7 @@ run from a shell:
 * ``speedup <gpu>``              — Fig 10 table
 * ``observations``               — all twelve observation checks
 * ``serve``                      — measurement-as-a-service HTTP server
+* ``traffic``                    — open-loop traffic replay + scenarios
 * ``lint``                       — AST invariant linter (REP001–REP005)
 """
 
@@ -151,6 +152,97 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _traffic_spec(path: str):
+    import json
+    from pathlib import Path
+
+    from repro.traffic import TrafficSpec
+    return TrafficSpec.from_dict(json.loads(Path(path).read_text()))
+
+
+def _cmd_traffic(args) -> int:
+    """Compile, replay, or scenario-run open-loop traffic."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import ReproError
+
+    try:
+        if args.traffic_command == "example":
+            from repro.traffic import background_spec
+            spec = background_spec("example", rate_rps=args.rate,
+                                   duration_s=args.duration)
+            print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+            return 0
+
+        if args.traffic_command == "compile":
+            from repro.traffic import compile_schedule, deterministic_summary
+            cache = None
+            if args.cache:
+                from repro.exec.cache import ResultCache
+                cache = ResultCache(args.cache)
+            schedule = compile_schedule(_traffic_spec(args.spec),
+                                        cache=cache)
+            if args.out:
+                Path(args.out).write_bytes(schedule.canonical_bytes())
+            print(json.dumps(deterministic_summary(schedule),
+                             indent=2, sort_keys=True))
+            return 0
+
+        if args.traffic_command == "run":
+            from repro.traffic import (compile_schedule,
+                                       deterministic_summary,
+                                       OpenLoopDriver)
+            schedule = compile_schedule(_traffic_spec(args.spec))
+            driver = OpenLoopDriver(schedule, args.host, args.port,
+                                    deadline_s=args.deadline,
+                                    stream=args.stream)
+            report = driver.run()
+            doc = {"deterministic": deterministic_summary(schedule),
+                   "measured": report.to_jsonable()}
+            if args.out:
+                Path(args.out).write_text(json.dumps(doc, indent=2,
+                                                     sort_keys=True))
+            totals = report.totals
+            print(f"replayed {totals['sent']} of "
+                  f"{len(schedule.requests)} scheduled requests: "
+                  f"{totals['ok']} ok, {totals['rejected']} rejected, "
+                  f"{totals['deadline_missed']} past deadline, "
+                  f"{totals['failed']} failed, {totals['shed']} shed")
+            print(f"offered {report.offered_rps:.1f} rps, achieved "
+                  f"{report.achieved_rps:.1f} rps; p50 "
+                  f"{report.latency_digest().quantile(0.5) * 1e3:.1f} ms, "
+                  f"p99 "
+                  f"{report.latency_digest().quantile(0.99) * 1e3:.1f} ms")
+            return 0 if totals["ok"] > 0 else 1
+
+        # scenario
+        from repro.traffic import run_defense_under_load
+        loads = tuple(float(chunk) for chunk in args.loads.split(",")
+                      if chunk)
+        result = run_defense_under_load(
+            args.host, args.port, loads_rps=loads, attack=args.attack,
+            seed=args.seed, batches=args.batches,
+            duration_s=args.duration, deadline_s=args.deadline)
+        if args.out:
+            Path(args.out).write_text(json.dumps(result, indent=2,
+                                                 sort_keys=True))
+        for point in result["points"]:
+            print(f"load {point['offered_rps']:6.1f} rps  "
+                  f"{point['scheduler']:7s}  "
+                  f"{result['metric']}="
+                  f"{point['leakage'][result['metric']]:.3f}  "
+                  f"probes {point['batches_landed']}"
+                  f"/{point['batches_sent']}")
+        verdict = "holds" if result["defended"] else "FAILS"
+        print(f"random-scheduler defence {verdict} under load "
+              f"({result['attack']}, loads {args.loads} rps)")
+        return 0 if result["defended"] else 1
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"repro traffic: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import (BaselineError, DEFAULT_BASELINE,
                                      load_baseline, render_json,
@@ -264,6 +356,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="durable receipts JSONL (default: "
                             "<cache>/receipts.jsonl when --cache is set, "
                             "else in-memory)")
+    traffic = sub.add_parser(
+        "traffic", help="open-loop traffic replay against a serve "
+                        "instance (compile / run / scenario)")
+    tsub = traffic.add_subparsers(dest="traffic_command", required=True)
+    example = tsub.add_parser(
+        "example", help="print an example traffic spec JSON to stdout")
+    example.add_argument("--rate", type=float, default=20.0,
+                         help="mean offered rate (rps, default 20)")
+    example.add_argument("--duration", type=float, default=5.0,
+                         help="replay length (seconds, default 5)")
+    compile_p = tsub.add_parser(
+        "compile", help="compile a spec; print its deterministic summary")
+    compile_p.add_argument("spec", help="traffic spec JSON file")
+    compile_p.add_argument("--out", default=None, metavar="FILE",
+                           help="also write the canonical schedule bytes")
+    compile_p.add_argument("--cache", default=None, metavar="DIR",
+                           help="memoize compiled schedules here")
+    run_p = tsub.add_parser(
+        "run", help="replay a spec open-loop against a running server")
+    run_p.add_argument("spec", help="traffic spec JSON file")
+    run_p.add_argument("--host", default="127.0.0.1")
+    run_p.add_argument("--port", type=int, default=8737)
+    run_p.add_argument("--deadline", type=float, default=10.0,
+                       help="per-request deadline (seconds, default 10)")
+    run_p.add_argument("--stream", default=None, metavar="NAME",
+                       help="publish per-window digests to this "
+                            "server-side trace stream")
+    run_p.add_argument("--out", default=None, metavar="FILE",
+                       help="write the full JSON report here")
+    scenario_p = tsub.add_parser(
+        "scenario", help="side-channel defence re-evaluated under load")
+    scenario_p.add_argument("--host", default="127.0.0.1")
+    scenario_p.add_argument("--port", type=int, default=8737)
+    scenario_p.add_argument("--loads", default="4,24", metavar="RPS,RPS",
+                            help="comma-separated offered loads "
+                                 "(default 4,24)")
+    scenario_p.add_argument("--attack", choices=("rsa", "aes"),
+                            default="rsa")
+    scenario_p.add_argument("--batches", type=int, default=6,
+                            help="probe batches per point (default 6)")
+    scenario_p.add_argument("--duration", type=float, default=3.0,
+                            help="background replay length per point")
+    scenario_p.add_argument("--deadline", type=float, default=20.0,
+                            help="per-request deadline (seconds)")
+    scenario_p.add_argument("--out", default=None, metavar="FILE",
+                            help="write the full JSON result here")
     lint = sub.add_parser(
         "lint", help="AST invariant linter (REP001-REP005)")
     lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
@@ -295,6 +433,7 @@ _COMMANDS = {
     "observations": _cmd_observations,
     "report": _cmd_report,
     "serve": _cmd_serve,
+    "traffic": _cmd_traffic,
     "lint": _cmd_lint,
 }
 

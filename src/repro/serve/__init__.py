@@ -32,7 +32,8 @@ or embed one in-process::
         matrix = reply.value()["matrix"]
 """
 
-from repro.serve.client import (Backoff, ServeClient, ServeClientError,
+from repro.serve.client import (AsyncServeClient, Backoff, ServeClient,
+                                ServeClientError, ServeDeadlineError,
                                 ServeReply)
 from repro.serve.coalesce import AdmissionController, Singleflight
 from repro.serve.experiments import (EXPERIMENTS, Experiment,
@@ -46,11 +47,13 @@ from repro.serve.server import (DEFAULT_MAX_INFLIGHT, ExperimentServer,
                                 canonical_json, serve_in_thread,
                                 splice_envelope)
 from repro.serve.shm import SHM_MIN_BYTES, ShmRef, ShmTransportError
+from repro.serve.streams import StreamBook, StreamError, TraceStream
 from repro.serve.workers import (HashRing, NoLiveWorkersError, WorkerPool,
                                  WorkerResult, warm_imports)
 
 __all__ = [
-    "Backoff", "ServeClient", "ServeClientError", "ServeReply",
+    "AsyncServeClient", "Backoff", "ServeClient", "ServeClientError",
+    "ServeDeadlineError", "ServeReply",
     "AdmissionController", "Singleflight",
     "EXPERIMENTS", "Experiment", "ExperimentRequestError", "Param",
     "cache_payload", "describe_experiments", "engine_param", "normalize",
@@ -60,6 +63,7 @@ __all__ = [
     "DEFAULT_MAX_INFLIGHT", "ExperimentServer", "canonical_json",
     "serve_in_thread", "splice_envelope",
     "SHM_MIN_BYTES", "ShmRef", "ShmTransportError",
+    "StreamBook", "StreamError", "TraceStream",
     "HashRing", "NoLiveWorkersError", "WorkerPool", "WorkerResult",
     "warm_imports",
 ]

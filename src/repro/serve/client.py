@@ -1,26 +1,40 @@
-"""Blocking stdlib client for a running ``repro.serve`` server.
+"""Clients for a running ``repro.serve`` server (blocking and async).
 
-Built on :mod:`http.client` so tests, benchmarks, and scripts need no
-third-party HTTP stack.  One connection per request matches the server's
-``Connection: close`` policy; a :class:`ServeClient` is therefore cheap,
-stateless, and safe to share across threads (each call opens its own
-socket).
+:class:`ServeClient` is built on :mod:`http.client` so tests,
+benchmarks, and scripts need no third-party HTTP stack.  One connection
+per request matches the server's ``Connection: close`` policy; a
+:class:`ServeClient` is therefore cheap, stateless, and safe to share
+across threads (each call opens its own socket).
+
+:class:`AsyncServeClient` speaks the same one-request-per-connection
+protocol over raw :func:`asyncio.open_connection` streams, so an
+open-loop load generator (:mod:`repro.traffic`) can keep hundreds of
+requests in flight from one event loop instead of serializing on a
+blocking socket — with a **per-request deadline**: a request that has
+not completed within ``deadline_s`` raises :class:`ServeDeadlineError`
+instead of occupying the generator forever (the coordinated-omission
+trap open-loop measurement exists to avoid).
 """
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
 import random
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import AsyncIterator, Iterator
 
 from repro.errors import ReproError
 
 
 class ServeClientError(ReproError):
     """The server could not be reached or violated the protocol."""
+
+
+class ServeDeadlineError(ServeClientError):
+    """A request missed its per-request deadline."""
 
 
 @dataclass(frozen=True)
@@ -104,25 +118,34 @@ class ServeClient:
         self.retry = retry or Backoff()
         self.retry_attempts = retry_attempts
 
-    def request(self, method: str, path: str, payload=None) -> ServeReply:
+    def request(self, method: str, path: str, payload=None,
+                deadline_s: float | None = None) -> ServeReply:
+        """One exchange; ``deadline_s`` overrides the client timeout.
+
+        The blocking client's deadline is a per-socket-operation bound
+        (connect/send/receive each get it), the closest the stdlib
+        HTTP stack offers; the async client enforces a true end-to-end
+        deadline.
+        """
         delays = self.retry.delays()
         for attempt in range(self.retry_attempts):
-            reply = self._request_once(method, path, payload)
+            reply = self._request_once(method, path, payload, deadline_s)
             if reply.status != 503 or attempt == self.retry_attempts - 1:
                 return reply
             # blocking client by design; never runs on the event loop
             time.sleep(next(delays))  # repro: noqa[REP002]
         return reply
 
-    def _request_once(self, method: str, path: str,
-                      payload=None) -> ServeReply:
+    def _request_once(self, method: str, path: str, payload=None,
+                      deadline_s: float | None = None) -> ServeReply:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload, sort_keys=True).encode()
             headers["Content-Type"] = "application/json"
         connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout)
+            self.host, self.port,
+            timeout=self.timeout if deadline_s is None else deadline_s)
         try:
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
@@ -161,6 +184,30 @@ class ServeClient:
     def restart_workers(self) -> ServeReply:
         return self.request("POST", "/v1/workers/restart")
 
+    # ------------------------------------------------------- trace streams
+
+    def streams(self) -> ServeReply:
+        return self.request("GET", "/v1/streams")
+
+    def stream_summary(self, name: str) -> ServeReply:
+        return self.request("GET", f"/v1/streams/{name}")
+
+    def stream_observe(self, name: str, window: int, *,
+                       window_s: float = 1.0, digest=None, values_s=None,
+                       counters=None) -> ServeReply:
+        payload = {"window": window, "window_s": window_s}
+        if digest is not None:
+            payload["digest"] = digest
+        if values_s is not None:
+            payload["values_s"] = values_s
+        if counters is not None:
+            payload["counters"] = counters
+        return self.request("POST", f"/v1/streams/{name}/observe",
+                            payload=payload)
+
+    def stream_delete(self, name: str) -> ServeReply:
+        return self.request("DELETE", f"/v1/streams/{name}")
+
     def wait_healthy(self, deadline_s: float = 10.0,
                      backoff: Backoff | None = None) -> dict:
         """Poll ``/healthz`` until it answers; the health dict, or raise.
@@ -188,3 +235,149 @@ class ServeClient:
         raise ServeClientError(
             f"server at {self.host}:{self.port} not healthy "
             f"within {deadline_s}s: {last}")
+
+
+class AsyncServeClient:
+    """Non-blocking client: many concurrent requests from one event loop.
+
+    Speaks the server's minimal HTTP/1.1 dialect (one request per
+    connection, ``Connection: close``) over asyncio streams.  Every
+    request carries a hard end-to-end deadline — connect, send, and the
+    full response all inside ``deadline_s`` — because an open-loop
+    generator must never let a stuck request silently absorb the
+    scheduled sends behind it.  ``503`` answers (a draining worker
+    shard) retry on the same jittered :class:`Backoff` schedule as the
+    blocking client, with ``asyncio.sleep`` and the remaining deadline
+    budget capping each pause.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737,
+                 deadline_s: float = 30.0, retry: Backoff | None = None,
+                 retry_attempts: int = 5):
+        if retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.host = host
+        self.port = port
+        self.deadline_s = deadline_s
+        self.retry = retry or Backoff()
+        self.retry_attempts = retry_attempts
+
+    async def request(self, method: str, path: str, payload=None,
+                      deadline_s: float | None = None) -> ServeReply:
+        budget = self.deadline_s if deadline_s is None else deadline_s
+        deadline = asyncio.get_running_loop().time() + budget
+        delays: Iterator[float] = self.retry.delays()
+        for attempt in range(self.retry_attempts):
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise ServeDeadlineError(
+                    f"{method} {path}: deadline {budget}s exhausted "
+                    f"after {attempt} attempt(s)")
+            try:
+                reply = await asyncio.wait_for(
+                    self._request_once(method, path, payload), remaining)
+            except asyncio.TimeoutError:
+                raise ServeDeadlineError(
+                    f"{method} {path} against {self.host}:{self.port} "
+                    f"missed its {budget}s deadline") from None
+            if reply.status != 503 or attempt == self.retry_attempts - 1:
+                return reply
+            pause = min(next(delays),
+                        max(0.0,
+                            deadline - asyncio.get_running_loop().time()))
+            await asyncio.sleep(pause)
+        return reply
+
+    async def _request_once(self, method: str, path: str,
+                            payload=None) -> ServeReply:
+        body = b""
+        extra = ""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode()
+            extra = "Content-Type: application/json\r\n"
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"{extra}Connection: close\r\n\r\n")
+        try:
+            reader, writer = await asyncio.open_connection(self.host,
+                                                           self.port)
+        except OSError as exc:
+            raise ServeClientError(
+                f"{method} {path} against "
+                f"{self.host}:{self.port} failed: {exc}") from exc
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+            return await self._read_response(reader, method, path)
+        except (OSError, asyncio.IncompleteReadError,
+                ValueError) as exc:
+            raise ServeClientError(
+                f"{method} {path} against "
+                f"{self.host}:{self.port} failed: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+
+    @staticmethod
+    async def _read_response(reader, method: str, path: str) -> ServeReply:
+        raw_head = await reader.readuntil(b"\r\n\r\n")
+        lines = raw_head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServeClientError(
+                f"{method} {path}: malformed status line {lines[0]!r}")
+        status = int(parts[1])
+        length = None
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        if length is not None:
+            body = await reader.readexactly(length)
+        else:                       # Connection: close delimits the body
+            body = await reader.read()
+        return ServeReply(status, body)
+
+    # ------------------------------------------------------------ endpoints
+
+    async def healthz(self) -> ServeReply:
+        return await self.request("GET", "/healthz")
+
+    async def metricz(self) -> ServeReply:
+        return await self.request("GET", "/metricz")
+
+    async def experiment(self, name: str, *, deadline_s: float | None = None,
+                         **params) -> ServeReply:
+        return await self.request("POST", f"/v1/experiments/{name}",
+                                  payload=params, deadline_s=deadline_s)
+
+    async def stream_observe(self, name: str, window: int, *,
+                             window_s: float = 1.0, digest=None,
+                             values_s=None, counters=None) -> ServeReply:
+        payload = {"window": window, "window_s": window_s}
+        if digest is not None:
+            payload["digest"] = digest
+        if values_s is not None:
+            payload["values_s"] = values_s
+        if counters is not None:
+            payload["counters"] = counters
+        return await self.request("POST", f"/v1/streams/{name}/observe",
+                                  payload=payload)
+
+    async def stream_summary(self, name: str) -> ServeReply:
+        return await self.request("GET", f"/v1/streams/{name}")
+
+    async def replies(self, requests) -> AsyncIterator[ServeReply]:
+        """Fire ``(method, path, payload)`` tuples concurrently; yield
+        replies in completion order (a convenience for scripts — the
+        open-loop driver schedules its own sends)."""
+        tasks = [asyncio.ensure_future(self.request(m, p, payload))
+                 for m, p, payload in requests]
+        for task in asyncio.as_completed(tasks):
+            yield await task

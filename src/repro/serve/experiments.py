@@ -226,6 +226,27 @@ def _mesh_load_sweep(params) -> dict:
             "saturation_rate": saturation if saturation != inf else None}
 
 
+def _sidechannel_probe(params) -> dict:
+    """One attacker probe batch under a chosen CTA scheduler.
+
+    The unit of attacker work for the multi-tenant defence-under-load
+    scenarios (:mod:`repro.traffic.scenarios`): the ``batch`` index
+    makes successive probes distinct computations, so each one pays the
+    full admission + compute path like any other tenant's request —
+    probes lost to 429s or deadlines cost the attacker samples.
+    """
+    if params["attack"] == "rsa":
+        from repro.sidechannel.probe import rsa_probe_batch
+        return rsa_probe_batch(params["gpu"], params["seed"],
+                               params["scheduler"], params["batch"],
+                               samples_per_point=params["samples_per_point"],
+                               ladder_width=params["ladder_width"])
+    from repro.sidechannel.probe import aes_probe_batch
+    return aes_probe_batch(params["gpu"], params["seed"],
+                           params["scheduler"], params["batch"],
+                           samples=params["samples"])
+
+
 def _report_section(params) -> dict:
     """One report task's raw metrics (the report's cacheable unit).
 
@@ -305,6 +326,23 @@ EXPERIMENTS = {e.name: e for e in (
          Param("cycles", "int", 2000, doc="cycles simulated per point"),
          Param("warmup", "int", 500, doc="cycles excluded from the stats"),
          _MESH_ENGINE)),
+    Experiment(
+        "sidechannel-probe",
+        "one AES/RSA timing-probe batch under static/random scheduling",
+        _sidechannel_probe,
+        (_GPU, _SEED,
+         Param("attack", "str", "rsa", choices=("rsa", "aes"),
+               doc="which oracle the probe batch drives"),
+         Param("scheduler", "str", "static", choices=("static", "random"),
+               doc="CTA scheduler: static (hardware) or random (defence)"),
+         Param("batch", "int", 0,
+               doc="probe batch index; distinct batches are distinct "
+                   "computations"),
+         Param("samples_per_point", "int", 2,
+               doc="rsa: decryptions per 1-bit count"),
+         Param("ladder_width", "int", 8,
+               doc="rsa: adjacent 1-bit counts probed"),
+         Param("samples", "int", 24, doc="aes: timed encryptions"))),
     Experiment(
         "report-section",
         "raw metrics of one report section",

@@ -55,10 +55,19 @@ class StreamingDigest:
         if value > self.maximum:
             self.maximum = value
 
-    def quantile(self, q: float) -> float:
-        """Approximate ``q``-quantile (0..1); 0.0 on an empty digest."""
+    def quantile(self, q: float, *, empty: float = 0.0) -> float:
+        """Approximate ``q``-quantile (0..1).
+
+        An empty digest has no quantiles: rather than letting the bucket
+        walk fall through to whatever ``maximum`` happens to hold, the
+        empty case returns ``empty`` explicitly — ``0.0`` by default, or
+        pass ``empty=float("nan")`` when "no data" must stay
+        distinguishable from "all-zero latencies" (window rollups do).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile wants q in [0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return empty
         rank = min(self.count - 1, int(q * self.count))
         seen = 0
         for bucket in sorted(self._counts):
@@ -66,6 +75,54 @@ class StreamingDigest:
             if seen > rank:
                 return min(self._midpoint(bucket), self.maximum)
         return self.maximum
+
+    def merge(self, other: "StreamingDigest") -> "StreamingDigest":
+        """Fold ``other``'s observations into this digest, in place.
+
+        Bucket counts add exactly, so merging per-worker (or per-window)
+        digests yields the same digest as streaming every observation
+        through one instance — the property rollups rely on.  Returns
+        ``self`` so rollup loops can chain.
+        """
+        for bucket, n in other._counts.items():
+            self._counts[bucket] = self._counts.get(bucket, 0) + n
+        self.count += other.count
+        self.total += other.total
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
+    def to_state(self) -> dict:
+        """JSON-serializable state; ``from_state`` round-trips exactly.
+
+        Bucket indices become string keys (JSON objects have string
+        keys), counts stay exact integers.
+        """
+        return {"counts": {str(b): n for b, n in sorted(self._counts.items())},
+                "count": self.count,
+                "total": self.total,
+                "maximum": self.maximum}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "StreamingDigest":
+        """Rebuild a digest from :meth:`to_state` output (validated)."""
+        try:
+            counts = {int(b): int(n) for b, n in state["counts"].items()}
+            count = int(state["count"])
+            total = float(state["total"])
+            maximum = float(state["maximum"])
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ValueError(f"malformed digest state: {exc}") from None
+        if any(b < 0 or n < 0 for b, n in counts.items()):
+            raise ValueError("digest state has negative bucket/count")
+        if count != sum(counts.values()) or total < 0 or maximum < 0:
+            raise ValueError("digest state counts are inconsistent")
+        digest = cls()
+        digest._counts = counts
+        digest.count = count
+        digest.total = total
+        digest.maximum = maximum
+        return digest
 
     @property
     def mean(self) -> float:

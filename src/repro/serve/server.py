@@ -59,6 +59,7 @@ from repro.serve.experiments import (EXPERIMENTS, ExperimentRequestError,
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import RunRegistry
 from repro.serve.shm import SHM_MIN_BYTES
+from repro.serve.streams import StreamBook, StreamError
 from repro.serve.workers import (NoLiveWorkersError, WorkerPool,
                                  WorkerResult, warm_imports)
 from repro.units import MIB
@@ -137,6 +138,7 @@ class ExperimentServer:
             registry_path = Path(cache_dir) / "receipts.jsonl"
         self.registry = RunRegistry(registry_path)
         self.metrics = ServeMetrics()
+        self.streams = StreamBook()
         self.flights = Singleflight()
         self.admission = AdmissionController(max_inflight)
         self._server: asyncio.AbstractServer | None = None
@@ -279,6 +281,12 @@ class ExperimentServer:
             self.metrics.note_request("replay")
             self._require(method, "POST")
             return 200, await self._replay_response(payload)
+        if path == "/v1/streams":
+            self.metrics.note_request("streams")
+            self._require(method, "GET")
+            return 200, canonical_json(self.streams.listing())
+        if path.startswith("/v1/streams/"):
+            return await self._stream_route(method, path, payload)
         if path == "/v1/workers/restart":
             self.metrics.note_request("workers-restart")
             self._require(method, "POST")
@@ -312,6 +320,7 @@ class ExperimentServer:
         snapshot = self.metrics.snapshot()
         snapshot["registry"] = {"receipts": self.registry.count,
                                 "durable": self.registry.path is not None}
+        snapshot["streams"] = self.streams.listing()
         if self.pool is not None:
             snapshot["workers"] = self.pool.stats()
         return snapshot
@@ -326,6 +335,60 @@ class ExperimentServer:
         self._restart_task = asyncio.get_running_loop().create_task(
             asyncio.to_thread(self.pool.rolling_restart))
         return {"status": "restarting", "workers": self.pool.size}
+
+    # ------------------------------------------------------- trace streams
+
+    async def _stream_route(self, method: str, path: str,
+                            payload: bytes) -> tuple:
+        """``/v1/streams/{name}`` and ``/v1/streams/{name}/observe``.
+
+        Stream mutations run inline on the event loop: an observe is a
+        handful of dict merges over at most a few hundred log buckets,
+        orders of magnitude cheaper than the JSON parse that precedes
+        it, so no thread hop is warranted.
+        """
+        tail = path[len("/v1/streams/"):]
+        name, _, action = tail.partition("/")
+        if not name or "/" in action:
+            raise _HttpError(404, f"no route for {path!r}")
+        self.metrics.note_request("streams")
+        try:
+            if action == "observe":
+                self._require(method, "POST")
+                return 200, canonical_json(self._stream_observe(name,
+                                                                payload))
+            if action:
+                raise _HttpError(
+                    404, f"unknown stream action {action!r}; use observe")
+            if method == "DELETE":
+                return 200, canonical_json(self.streams.delete(name))
+            self._require(method, "GET")
+            return 200, canonical_json(self.streams.summary(name))
+        except StreamError as exc:
+            raise _HttpError(exc.status, str(exc)) from None
+
+    def _stream_observe(self, name: str, payload: bytes) -> dict:
+        try:
+            raw = json.loads(payload.decode()) if payload else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            raise _HttpError(400, "request body must be JSON") from None
+        if not isinstance(raw, dict):
+            raise _HttpError(400, "observation must be a JSON object")
+        unknown = sorted(set(raw) - {"window", "window_s", "digest",
+                                     "values_s", "counters"})
+        if unknown:
+            raise _HttpError(
+                400, f"unknown observation field(s) {', '.join(unknown)}")
+        if "window" not in raw:
+            raise _HttpError(400, "observation wants a window index")
+        window_s = raw.get("window_s", 1.0)
+        if isinstance(window_s, bool) or \
+                not isinstance(window_s, (int, float)):
+            raise _HttpError(400, "window_s must be a number")
+        return self.streams.observe(
+            name, raw["window"], window_s=float(window_s),
+            digest_state=raw.get("digest"), values_s=raw.get("values_s"),
+            counters=raw.get("counters"))
 
     # ----------------------------------------------------- experiment paths
 

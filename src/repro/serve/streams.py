@@ -1,0 +1,179 @@
+"""Streaming measurement sessions: incremental observation over trace windows.
+
+A long open-loop replay (:mod:`repro.traffic`) produces observations for
+hours; recomputing a whole figure per refresh would be quadratic in
+trace length.  Instead the server keeps a :class:`StreamBook` of named
+*trace streams*: each stream is a sequence of fixed-width windows
+(indexed by schedule-relative window number, **not** wall clock, so two
+replays of the same schedule land observations in the same windows),
+and each window folds its observations into a fixed-memory
+:class:`~repro.serve.metrics.StreamingDigest` plus a set of integer
+counters.
+
+Clients feed a stream two ways:
+
+* raw values (``values_s``): the server buckets them;
+* a pre-bucketed digest state (``digest``): the client aggregated
+  locally — e.g. one digest per driver worker — and the server merges
+  bucket counts exactly (:meth:`StreamingDigest.merge`).  Merging is
+  associative and exact, so per-worker/per-window rollups equal the
+  digest of the undivided stream.
+
+Everything here is mutated from the server's event-loop thread, like
+:class:`~repro.serve.metrics.ServeMetrics` — no locking; snapshots are
+assembled between awaits.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.serve.metrics import StreamingDigest
+
+#: Bound on concurrently live streams per server.
+MAX_STREAMS = 64
+
+#: Bound on window indices per stream (fixed window width => bounded
+#: replay horizon; a runaway client cannot grow server memory forever).
+MAX_WINDOWS = 4096
+
+#: Raw values accepted per observe call (larger batches should be
+#: pre-digested client-side).
+MAX_VALUES = 65536
+
+
+class StreamError(ReproError):
+    """A stream observation was malformed or exceeded a bound."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class _Window:
+    """One trace window: a latency digest plus named counters."""
+
+    __slots__ = ("digest", "counters")
+
+    def __init__(self):
+        self.digest = StreamingDigest()
+        self.counters: dict[str, int] = {}
+
+    def bump(self, counters: dict) -> None:
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def summary(self, index: int) -> dict:
+        return {"window": index,
+                **self.digest.summary_ms(),
+                "counters": dict(sorted(self.counters.items()))}
+
+
+class TraceStream:
+    """Named stream of windows; window width fixed at creation."""
+
+    def __init__(self, name: str, window_s: float):
+        if window_s <= 0:
+            raise StreamError("window_s must be positive")
+        self.name = name
+        self.window_s = float(window_s)
+        self.windows: dict[int, _Window] = {}
+
+    def observe(self, window: int, *, digest_state=None, values_s=None,
+                counters=None) -> dict:
+        if not isinstance(window, int) or isinstance(window, bool) \
+                or window < 0:
+            raise StreamError("window must be a non-negative integer")
+        if window >= MAX_WINDOWS:
+            raise StreamError(
+                f"window {window} beyond the {MAX_WINDOWS}-window bound")
+        if digest_state is None and values_s is None and counters is None:
+            raise StreamError(
+                "observe wants digest and/or values_s and/or counters")
+        slot = self.windows.get(window)
+        if slot is None:
+            slot = self.windows[window] = _Window()
+        added = 0
+        if values_s is not None:
+            if not isinstance(values_s, list) or len(values_s) > MAX_VALUES \
+                    or any(isinstance(v, bool) or
+                           not isinstance(v, (int, float))
+                           for v in values_s):
+                raise StreamError(
+                    f"values_s must be a list of <= {MAX_VALUES} numbers")
+            for value in values_s:
+                slot.digest.add(float(value))
+            added += len(values_s)
+        if digest_state is not None:
+            try:
+                incoming = StreamingDigest.from_state(digest_state)
+            except ValueError as exc:
+                raise StreamError(str(exc)) from None
+            slot.digest.merge(incoming)
+            added += incoming.count
+        if counters is not None:
+            if not isinstance(counters, dict) or any(
+                    isinstance(v, bool) or not isinstance(v, int)
+                    for v in counters.values()):
+                raise StreamError("counters must map names to integers")
+            slot.bump(counters)
+        return {"stream": self.name, "window": window, "added": added,
+                "window_count": slot.digest.count}
+
+    def summary(self) -> dict:
+        """Per-window summaries plus an exact whole-stream rollup."""
+        total = StreamingDigest()
+        counters: dict[str, int] = {}
+        for slot in self.windows.values():
+            total.merge(slot.digest)
+            for name, value in slot.counters.items():
+                counters[name] = counters.get(name, 0) + value
+        return {"stream": self.name,
+                "window_s": self.window_s,
+                "windows": [self.windows[i].summary(i)
+                            for i in sorted(self.windows)],
+                "totals": {**total.summary_ms(),
+                           "counters": dict(sorted(counters.items()))}}
+
+
+class StreamBook:
+    """All live streams of one server, keyed by name."""
+
+    def __init__(self, max_streams: int = MAX_STREAMS):
+        self.max_streams = max_streams
+        self.streams: dict[str, TraceStream] = {}
+
+    def observe(self, name: str, window: int, *, window_s: float = 1.0,
+                digest_state=None, values_s=None, counters=None) -> dict:
+        stream = self.streams.get(name)
+        if stream is None:
+            if len(self.streams) >= self.max_streams:
+                raise StreamError(
+                    f"server already tracks {self.max_streams} streams; "
+                    "DELETE one first", status=409)
+            stream = self.streams[name] = TraceStream(name, window_s)
+        elif abs(stream.window_s - float(window_s)) > 1e-12:
+            raise StreamError(
+                f"stream {name!r} has window_s={stream.window_s}, "
+                f"observation says {window_s}", status=409)
+        return stream.observe(window, digest_state=digest_state,
+                              values_s=values_s, counters=counters)
+
+    def summary(self, name: str) -> dict:
+        stream = self.streams.get(name)
+        if stream is None:
+            raise StreamError(f"no stream named {name!r}", status=404)
+        return stream.summary()
+
+    def delete(self, name: str) -> dict:
+        stream = self.streams.pop(name, None)
+        if stream is None:
+            raise StreamError(f"no stream named {name!r}", status=404)
+        return {"deleted": name, "windows": len(stream.windows)}
+
+    def listing(self) -> dict:
+        return {"streams": [
+            {"name": s.name, "window_s": s.window_s,
+             "windows": len(s.windows),
+             "observations": sum(w.digest.count
+                                 for w in s.windows.values())}
+            for _, s in sorted(self.streams.items())]}

@@ -51,6 +51,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, ReproError
 from repro.serve import shm as shm_transport
+from repro.serve.metrics import StreamingDigest
 
 #: Virtual nodes per worker on the hash ring: smooths the key-space
 #: split to within a few percent of even for small pools.
@@ -126,6 +127,7 @@ def warm_imports() -> None:
     import repro.core.bandwidth_bench                       # noqa: F401
     import repro.core.latency_bench                         # noqa: F401
     import repro.noc.mesh.fastmesh                          # noqa: F401
+    import repro.sidechannel.probe                          # noqa: F401
     from repro.serve import experiments                     # noqa: F401
 
 
@@ -214,6 +216,8 @@ class _Worker:
     shm_results: int = 0
     inline_results: int = 0
     restarts: int = 0
+    # per-worker compute-latency digest; merged for the pool rollup
+    wall_digest: StreamingDigest = field(default_factory=StreamingDigest)
 
 
 class WorkerPool:
@@ -282,6 +286,7 @@ class WorkerPool:
                 worker.shm_results = previous.shm_results
                 worker.inline_results = previous.inline_results
                 worker.restarts = previous.restarts
+                worker.wall_digest = previous.wall_digest
             self._workers[worker_id] = worker
             self._pending.setdefault(worker_id, set())
         worker.process.start()
@@ -503,6 +508,7 @@ class WorkerPool:
             worker = self._workers.get(worker_id)
             if worker is not None:
                 worker.completed += 1
+                worker.wall_digest.add(wall_ms / 1e3)
                 if transport == "shm":
                     worker.shm_results += 1
                 else:
@@ -566,7 +572,13 @@ class WorkerPool:
                     "shm_results": w.shm_results,
                     "inline_results": w.inline_results,
                     "restarts": w.restarts,
+                    "wall_ms": w.wall_digest.summary_ms(),
                 } for w in self._workers.values()}
+            # exact pool-wide latency rollup: merging the per-worker
+            # digests equals digesting every completion centrally
+            rollup = StreamingDigest()
+            for w in self._workers.values():
+                rollup.merge(w.wall_digest)
             return {
                 "size": self.size,
                 "live": sum(1 for w in self._workers.values()
@@ -575,5 +587,6 @@ class WorkerPool:
                 "requeued": self.requeued,
                 "restarts": self.restarts,
                 "shm_min_bytes": self.shm_min_bytes,
+                "wall_ms_all": rollup.summary_ms(),
                 "per_worker": per_worker,
             }

@@ -19,6 +19,9 @@ from repro.sidechannel.attacks import (aes_key_byte_attack, rsa_ones_attack,
                                        coalescing_timing_sweep,
                                        square_kernel_timing)
 from repro.sidechannel.defense import evaluate_defense, DefenseReport
+from repro.sidechannel.probe import (aes_leakage, aes_probe_batch,
+                                     probe_scheduler, rsa_leakage,
+                                     rsa_probe_batch)
 from repro.sidechannel.colocation import (fingerprint_sm, identify_sm,
                                           build_fingerprint_library)
 from repro.sidechannel.covert import (CovertChannel, CovertTransmission,
@@ -32,6 +35,8 @@ __all__ = [
     "aes_key_byte_attack", "rsa_ones_attack", "coalescing_timing_sweep",
     "square_kernel_timing",
     "evaluate_defense", "DefenseReport",
+    "aes_leakage", "aes_probe_batch", "probe_scheduler", "rsa_leakage",
+    "rsa_probe_batch",
     "fingerprint_sm", "identify_sm", "build_fingerprint_library",
     "CovertChannel", "CovertTransmission", "best_effort_channel",
     "AccessPatternAttack", "AccessPatternResult",

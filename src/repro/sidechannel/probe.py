@@ -1,0 +1,167 @@
+"""Servable side-channel probe batches (the attacker-as-a-tenant path).
+
+The paper evaluates its attacks (Fig 18/19) and the random-scheduler
+defence (Sec V-C) in isolation: one attacker, one quiet GPU.  The
+multi-tenant scenario layer (:mod:`repro.traffic.scenarios`) instead
+runs the attacker as one tenant of the shared measurement service,
+contending with background traffic for admission slots and compute.
+That requires the attacker's unit of work to be a *servable experiment*:
+a pure, picklable function of its parameters.
+
+A **probe batch** is that unit: one oracle session on a fresh simulated
+device under a chosen CTA scheduler, returning the raw timing points.
+The ``batch`` index makes consecutive probes distinct computations (no
+coalescing or cache reuse between them — each costs the attacker a real
+admission slot, like real probe traffic) and decorrelates the random
+scheduler's placements batch to batch.
+
+The client-side attacker accumulates points across whichever batches
+survived the load (429s and missed deadlines lose their points) and
+fits the usual leakage models: :func:`rsa_ones_attack`'s ``r^2`` over
+(ones, cycles), or :func:`aes_key_byte_attack`'s peak correlation.
+
+The RSA ladder defaults to *adjacent* 1-bit counts around ``bits/2``.
+Against a static scheduler the per-launch placement is constant, so
+even adjacent counts separate cleanly (r^2 ~ 1); under the random
+scheduler the placement intercept varies launch to launch and swamps
+the one-multiply-per-bit slope, collapsing the fit — the dense ladder
+is what makes the defence's effect visible at probe-batch sample sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AttackError
+from repro.gpu.device import SimulatedGPU
+from repro.runtime.scheduler import RandomScheduler, StaticScheduler
+from repro.sidechannel.aes import AESTimingOracle
+from repro.sidechannel.attacks import aes_key_byte_attack, rsa_ones_attack
+from repro.sidechannel.rsa import RSATimingOracle, random_exponent
+
+#: Modulus for probe decryptions: largest 64-bit prime-ish constant the
+#: oracle accepts; the exact value only scales the trace length.
+_PROBE_MODULUS = (1 << 63) - 25
+
+#: Fixed probe key: the attack recovers last-round key bytes, so the
+#: "secret" must be shared between the servable oracle and the
+#: client-side attacker checking recovery.
+_PROBE_KEY = bytes(range(16))
+
+
+def probe_scheduler(gpu: SimulatedGPU, scheduler: str, seed: int,
+                    batch: int):
+    """The CTA scheduler a probe batch runs under.
+
+    ``static`` reproduces the hardware policy (same placement every
+    launch); ``random`` is the paper's defence, seeded per ``(seed,
+    batch)`` so distinct batches see distinct placement streams —
+    exactly what a deployed random scheduler would give an attacker.
+    """
+    if scheduler == "static":
+        return StaticScheduler(gpu.num_sms, start=5 % gpu.num_sms)
+    if scheduler == "random":
+        return RandomScheduler(gpu.num_sms, seed=seed * 65537 + batch)
+    raise AttackError(f"unknown scheduler {scheduler!r}; "
+                      "use static or random")
+
+
+def rsa_probe_batch(gpu_name: str, seed: int, scheduler: str, batch: int,
+                    samples_per_point: int = 2, bits: int = 64,
+                    ladder_width: int = 8) -> dict:
+    """One RSA timing-probe batch: ``{"ones": [...], "cycles": [...]}``.
+
+    ``ladder_width`` adjacent 1-bit counts centred on ``bits/2``, each
+    decrypted ``samples_per_point`` times with batch-distinct exponents.
+    """
+    if samples_per_point <= 0 or ladder_width <= 0:
+        raise AttackError("samples_per_point and ladder_width must be "
+                          "positive")
+    if not 4 <= ladder_width <= bits // 2:
+        raise AttackError(f"ladder_width must be in [4, {bits // 2}]")
+    gpu = SimulatedGPU(gpu_name, seed=seed)
+    sched = probe_scheduler(gpu, scheduler, seed, batch)
+    oracle = RSATimingOracle(gpu, _PROBE_MODULUS)
+    start = bits // 2 - ladder_width // 2
+    ones_values = range(start, start + ladder_width)
+    ones, cycles = [], []
+    index = 0
+    for ones_count in ones_values:
+        for s in range(samples_per_point):
+            exponent = random_exponent(
+                bits, ones_count, seed=batch * samples_per_point + s)
+            _, elapsed, _ = oracle.decrypt_timed(exponent, sched,
+                                                 launch_index=index)
+            ones.append(int(ones_count))
+            cycles.append(float(elapsed))
+            index += 1
+    return {"attack": "rsa", "scheduler": scheduler, "batch": batch,
+            "gpu": gpu.name, "seed": seed, "ones": ones, "cycles": cycles}
+
+
+def aes_probe_batch(gpu_name: str, seed: int, scheduler: str, batch: int,
+                    samples: int = 24) -> dict:
+    """One AES timing-probe batch: warp ciphertexts + total cycles.
+
+    Plaintexts are drawn from a batch-keyed stream (fresh randomness
+    per probe, like a chosen-plaintext attacker), so batches accumulate
+    into one growing correlation-attack sample set client-side.
+    """
+    if samples < 8:
+        raise AttackError("need at least 8 samples per AES batch")
+    gpu = SimulatedGPU(gpu_name, seed=seed)
+    sched = probe_scheduler(gpu, scheduler, seed, batch)
+    oracle = AESTimingOracle(gpu, _PROBE_KEY, seed=seed * 9176 + batch)
+    ciphertexts, times = oracle.collect(sched, samples)
+    return {"attack": "aes", "scheduler": scheduler, "batch": batch,
+            "gpu": gpu.name, "seed": seed,
+            "ciphertexts": np.asarray(ciphertexts,
+                                      dtype=np.uint8).tolist(),
+            "cycles": [float(t) for t in times]}
+
+
+def rsa_leakage(points: list) -> dict:
+    """Leakage of accumulated RSA probe batches: the Fig 19 fit.
+
+    ``points`` is a list of probe-batch dicts (each with ``ones`` /
+    ``cycles``).  Returns ``r2`` — how much of the timing variance the
+    1-bit count explains, the attacker's signal-to-noise — plus the
+    sample count it was fit on.  Fewer than 3 points is no fit at all:
+    leakage 0 by definition.
+    """
+    ones = [o for p in points for o in p["ones"]]
+    cycles = [c for p in points for c in p["cycles"]]
+    if len(ones) < 3:
+        return {"attack": "rsa", "samples": len(ones), "r2": 0.0}
+    fit = rsa_ones_attack(np.array(ones, dtype=float),
+                          np.array(cycles, dtype=float))
+    return {"attack": "rsa", "samples": len(ones),
+            "r2": max(0.0, float(fit.r_squared))}
+
+
+def aes_leakage(points: list, position: int = 0) -> dict:
+    """Leakage of accumulated AES probe batches at one key-byte position.
+
+    Rebuilds the oracle (the attacker knows its own probe device) and
+    runs the last-round correlation attack over every sample that
+    survived; leakage is the peak correlation, plus whether the true
+    byte won.
+    """
+    batches = [p for p in points if p.get("ciphertexts")]
+    if not batches:
+        return {"attack": "aes", "samples": 0, "recovered": False,
+                "peak_r": 0.0}
+    gpu_seed = batches[0].get("seed", 0)
+    ciphertexts = np.concatenate(
+        [np.asarray(p["ciphertexts"], dtype=np.uint8) for p in batches])
+    times = np.concatenate(
+        [np.asarray(p["cycles"], dtype=float) for p in batches])
+    gpu = SimulatedGPU(batches[0].get("gpu", "V100"), seed=gpu_seed)
+    oracle = AESTimingOracle(gpu, _PROBE_KEY, seed=0)
+    if ciphertexts.shape[0] < 8:
+        return {"attack": "aes", "samples": int(ciphertexts.shape[0]),
+                "recovered": False, "peak_r": 0.0}
+    result = aes_key_byte_attack(oracle, ciphertexts, times, position)
+    return {"attack": "aes", "samples": int(ciphertexts.shape[0]),
+            "recovered": bool(result.recovered),
+            "peak_r": max(0.0, result.peak_correlation)}

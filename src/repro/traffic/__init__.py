@@ -1,0 +1,34 @@
+"""Open-loop streaming traffic for the serve tier.
+
+The production face of the reproduction: compile a declarative
+:class:`TrafficSpec` into a deterministic, byte-identical request
+:class:`Schedule` (arrival processes + tenant mix + Zipf hot-key skew,
+all drawn from keyed :mod:`repro.rng` streams), replay it open-loop
+through :class:`OpenLoopDriver` with coordinated-omission-safe latency
+accounting, and — via :mod:`repro.traffic.scenarios` — rerun the
+paper's side-channel defence evaluation with the attacker as one
+tenant of the loaded service.
+"""
+
+from repro.traffic.spec import (ArrivalSpec, TenantSpec, TrafficSpec,
+                                ARRIVAL_PROCESSES)
+from repro.traffic.arrivals import arrival_times
+from repro.traffic.sampling import zipf_keys, zipf_sample, zipf_weights
+from repro.traffic.schedule import (compile_schedule, Schedule,
+                                    ScheduledRequest)
+from repro.traffic.report import (deterministic_summary, TrafficReport,
+                                  WindowSummary)
+from repro.traffic.driver import OpenLoopDriver
+from repro.traffic.scenarios import (background_spec,
+                                     run_defense_under_load,
+                                     DEFENSE_SCHEDULERS)
+
+__all__ = [
+    "ArrivalSpec", "TenantSpec", "TrafficSpec", "ARRIVAL_PROCESSES",
+    "arrival_times",
+    "zipf_keys", "zipf_sample", "zipf_weights",
+    "compile_schedule", "Schedule", "ScheduledRequest",
+    "deterministic_summary", "TrafficReport", "WindowSummary",
+    "OpenLoopDriver",
+    "background_spec", "run_defense_under_load", "DEFENSE_SCHEDULERS",
+]

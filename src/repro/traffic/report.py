@@ -1,0 +1,97 @@
+"""Replay reports: what the open-loop run measured, windowed.
+
+Two layers, deliberately separated:
+
+* :func:`deterministic_summary` — the *plan* projection: schedule
+  digest, per-window scheduled counts by tenant.  A pure function of
+  the compiled schedule, so it is identical whatever server (or worker
+  count) later executes the replay — the property the determinism
+  tests pin.
+* :class:`TrafficReport` — the *measured* side: per-window outcome
+  counters and coordinated-omission-safe latency digests (latency is
+  completion minus the **scheduled** send time, so a stalled server
+  inherits the queueing delay it caused instead of hiding it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.metrics import StreamingDigest
+
+#: Outcome counters every window tracks (order = report order).
+OUTCOMES = ("sent", "ok", "rejected", "deadline_missed", "failed", "shed")
+
+
+@dataclass
+class WindowSummary:
+    """One schedule window's measured outcomes."""
+    window: int
+    scheduled: int = 0
+    sent: int = 0
+    ok: int = 0
+    rejected: int = 0           # HTTP 429: admission control said no
+    deadline_missed: int = 0    # client deadline expired in flight
+    failed: int = 0             # transport errors / non-429 failures
+    shed: int = 0               # never sent: client inflight cap
+    digest: StreamingDigest = field(default_factory=StreamingDigest)
+
+    def note(self, outcome: str) -> None:
+        setattr(self, outcome, getattr(self, outcome) + 1)
+
+    def to_jsonable(self) -> dict:
+        return {"window": self.window, "scheduled": self.scheduled,
+                **{name: getattr(self, name) for name in OUTCOMES},
+                "latency": self.digest.summary_ms()}
+
+
+@dataclass
+class TrafficReport:
+    """A full replay's measurements, windowed plus rolled up."""
+    spec_name: str
+    schedule_digest: str
+    duration_s: float
+    window_s: float
+    offered_rps: float
+    windows: list
+    wall_s: float = 0.0
+
+    @property
+    def totals(self) -> dict:
+        return {name: sum(getattr(w, name) for w in self.windows)
+                for name in OUTCOMES}
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.totals["ok"] / self.duration_s
+
+    def latency_digest(self) -> StreamingDigest:
+        """All windows' latencies merged — exact, by digest contract."""
+        rollup = StreamingDigest()
+        for window in self.windows:
+            rollup.merge(window.digest)
+        return rollup
+
+    def to_jsonable(self) -> dict:
+        rollup = self.latency_digest()
+        return {"spec": self.spec_name,
+                "schedule_digest": self.schedule_digest,
+                "duration_s": self.duration_s,
+                "window_s": self.window_s,
+                "wall_s": self.wall_s,
+                "offered_rps": self.offered_rps,
+                "achieved_rps": self.achieved_rps,
+                "totals": self.totals,
+                "latency": rollup.summary_ms(),
+                "windows": [w.to_jsonable() for w in self.windows]}
+
+
+def deterministic_summary(schedule) -> dict:
+    """The replay's deterministic projection (see module docstring)."""
+    plan = schedule.window_plan()
+    return {"spec": schedule.spec.name,
+            "seed": schedule.spec.seed,
+            "schedule_digest": schedule.digest(),
+            "requests": len(schedule.requests),
+            "offered_rps": schedule.offered_rps,
+            "windows": plan}

@@ -1,0 +1,167 @@
+"""Schedule compilation: a traffic spec becomes a replayable artifact.
+
+:func:`compile_schedule` turns a :class:`TrafficSpec` into the full
+ordered request list — every send time, tenant, experiment, and sampled
+key decided *ahead of the run*, drawn only from keyed
+:mod:`repro.rng` streams.  The compiled :class:`Schedule` serializes to
+canonical JSON (sorted keys, tight separators), so its bytes — and the
+sha256 digest over them — are identical across machines, runs, and
+server configurations; the driver merely executes it.
+
+Determinism contract (asserted by the tests): same ``(spec)`` ⇒
+byte-identical :meth:`Schedule.canonical_bytes`, identical
+:meth:`Schedule.digest`, identical :meth:`Schedule.window_plan` —
+independent of how many workers the *server* runs, because none of this
+touches a server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import generator_for
+from repro.units import MEGA
+from repro.traffic.arrivals import arrival_times
+from repro.traffic.sampling import zipf_sample
+from repro.traffic.spec import TrafficSpec
+
+
+def _canonical(value) -> bytes:
+    """Deterministic JSON bytes (the serve tier's canonical form)."""
+    return json.dumps(value, sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One planned send: who fires what, and exactly when."""
+    seq: int
+    t_s: float
+    tenant: str
+    experiment: str
+    params: dict
+
+    def to_jsonable(self) -> list:
+        # positional row, not a dict: schedules run to thousands of
+        # requests and the canonical bytes are hashed and cached
+        return [self.seq, self.t_s, self.tenant, self.experiment,
+                self.params]
+
+    @classmethod
+    def from_jsonable(cls, row: list) -> "ScheduledRequest":
+        seq, t_s, tenant, experiment, params = row
+        return cls(int(seq), float(t_s), str(tenant), str(experiment),
+                   dict(params))
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A compiled, replayable request schedule."""
+    spec: TrafficSpec
+    requests: tuple
+
+    @property
+    def offered_rps(self) -> float:
+        return len(self.requests) / self.spec.duration_s
+
+    def to_jsonable(self) -> dict:
+        return {"spec": self.spec.to_dict(),
+                "requests": [r.to_jsonable() for r in self.requests]}
+
+    @classmethod
+    def from_jsonable(cls, raw: dict) -> "Schedule":
+        return cls(TrafficSpec.from_dict(raw["spec"]),
+                   tuple(ScheduledRequest.from_jsonable(r)
+                         for r in raw["requests"]))
+
+    def canonical_bytes(self) -> bytes:
+        return _canonical(self.to_jsonable())
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def window_index(self, t_s: float) -> int:
+        return int(t_s / self.spec.window_s)
+
+    def window_plan(self) -> list:
+        """Per-window scheduled counts, by tenant — the deterministic
+        projection of a run's window report.
+
+        Every window of the spec appears (empty ones included), so two
+        replays of the same schedule produce structurally identical
+        plans regardless of which requests the server later admitted.
+        """
+        per_window: dict[int, dict[str, int]] = {
+            w: {} for w in range(self.spec.num_windows)}
+        for request in self.requests:
+            counts = per_window[self.window_index(request.t_s)]
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+        return [{"window": w, "scheduled": sum(counts.values()),
+                 "tenants": dict(sorted(counts.items()))}
+                for w, counts in sorted(per_window.items())]
+
+
+def compile_schedule(spec: TrafficSpec, cache=None) -> Schedule:
+    """Compile ``spec`` into its :class:`Schedule`.
+
+    All randomness comes from streams keyed on ``(spec.seed,
+    spec.name, purpose)``: one arrival stream, one tenant-assignment
+    stream, one key stream per tenant.  Arrival times are rounded to
+    whole microseconds before entering the schedule so the canonical
+    JSON never depends on float-repr edge cases.
+
+    ``cache`` (a :class:`repro.exec.ResultCache`) memoizes the compiled
+    schedule under a content hash of the spec — compilation is cheap,
+    but the cached entry doubles as the on-disk artifact the CLI's
+    ``compile`` subcommand emits.
+    """
+    key = None
+    if cache is not None:
+        from repro.exec.cache import cache_key
+        key = cache_key("traffic:schedule", spec.to_dict())
+        hit = cache.get(key)
+        if hit is not None:
+            return Schedule.from_jsonable(hit)
+
+    times = arrival_times(spec.arrival, spec.duration_s, spec.seed,
+                          spec.name)
+    times = np.round(times * MEGA) / MEGA   # whole microseconds
+    n = times.size
+
+    weights = np.array([t.weight for t in spec.tenants], dtype=float)
+    cumulative = np.cumsum(weights / weights.sum())
+    assign_rng = generator_for(spec.seed, "traffic", "tenants", spec.name)
+    tenant_of = np.minimum(
+        np.searchsorted(cumulative, assign_rng.random(n), side="right"),
+        len(spec.tenants) - 1)
+
+    # one key stream per tenant, consumed in schedule order
+    keys = {}
+    for index, tenant in enumerate(spec.tenants):
+        count = int(np.sum(tenant_of == index))
+        rng = generator_for(spec.seed, "traffic", "keys", spec.name,
+                            tenant.name)
+        keys[index] = zipf_sample(tenant.hot_keys, tenant.zipf_s,
+                                  rng.random(count))
+
+    requests = []
+    cursor = [0] * len(spec.tenants)
+    for seq in range(n):
+        index = int(tenant_of[seq])
+        tenant = spec.tenants[index]
+        hot_key = int(keys[index][cursor[index]])
+        cursor[index] += 1
+        params = dict(tenant.params_base)
+        params[tenant.key_param] = hot_key
+        requests.append(ScheduledRequest(seq, float(times[seq]),
+                                         tenant.name, tenant.experiment,
+                                         params))
+    schedule = Schedule(spec, tuple(requests))
+
+    if cache is not None and key is not None:
+        cache.put(key, schedule.to_jsonable())
+    return schedule

@@ -1,0 +1,193 @@
+"""Declarative traffic specs: what a replay run *is*, as plain data.
+
+A :class:`TrafficSpec` fully determines an open-loop schedule: the
+arrival process shaping *when* requests fire, the tenant mix shaping
+*who* fires them, and the hot-key skew shaping *which* computation each
+request names.  Everything downstream — the compiled schedule, its
+digest, the window plan — is a pure function of ``(spec, seed)``, which
+is what lets two machines (or two ``--workers`` settings) replay the
+same traffic byte for byte.
+
+Specs round-trip through plain dicts (``to_dict``/``from_dict``) so the
+CLI can read them from JSON files and the schedule cache can address
+them canonically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Arrival processes :mod:`repro.traffic.arrivals` implements.
+ARRIVAL_PROCESSES = ("poisson", "mmpp", "diurnal", "trace")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When requests arrive: one process plus its shape knobs.
+
+    ``rate_rps`` is always the *mean* offered rate; the process decides
+    how it is distributed in time — memoryless (``poisson``), bursty
+    two-state Markov-modulated (``mmpp``, bursts ``burst_ratio`` times
+    hotter than the quiet state, switching at ``switch_hz``), smooth
+    sinusoidal load-following (``diurnal``, ``depth`` modulation over
+    ``period_s``), or shaped by a workload trace's per-step volume
+    (``trace``, naming a :data:`repro.workloads.TRACE_PROFILES` entry).
+    """
+
+    process: str = "poisson"
+    rate_rps: float = 20.0
+    burst_ratio: float = 4.0
+    switch_hz: float = 1.0
+    period_s: float = 10.0
+    depth: float = 0.8
+    profile: str = "bfs"
+    profile_seed: int = 0
+
+    def __post_init__(self):
+        if self.process not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"unknown arrival process {self.process!r}; "
+                f"known: {', '.join(ARRIVAL_PROCESSES)}")
+        if self.rate_rps <= 0:
+            raise ConfigurationError("arrival rate_rps must be positive")
+        if self.burst_ratio < 1.0:
+            raise ConfigurationError("burst_ratio must be >= 1")
+        if self.switch_hz <= 0:
+            raise ConfigurationError("switch_hz must be positive")
+        if self.period_s <= 0:
+            raise ConfigurationError("period_s must be positive")
+        if not 0.0 <= self.depth < 1.0:
+            raise ConfigurationError("depth must be in [0, 1)")
+
+    def to_dict(self) -> dict:
+        return {"process": self.process, "rate_rps": self.rate_rps,
+                "burst_ratio": self.burst_ratio,
+                "switch_hz": self.switch_hz, "period_s": self.period_s,
+                "depth": self.depth, "profile": self.profile,
+                "profile_seed": self.profile_seed}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ArrivalSpec":
+        return cls(**_checked_fields(cls, raw, "arrival"))
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant of the shared service.
+
+    ``weight`` is the tenant's share of arrivals; each of its requests
+    runs ``experiment`` with ``params_base`` plus one sampled key: a
+    Zipf(``zipf_s``) draw over ``hot_keys`` values substituted into
+    ``key_param``.  The skew is what makes replay traffic look like
+    production — a few hot computations that coalesce and cache, plus a
+    long cold tail that pays full compute.
+    """
+
+    name: str
+    experiment: str
+    weight: float = 1.0
+    params_base: dict = field(default_factory=dict)
+    hot_keys: int = 64
+    zipf_s: float = 1.1
+    key_param: str = "seed"
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("tenant needs a name")
+        if not self.experiment:
+            raise ConfigurationError(
+                f"tenant {self.name!r} needs an experiment")
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: weight must be positive")
+        if self.hot_keys < 1:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: hot_keys must be >= 1")
+        if self.zipf_s < 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: zipf_s must be >= 0")
+        if self.key_param in self.params_base:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: key_param {self.key_param!r} "
+                "collides with params_base")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "experiment": self.experiment,
+                "weight": self.weight,
+                "params_base": dict(self.params_base),
+                "hot_keys": self.hot_keys, "zipf_s": self.zipf_s,
+                "key_param": self.key_param}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TenantSpec":
+        return cls(**_checked_fields(cls, raw, "tenant"))
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A complete replay: arrivals + tenant mix + run geometry."""
+
+    name: str
+    arrival: ArrivalSpec
+    tenants: tuple
+    seed: int = 0
+    duration_s: float = 10.0
+    window_s: float = 1.0
+    max_inflight: int = 256
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("traffic spec needs a name")
+        if not self.tenants:
+            raise ConfigurationError(
+                f"spec {self.name!r} needs at least one tenant")
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"spec {self.name!r} has duplicate tenant names")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if not 0 < self.window_s <= self.duration_s:
+            raise ConfigurationError(
+                "window_s must be in (0, duration_s]")
+        if self.max_inflight < 1:
+            raise ConfigurationError("max_inflight must be >= 1")
+
+    @property
+    def num_windows(self) -> int:
+        return int(self.duration_s / self.window_s - 1e-9) + 1
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "seed": self.seed,
+                "duration_s": self.duration_s, "window_s": self.window_s,
+                "max_inflight": self.max_inflight,
+                "arrival": self.arrival.to_dict(),
+                "tenants": [t.to_dict() for t in self.tenants]}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TrafficSpec":
+        fields_ = _checked_fields(cls, raw, "traffic spec")
+        arrival = fields_.get("arrival")
+        if isinstance(arrival, dict):
+            fields_["arrival"] = ArrivalSpec.from_dict(arrival)
+        tenants = fields_.get("tenants", ())
+        fields_["tenants"] = tuple(
+            TenantSpec.from_dict(t) if isinstance(t, dict) else t
+            for t in tenants)
+        return cls(**fields_)
+
+
+def _checked_fields(cls, raw: dict, what: str) -> dict:
+    """Reject unknown keys before dataclass construction (typo guard)."""
+    if not isinstance(raw, dict):
+        raise ConfigurationError(f"{what} must be a JSON object")
+    declared = set(cls.__dataclass_fields__)
+    unknown = sorted(set(raw) - declared)
+    if unknown:
+        raise ConfigurationError(
+            f"{what}: unknown field(s) {', '.join(unknown)}; "
+            f"declared: {', '.join(sorted(declared))}")
+    return dict(raw)

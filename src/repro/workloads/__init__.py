@@ -7,8 +7,11 @@ from repro.workloads.rodinia import (bfs_trace, gaussian_trace,
                                      pathfinder_trace,
                                      slice_traffic_over_time, TimestepTrace)
 from repro.workloads.replay import replay_trace, ReplayResult, StepResult
+from repro.workloads.intensity import (intensity_profile, step_intensity,
+                                       TRACE_PROFILES)
 
 __all__ = ["streaming_trace", "random_trace", "camping_trace",
            "bfs_trace", "gaussian_trace", "hotspot_trace", "kmeans_trace",
            "pathfinder_trace", "slice_traffic_over_time", "TimestepTrace",
-           "replay_trace", "ReplayResult", "StepResult"]
+           "replay_trace", "ReplayResult", "StepResult",
+           "intensity_profile", "step_intensity", "TRACE_PROFILES"]

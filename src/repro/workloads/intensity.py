@@ -1,0 +1,61 @@
+"""Request-intensity profiles: workload traces as traffic shapes.
+
+The open-loop traffic generator (:mod:`repro.traffic`) supports a
+*trace-driven* arrival process: instead of a closed-form rate function,
+the per-window offered load follows the volume profile of a real
+workload trace — BFS's frontier burst, Gaussian elimination's quadratic
+ramp-down — scaled to a target mean rate.  This module is the bridge:
+it turns a :class:`~repro.workloads.rodinia.TimestepTrace` (addresses
+per timestep) into a normalized intensity vector (mean 1.0, one entry
+per timestep) that the generator can stretch over any replay duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.rodinia import (TimestepTrace, bfs_trace,
+                                     gaussian_trace, hotspot_trace,
+                                     kmeans_trace, pathfinder_trace)
+
+#: Named trace factories a traffic spec may reference by string.
+TRACE_PROFILES = {
+    "bfs": bfs_trace,
+    "gaussian": gaussian_trace,
+    "hotspot": hotspot_trace,
+    "kmeans": kmeans_trace,
+    "pathfinder": pathfinder_trace,
+}
+
+
+def step_intensity(trace: TimestepTrace) -> np.ndarray:
+    """Per-timestep access volume, normalized to mean 1.0.
+
+    Multiplying by a target mean rate gives the per-step offered rate;
+    an all-empty trace is a configuration error, not a zero profile.
+    """
+    volumes = np.array([len(step) for step in trace.steps], dtype=float)
+    if volumes.size == 0 or volumes.sum() == 0:
+        raise ConfigurationError(
+            f"trace {trace.name!r} has no accesses to shape traffic with")
+    return volumes / volumes.mean()
+
+
+def intensity_profile(name: str, seed: int = 0) -> np.ndarray:
+    """Normalized intensity vector for a named workload trace.
+
+    The factories are deterministic given ``seed`` (they draw through
+    :mod:`repro.rng`), so a traffic spec naming a profile compiles to
+    the same schedule everywhere.
+    """
+    factory = TRACE_PROFILES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown trace profile {name!r}; "
+            f"known: {', '.join(sorted(TRACE_PROFILES))}")
+    try:
+        trace = factory(seed=seed)
+    except TypeError:       # a factory without a seed parameter
+        trace = factory()
+    return step_intensity(trace)

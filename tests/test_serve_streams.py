@@ -1,0 +1,208 @@
+"""StreamingDigest merge/state + the server's trace-stream endpoints.
+
+The digest-layer tests pin the satellite contracts this PR leans on:
+exact associative merging (per-window/per-worker rollups equal one big
+digest), lossless ``to_state``/``from_state`` round-trips, and the
+explicit empty-quantile semantics.  The endpoint tests drive a live
+server: observe → summary → delete, digest-state merging across
+observers, and the 409/404/400 edges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.rng import generator_for
+from repro.serve import ServeClient, serve_in_thread
+from repro.serve.metrics import StreamingDigest
+from repro.serve.streams import StreamBook, StreamError
+
+
+def _digest_of(values) -> StreamingDigest:
+    digest = StreamingDigest()
+    for value in values:
+        digest.add(value)
+    return digest
+
+
+class TestDigest:
+    def test_empty_quantile_default_and_sentinel(self):
+        digest = StreamingDigest()
+        assert digest.quantile(0.5) == 0.0
+        assert math.isnan(digest.quantile(0.99, empty=float("nan")))
+        digest.add(0.0)      # all-zero stream is NOT "no data"
+        assert digest.quantile(0.99, empty=float("nan")) >= 0.0
+        assert not math.isnan(digest.quantile(0.99, empty=float("nan")))
+
+    def test_quantile_rejects_out_of_range(self):
+        digest = StreamingDigest()
+        with pytest.raises(ValueError):
+            digest.quantile(1.5)
+        with pytest.raises(ValueError):
+            digest.quantile(-0.1)
+
+    def test_merge_equals_undivided_stream(self):
+        rng = generator_for(0, "streams-test")
+        values = rng.exponential(0.01, size=2000)
+        whole = _digest_of(values)
+        left = _digest_of(values[:700])
+        right = _digest_of(values[700:])
+        merged = left.merge(right)
+        assert merged is left                    # in place, chainable
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total)
+        assert merged.maximum == whole.maximum
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_state_round_trip_exact(self):
+        rng = generator_for(1, "streams-test")
+        digest = _digest_of(rng.exponential(0.02, size=500))
+        clone = StreamingDigest.from_state(digest.to_state())
+        assert clone.to_state() == digest.to_state()
+        assert clone.summary_ms() == digest.summary_ms()
+
+    def test_state_survives_json_keys(self):
+        # JSON object keys are strings; from_state must accept its own
+        # serialized form after a json round trip
+        import json
+        digest = _digest_of([0.001, 0.01, 0.1])
+        state = json.loads(json.dumps(digest.to_state()))
+        assert StreamingDigest.from_state(state).summary_ms() \
+            == digest.summary_ms()
+
+    @pytest.mark.parametrize("corrupt", [
+        {},                                               # missing keys
+        {"counts": {"-1": 2}, "count": 2, "total": 1.0, "maximum": 1.0},
+        {"counts": {"3": -2}, "count": -2, "total": 1.0, "maximum": 1.0},
+        {"counts": {"3": 2}, "count": 5, "total": 1.0, "maximum": 1.0},
+        {"counts": {"3": 2}, "count": 2, "total": -1.0, "maximum": 1.0},
+        {"counts": "nope", "count": 0, "total": 0.0, "maximum": 0.0},
+    ])
+    def test_state_validation(self, corrupt):
+        with pytest.raises(ValueError):
+            StreamingDigest.from_state(corrupt)
+
+
+class TestStreamBook:
+    def test_observe_and_summary_rollup(self):
+        book = StreamBook()
+        book.observe("replay", 0, values_s=[0.001, 0.002])
+        book.observe("replay", 1, values_s=[0.004],
+                     counters={"ok": 1, "rejected": 2})
+        summary = book.summary("replay")
+        assert [w["window"] for w in summary["windows"]] == [0, 1]
+        assert summary["totals"]["count"] == 3
+        assert summary["totals"]["counters"] == {"ok": 1, "rejected": 2}
+
+    def test_digest_state_merges_exactly(self):
+        book = StreamBook()
+        values = [0.001 * (i + 1) for i in range(50)]
+        book.observe("replay", 0,
+                     digest_state=_digest_of(values[:20]).to_state())
+        book.observe("replay", 0,
+                     digest_state=_digest_of(values[20:]).to_state())
+        rolled = book.summary("replay")["totals"]
+        assert rolled["count"] == 50
+        assert rolled["p50_ms"] == pytest.approx(
+            _digest_of(values).quantile(0.5) * 1e3)
+
+    def test_window_s_conflict_is_409(self):
+        book = StreamBook()
+        book.observe("replay", 0, window_s=1.0, values_s=[0.001])
+        with pytest.raises(StreamError) as err:
+            book.observe("replay", 1, window_s=2.0, values_s=[0.001])
+        assert err.value.status == 409
+
+    def test_unknown_stream_is_404(self):
+        book = StreamBook()
+        with pytest.raises(StreamError) as err:
+            book.summary("ghost")
+        assert err.value.status == 404
+        with pytest.raises(StreamError) as err:
+            book.delete("ghost")
+        assert err.value.status == 404
+
+    def test_bad_observations_are_400(self):
+        book = StreamBook()
+        for kwargs in ({"values_s": "nope"},
+                       {"values_s": [True]},
+                       {"counters": {"ok": 1.5}},
+                       {"digest_state": {"counts": "bad"}},
+                       {}):
+            with pytest.raises(StreamError) as err:
+                book.observe("replay", 0, **kwargs)
+            assert err.value.status == 400
+        with pytest.raises(StreamError):
+            book.observe("replay", -1, values_s=[0.1])
+
+    def test_stream_cap_is_409(self):
+        book = StreamBook(max_streams=2)
+        book.observe("a", 0, values_s=[0.1])
+        book.observe("b", 0, values_s=[0.1])
+        with pytest.raises(StreamError) as err:
+            book.observe("c", 0, values_s=[0.1])
+        assert err.value.status == 409
+        book.delete("a")
+        book.observe("c", 0, values_s=[0.1])
+
+
+@pytest.fixture(scope="module")
+def server():
+    with serve_in_thread() as srv:
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    c = ServeClient(port=server.port)
+    c.wait_healthy()
+    return c
+
+
+class TestStreamEndpoints:
+    def test_observe_summary_delete_cycle(self, client):
+        reply = client.stream_observe("http-replay", 0, window_s=0.5,
+                                      values_s=[0.002, 0.004],
+                                      counters={"ok": 2})
+        assert reply.ok, reply.body
+        assert reply.json["window_count"] == 2
+
+        digest = _digest_of([0.001, 0.008])
+        reply = client.stream_observe("http-replay", 1, window_s=0.5,
+                                      digest=digest.to_state())
+        assert reply.ok, reply.body
+
+        summary = client.stream_summary("http-replay")
+        assert summary.ok
+        doc = summary.json
+        assert doc["window_s"] == 0.5
+        assert doc["totals"]["count"] == 4
+        assert doc["totals"]["counters"] == {"ok": 2}
+
+        listing = client.streams().json
+        names = [s["name"] for s in listing["streams"]]
+        assert "http-replay" in names
+
+        # streams surface in /metricz too
+        metricz = client.metricz().json
+        assert any(s["name"] == "http-replay"
+                   for s in metricz["streams"]["streams"])
+
+        assert client.stream_delete("http-replay").ok
+        assert client.stream_summary("http-replay").status == 404
+
+    def test_http_error_statuses(self, client):
+        assert client.stream_summary("ghost").status == 404
+        bad = client.stream_observe("edge", -3, values_s=[0.1])
+        assert bad.status == 400
+        client.stream_observe("edge", 0, window_s=1.0, values_s=[0.1])
+        conflict = client.stream_observe("edge", 1, window_s=9.0,
+                                         values_s=[0.1])
+        assert conflict.status == 409
+        missing_window = client.request(
+            "POST", "/v1/streams/edge/observe", payload={"values_s": [0.1]})
+        assert missing_window.status == 400
+        client.stream_delete("edge")

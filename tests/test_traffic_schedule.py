@@ -1,0 +1,227 @@
+"""Traffic specs, arrival samplers, and schedule-compilation determinism.
+
+The statistical tests are deliberately seeded and generous: they check
+the samplers have the right *shape* (exponential gaps for Poisson,
+over-dispersion for MMPP, rate modulation for diurnal, Zipf mass
+concentration), not tight distributional fits — the determinism
+contract makes them exactly repeatable, so a passing bound stays
+passing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache
+from repro.traffic import (ArrivalSpec, Schedule, TenantSpec, TrafficSpec,
+                           arrival_times, compile_schedule,
+                           deterministic_summary, zipf_keys, zipf_sample,
+                           zipf_weights)
+from repro.workloads.intensity import intensity_profile, step_intensity
+from repro.workloads.rodinia import hotspot_trace
+
+
+def _spec(**overrides) -> TrafficSpec:
+    base = dict(
+        name="t", seed=3, duration_s=4.0, window_s=1.0,
+        arrival=ArrivalSpec(process="poisson", rate_rps=40.0),
+        tenants=(TenantSpec(name="a", experiment="observations",
+                            weight=3.0, hot_keys=8, zipf_s=1.2),
+                 TenantSpec(name="b", experiment="latency-matrix",
+                            params_base={"sms": [0], "samples": 1},
+                            weight=1.0, hot_keys=4, zipf_s=0.0)))
+    base.update(overrides)
+    return TrafficSpec(**base)
+
+
+class TestSpecs:
+    def test_round_trips_through_dict(self):
+        spec = _spec()
+        clone = TrafficSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.to_dict() == spec.to_dict()
+
+    @pytest.mark.parametrize("bad", [
+        dict(duration_s=0.0),
+        dict(window_s=0.0),
+        dict(window_s=9.0),          # > duration
+        dict(tenants=()),
+        dict(max_inflight=0),
+        dict(name=""),
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            _spec(**bad)
+
+    def test_duplicate_tenants_rejected(self):
+        tenant = TenantSpec(name="a", experiment="observations")
+        with pytest.raises(ConfigurationError):
+            _spec(tenants=(tenant, tenant))
+
+    def test_key_param_collision_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TenantSpec(name="a", experiment="observations",
+                       params_base={"seed": 1}, key_param="seed")
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSpec.from_dict({**_spec().to_dict(), "surprise": 1})
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec.from_dict({"process": "poisson", "ratez": 2})
+
+    @pytest.mark.parametrize("bad", [
+        dict(process="fractal"),
+        dict(rate_rps=0.0),
+        dict(burst_ratio=0.5),
+        dict(depth=1.0),
+    ])
+    def test_invalid_arrivals_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ArrivalSpec(**bad)
+
+
+class TestArrivals:
+    @pytest.mark.parametrize("process,extra", [
+        ("poisson", {}),
+        ("mmpp", {"burst_ratio": 8.0, "switch_hz": 2.0}),
+        ("diurnal", {"period_s": 2.0, "depth": 0.8}),
+        ("trace", {"profile": "hotspot"}),
+    ])
+    def test_deterministic_sorted_in_range(self, process, extra):
+        arrival = ArrivalSpec(process=process, rate_rps=100.0, **extra)
+        first = arrival_times(arrival, 5.0, 7, "s")
+        again = arrival_times(arrival, 5.0, 7, "s")
+        np.testing.assert_array_equal(first, again)
+        assert np.all(np.diff(first) >= 0)
+        assert first.size > 0 and 0 <= first[0] and first[-1] < 5.0
+        other_stream = arrival_times(arrival, 5.0, 7, "other")
+        assert not np.array_equal(first, other_stream)
+
+    def test_poisson_gap_cv_near_one(self):
+        times = arrival_times(ArrivalSpec(rate_rps=400.0), 20.0, 0, "cv")
+        gaps = np.diff(times)
+        cv2 = np.var(gaps) / np.mean(gaps) ** 2
+        assert 0.85 < cv2 < 1.15, cv2
+        # mean rate within 10 % at n ~ 8000
+        assert times.size / 20.0 == pytest.approx(400.0, rel=0.1)
+
+    def test_mmpp_is_overdispersed(self):
+        arrival = ArrivalSpec(process="mmpp", rate_rps=400.0,
+                              burst_ratio=10.0, switch_hz=2.0)
+        times = arrival_times(arrival, 20.0, 0, "burst")
+        gaps = np.diff(times)
+        cv2 = np.var(gaps) / np.mean(gaps) ** 2
+        assert cv2 > 1.3, cv2          # burstier than memoryless
+
+    def test_diurnal_follows_the_sine(self):
+        arrival = ArrivalSpec(process="diurnal", rate_rps=400.0,
+                              period_s=2.0, depth=0.9)
+        times = arrival_times(arrival, 20.0, 0, "wave")
+        phase = np.mod(times, 2.0)
+        rising = np.sum(phase < 1.0)    # sin positive: above-mean rate
+        falling = np.sum(phase >= 1.0)
+        assert rising > 1.3 * falling, (rising, falling)
+
+    def test_trace_follows_the_profile(self):
+        # bfs has a strongly non-uniform profile (the frontier burst);
+        # hotspot/kmeans are constant-volume and would correlate with
+        # anything
+        profile = intensity_profile("bfs", 0)
+        arrival = ArrivalSpec(process="trace", rate_rps=300.0,
+                              profile="bfs")
+        times = arrival_times(arrival, 10.0, 0, "shape")
+        step_s = 10.0 / profile.size
+        counts = np.bincount((times / step_s).astype(int),
+                             minlength=profile.size)[:profile.size]
+        correlation = np.corrcoef(counts, profile)[0, 1]
+        assert correlation > 0.5, correlation
+
+    def test_step_intensity_rejects_empty(self):
+        trace = hotspot_trace(grid=16, steps=2)
+        empty = type(trace)(name="empty",
+                            steps=tuple(s[:0] for s in trace.steps))
+        with pytest.raises(ConfigurationError):
+            step_intensity(empty)
+        with pytest.raises(ConfigurationError):
+            intensity_profile("not-a-profile")
+
+
+class TestZipf:
+    def test_weights_normalized_and_monotone(self):
+        weights = zipf_weights(32, 1.1)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(weights) < 0)
+        uniform = zipf_weights(8, 0.0)
+        np.testing.assert_allclose(uniform, 1 / 8)
+
+    def test_sampler_matches_weights_chi_square(self):
+        n_keys, s, n = 16, 1.2, 20000
+        draws = zipf_keys(n_keys, s, n, 0, "chi")
+        observed = np.bincount(draws, minlength=n_keys)
+        expected = zipf_weights(n_keys, s) * n
+        chi2 = float(np.sum((observed - expected) ** 2 / expected))
+        # df = 15; the 0.999 quantile is ~37.7 — generous but real
+        assert chi2 < 37.7, chi2
+
+    def test_inverse_cdf_edges(self):
+        assert zipf_sample(4, 1.0, np.array([0.0]))[0] == 0
+        assert zipf_sample(4, 1.0, np.array([0.999999]))[0] == 3
+        assert zipf_keys(5, 1.0, 0, 0, "empty").size == 0
+
+
+class TestScheduleCompilation:
+    def test_byte_identical_across_compiles(self):
+        spec = _spec()
+        one, two = compile_schedule(spec), compile_schedule(spec)
+        assert one.canonical_bytes() == two.canonical_bytes()
+        assert one.digest() == two.digest()
+        assert deterministic_summary(one) == deterministic_summary(two)
+
+    def test_seed_changes_schedule(self):
+        assert compile_schedule(_spec()).digest() \
+            != compile_schedule(_spec(seed=4)).digest()
+
+    def test_schedule_structure(self):
+        schedule = compile_schedule(_spec())
+        assert [r.seq for r in schedule.requests] \
+            == list(range(len(schedule.requests)))
+        times = [r.t_s for r in schedule.requests]
+        assert times == sorted(times)
+        tenants = {r.tenant for r in schedule.requests}
+        assert tenants <= {"a", "b"}
+        for request in schedule.requests:
+            if request.tenant == "a":
+                assert request.experiment == "observations"
+                assert 0 <= request.params["seed"] < 8
+            else:
+                assert request.params["sms"] == [0]
+        # weight 3:1 split, within loose tolerance
+        count_a = sum(r.tenant == "a" for r in schedule.requests)
+        assert count_a / len(schedule.requests) == pytest.approx(
+            0.75, abs=0.12)
+
+    def test_window_plan_covers_every_window(self):
+        spec = _spec()
+        plan = compile_schedule(spec).window_plan()
+        assert [row["window"] for row in plan] \
+            == list(range(spec.num_windows))
+        assert sum(row["scheduled"] for row in plan) \
+            == len(compile_schedule(spec).requests)
+        for row in plan:
+            assert row["scheduled"] == sum(row["tenants"].values())
+
+    def test_round_trips_through_jsonable(self):
+        schedule = compile_schedule(_spec())
+        clone = Schedule.from_jsonable(schedule.to_jsonable())
+        assert clone.canonical_bytes() == schedule.canonical_bytes()
+
+    def test_cache_memoizes_compilation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        cold = compile_schedule(spec, cache=cache)
+        assert cache.misses == 1
+        warm = compile_schedule(spec, cache=cache)
+        assert cache.hits == 1
+        assert warm.canonical_bytes() == cold.canonical_bytes()
