@@ -1,0 +1,40 @@
+"""Flow-sensitive program analysis for the lint engine.
+
+Three layers, all over stdlib ``ast`` (no new dependencies):
+
+* :mod:`repro.analysis.flow.cfg` — intraprocedural control-flow graphs
+  (branches, loops with ``else``, ``try``/``except``/``finally`` with
+  ``return`` routing, ``with``/``async with`` scope steps, ``match``);
+* :mod:`repro.analysis.flow.solver` — a deterministic worklist solver
+  (:class:`DataflowAnalysis`) with a post-fixpoint visiting pass where
+  lint rules fire findings;
+* :mod:`repro.analysis.flow.lattice` — the shared taint-style abstract
+  domain (:class:`Tag` values, :class:`Env` environments) plus
+  scope-aware helpers for extracting defs/uses from CFG steps;
+* :mod:`repro.analysis.flow.callgraph` — a best-effort module-level
+  call / alias graph (who calls what, which factories return what).
+
+The flow-sensitive lint rules (REP006–REP008) are thin clients of
+these; see DESIGN.md §15 for the architecture walk-through.
+"""
+
+from repro.analysis.flow.callgraph import (CallGraph, FunctionNode,
+                                           build_module_graph,
+                                           module_returns)
+from repro.analysis.flow.cfg import (BasicBlock, CFG, ENTER_WITH, EXCEPT,
+                                     EXIT_WITH, STMT, Step, TEST,
+                                     build_cfg, iter_functions)
+from repro.analysis.flow.lattice import (Env, Tag, assigned_names,
+                                         name_uses, step_assigned_names,
+                                         step_calls, step_expressions,
+                                         walk_expressions)
+from repro.analysis.flow.solver import DataflowAnalysis, solve_forward
+
+__all__ = [
+    "CFG", "BasicBlock", "Step", "build_cfg", "iter_functions",
+    "STMT", "TEST", "ENTER_WITH", "EXIT_WITH", "EXCEPT",
+    "DataflowAnalysis", "solve_forward",
+    "Env", "Tag", "assigned_names", "name_uses", "walk_expressions",
+    "step_expressions", "step_assigned_names", "step_calls",
+    "CallGraph", "FunctionNode", "build_module_graph", "module_returns",
+]

@@ -1,0 +1,469 @@
+"""Intraprocedural control-flow graphs over stdlib ``ast``.
+
+One :class:`CFG` per function (or module body): basic blocks of
+*steps*, edges for every construct the lint rules reason about —
+``if``/``elif``/``else``, ``while``/``for`` (including their ``else``
+clauses, ``break``/``continue``), ``try``/``except``/``else``/
+``finally`` (including ``return`` inside ``finally``-guarded bodies),
+``with``/``async with``, and ``match``.  Async functions build the same
+graph; suspension points (``await``) stay *inside* steps, where
+transfer functions find them by walking the step's expression tree.
+
+Steps rather than raw statements: a compound statement contributes only
+its *header effect* to the block it starts in (the test of an ``if``,
+the context-manager entry of a ``with``) while its body lives in
+successor blocks.  ``with`` additionally contributes an explicit
+``exit_with`` step at the end of its body, so scope-shaped state (a
+held lock, an open buffer) is a plain transfer over steps instead of a
+lexical re-discovery.
+
+Exception edges are the usual lint-level over-approximation: every
+block inside a ``try`` region gets an edge to each of its handlers and
+to its ``finally``, carrying the block's *entry* state as well as its
+exit state (an exception may fire before any step ran).  ``finally``
+blocks are built once and fan out to every continuation any path
+requested — spurious path combinations are possible and the shipped
+analyses are designed to stay sound under them (must-analyses join by
+intersection, may-analyses by union).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Step", "BasicBlock", "CFG", "build_cfg", "iter_functions"]
+
+#: Step kinds.
+STMT = "stmt"              # a simple statement, fully contained in the block
+TEST = "test"              # the test/iterable evaluation of a compound header
+ENTER_WITH = "enter_with"  # one context manager entered (step.item set)
+EXIT_WITH = "exit_with"    # the matching scope exit
+EXCEPT = "except"          # an except handler binds (step.node is the handler)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic unit of a basic block."""
+
+    node: ast.AST              # anchor: source location + expressions
+    kind: str = STMT
+    item: ast.withitem | None = None   # for enter_with/exit_with
+    #: True when this enter/exit is from an ``async with``.
+    is_async: bool = False
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    steps: list[Step] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def add_succ(self, other: int) -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+
+
+class CFG:
+    """Basic blocks + distinguished entry / normal exit / raise exit."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        #: edges taken only when an exception fires; a solver propagates
+        #: the joined entry-and-exit state along these (the exception
+        #: may fire before any step of the source block ran)
+        self.exc_edges: set[tuple[int, int]] = set()
+        self.entry = self._new().index
+        self.exit = self._new().index        # returns and fallthrough
+        self.raise_exit = self._new().index  # uncaught raise paths
+
+    def _new(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, src: int, dst: int) -> None:
+        self.blocks[src].add_succ(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    # ------------------------------------------------------------- helpers
+    def reachable(self) -> set[int]:
+        """Block indices reachable from entry."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].succs)
+        return seen
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder from entry (deterministic)."""
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(index: int) -> None:
+            seen.add(index)
+            for succ in self.blocks[index].succs:
+                if succ not in seen:
+                    visit(succ)
+            order.append(index)
+
+        visit(self.entry)
+        return list(reversed(order))
+
+
+class _LoopFrame:
+    """break/continue targets of the innermost loop."""
+
+    def __init__(self, head: int, after: int):
+        self.head = head
+        self.after = after
+
+
+class _TryFrame:
+    """Handlers + finally of an enclosing ``try`` statement."""
+
+    def __init__(self, handlers: list[int], final: int | None):
+        self.handlers = handlers      # handler entry blocks
+        self.final = final            # finally entry block, if any
+        #: jump targets (return/break/continue) parked at the finally;
+        #: connected from the finally's *exit* once its body is built
+        self.pending: set[int] = set()
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: list[_LoopFrame] = []
+        self.tries: list[_TryFrame] = []
+
+    # ------------------------------------------------------------ plumbing
+    def _fresh(self) -> int:
+        return self.cfg._new().index
+
+    def _register(self, block: int) -> None:
+        """Route an exception raised in ``block`` to enclosing handlers.
+
+        Only the innermost frame's handlers (plus every enclosing
+        ``finally``) are linked: a handler that re-raises reaches outer
+        frames through its own block's registration.
+        """
+        linked = False
+        for frame in reversed(self.tries):
+            for handler in frame.handlers:
+                self.cfg.edge(block, handler)
+                self.cfg.exc_edges.add((block, handler))
+                linked = True
+            if frame.final is not None:
+                self.cfg.edge(block, frame.final)
+                self.cfg.exc_edges.add((block, frame.final))
+                linked = True
+            if linked:
+                return
+        self.cfg.edge(block, self.cfg.raise_exit)
+        self.cfg.exc_edges.add((block, self.cfg.raise_exit))
+
+    def _terminate(self, block: int, target: int) -> None:
+        """Jump (return/break/continue) honouring enclosing finallys.
+
+        The jump is parked at the innermost enclosing ``finally``: once
+        that finally's body is built, its exit re-issues the jump (which
+        may park again at the next finally out — nested finallys chain
+        naturally).
+        """
+        for frame in reversed(self.tries):
+            if frame.final is not None:
+                self.cfg.edge(block, frame.final)
+                frame.pending.add(target)
+                return
+        self.cfg.edge(block, target)
+
+    # ---------------------------------------------------------- statements
+    def build(self, body: list[ast.stmt]) -> CFG:
+        first = self._fresh()
+        self.cfg.edge(self.cfg.entry, first)
+        last = self._stmts(body, first)
+        if last is not None:
+            self.cfg.edge(last, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, stmts: list[ast.stmt], current: int) -> int | None:
+        """Process a suite; returns the fallthrough block (None if every
+        path terminated)."""
+        for stmt in stmts:
+            if current is None:
+                # unreachable code after return/raise/break: still build
+                # blocks for it so rules can inspect, but leave it
+                # disconnected from the live graph
+                current = self._fresh()
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar):
+            return self._try(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        if isinstance(stmt, ast.Return):
+            cfg.block(current).steps.append(Step(stmt))
+            self._terminate(current, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            cfg.block(current).steps.append(Step(stmt))
+            self._register(current)
+            return None
+        if isinstance(stmt, ast.Break):
+            cfg.block(current).steps.append(Step(stmt))
+            if self.loops:
+                self._terminate(current, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            cfg.block(current).steps.append(Step(stmt))
+            if self.loops:
+                self._terminate(current, self.loops[-1].head)
+            return None
+        # simple statement (incl. nested FunctionDef/ClassDef headers,
+        # whose bodies are separate scopes and separate CFGs)
+        cfg.block(current).steps.append(Step(stmt))
+        return current
+
+    # ------------------------------------------------------------ branches
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        cfg = self.cfg
+        cfg.block(current).steps.append(Step(stmt, kind=TEST))
+        then_entry = self._fresh()
+        cfg.edge(current, then_entry)
+        then_exit = self._stmts(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self._fresh()
+            cfg.edge(current, else_entry)
+            else_exit = self._stmts(stmt.orelse, else_entry)
+        else:
+            else_exit = current          # false edge falls through
+        if then_exit is None and else_exit is None:
+            return None
+        after = self._fresh()
+        if then_exit is not None:
+            cfg.edge(then_exit, after)
+        if else_exit is not None:
+            cfg.edge(else_exit, after)
+        return after
+
+    def _while(self, stmt: ast.While, current: int) -> int | None:
+        cfg = self.cfg
+        head = self._fresh()
+        cfg.edge(current, head)
+        cfg.block(head).steps.append(Step(stmt, kind=TEST))
+        after = self._fresh()
+        body_entry = self._fresh()
+        cfg.edge(head, body_entry)
+        self.loops.append(_LoopFrame(head, after))
+        body_exit = self._stmts(stmt.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            cfg.edge(body_exit, head)
+        infinite = (isinstance(stmt.test, ast.Constant)
+                    and bool(stmt.test.value))
+        if not infinite:
+            if stmt.orelse:
+                else_entry = self._fresh()
+                cfg.edge(head, else_entry)
+                else_exit = self._stmts(stmt.orelse, else_entry)
+                if else_exit is not None:
+                    cfg.edge(else_exit, after)
+            else:
+                cfg.edge(head, after)
+        # an infinite loop reaches `after` only via break edges
+        return after if cfg.block(after).preds else None
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, current: int) -> int | None:
+        cfg = self.cfg
+        head = self._fresh()
+        cfg.edge(current, head)
+        cfg.block(head).steps.append(Step(stmt, kind=TEST))
+        after = self._fresh()
+        body_entry = self._fresh()
+        cfg.edge(head, body_entry)
+        self.loops.append(_LoopFrame(head, after))
+        body_exit = self._stmts(stmt.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            cfg.edge(body_exit, head)
+        if stmt.orelse:
+            else_entry = self._fresh()
+            cfg.edge(head, else_entry)
+            else_exit = self._stmts(stmt.orelse, else_entry)
+            if else_exit is not None:
+                cfg.edge(else_exit, after)
+        else:
+            cfg.edge(head, after)
+        return after
+
+    # ---------------------------------------------------------------- with
+    def _with(self, stmt: ast.With | ast.AsyncWith,
+              current: int) -> int | None:
+        cfg = self.cfg
+        is_async = isinstance(stmt, ast.AsyncWith)
+        for item in stmt.items:
+            cfg.block(current).steps.append(
+                Step(stmt, kind=ENTER_WITH, item=item, is_async=is_async))
+        body_entry = self._fresh()
+        cfg.edge(current, body_entry)
+        body_exit = self._stmts(stmt.body, body_entry)
+        if body_exit is None:
+            return None
+        for item in reversed(stmt.items):
+            cfg.block(body_exit).steps.append(
+                Step(stmt, kind=EXIT_WITH, item=item, is_async=is_async))
+        return body_exit
+
+    # ----------------------------------------------------------------- try
+    def _try(self, stmt, current: int) -> int | None:
+        cfg = self.cfg
+        final_entry = self._fresh() if stmt.finalbody else None
+        handler_entries = []
+        for handler in stmt.handlers:
+            entry = self._fresh()
+            cfg.block(entry).steps.append(Step(handler, kind=EXCEPT))
+            handler_entries.append(entry)
+
+        frame = _TryFrame(handler_entries, final_entry)
+        self.tries.append(frame)
+        body_entry = self._fresh()
+        cfg.edge(current, body_entry)
+        first_body_block = len(cfg.blocks) - 1
+        # an exception can fire before the first step of the body runs
+        for entry in handler_entries:
+            cfg.edge(body_entry, entry)
+            cfg.exc_edges.add((body_entry, entry))
+        if final_entry is not None:
+            cfg.edge(body_entry, final_entry)
+            cfg.exc_edges.add((body_entry, final_entry))
+        body_exit = self._stmts(stmt.body, body_entry)
+        last_body_block = len(cfg.blocks) - 1
+        # ... or between any two steps: route every body block out
+        for index in range(first_body_block, last_body_block + 1):
+            for entry in handler_entries:
+                cfg.edge(index, entry)
+                cfg.exc_edges.add((index, entry))
+            if final_entry is not None and not handler_entries:
+                cfg.edge(index, final_entry)
+                cfg.exc_edges.add((index, final_entry))
+        self.tries.pop()
+
+        # else clause runs only when the body fell through; exceptions
+        # raised in it are *not* caught by this try's handlers
+        if stmt.orelse and body_exit is not None:
+            else_entry = self._fresh()
+            cfg.edge(body_exit, else_entry)
+            body_exit = self._stmts(stmt.orelse, else_entry)
+
+        # handler bodies (their own exceptions go to *outer* frames)
+        handler_exits: list[int] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            self._register(entry)        # re-raise path out of the handler
+            exit_block = self._stmts(handler.body, entry)
+            if exit_block is not None:
+                handler_exits.append(exit_block)
+
+        if final_entry is not None:
+            if body_exit is not None:
+                cfg.edge(body_exit, final_entry)
+            for exit_block in handler_exits:
+                cfg.edge(exit_block, final_entry)
+            final_exit = self._stmts(stmt.finalbody, final_entry)
+            if final_exit is None:
+                return None
+            # re-issue the jumps (returns/breaks) that parked here; with
+            # the frame popped this chains to the next finally out
+            for target in sorted(frame.pending):
+                self._terminate(final_exit, target)
+            # the finally also re-raises / propagates terminations; give
+            # it the uncaught-raise continuation as well
+            self._register(final_exit)
+            after = self._fresh()
+            cfg.edge(final_exit, after)
+            return after
+
+        if body_exit is None and not handler_exits:
+            return None
+        after = self._fresh()
+        if body_exit is not None:
+            cfg.edge(body_exit, after)
+        for exit_block in handler_exits:
+            cfg.edge(exit_block, after)
+        return after
+
+    # --------------------------------------------------------------- match
+    def _match(self, stmt: ast.Match, current: int) -> int | None:
+        cfg = self.cfg
+        cfg.block(current).steps.append(Step(stmt, kind=TEST))
+        exits: list[int] = []
+        fell_through = True
+        for case in stmt.cases:
+            case_entry = self._fresh()
+            cfg.edge(current, case_entry)
+            case_exit = self._stmts(case.body, case_entry)
+            if case_exit is not None:
+                exits.append(case_exit)
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                    and case.guard is None):
+                fell_through = False      # wildcard case: always taken
+        if fell_through:
+            exits.append(current)
+        if not exits:
+            return None
+        after = self._fresh()
+        for exit_block in exits:
+            cfg.edge(exit_block, after)
+        return after
+
+
+def build_cfg(node: ast.AST) -> CFG:
+    """CFG of a function body (or any statement list / module).
+
+    Accepts a ``FunctionDef`` / ``AsyncFunctionDef`` / ``Module`` node,
+    or a plain list of statements.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+        body = node.body
+    elif isinstance(node, list):
+        body = node
+    else:
+        raise TypeError(f"cannot build a CFG for {type(node).__name__}")
+    return _Builder().build(body)
+
+
+def iter_functions(tree: ast.AST):
+    """Yield every (async) function definition in ``tree``, including
+    nested ones, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

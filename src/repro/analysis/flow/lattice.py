@@ -1,0 +1,257 @@
+"""Small abstract-value lattice + environment for taint-style rules.
+
+The flow-sensitive lint rules all track the same shape of fact: *which
+local names are bound to which interesting values* (a keyed RNG stream,
+an open SharedMemory handle, an acquired lock), where each interesting
+value is identified by its creation site.  This module provides:
+
+* :class:`Tag` — an abstract value: a ``kind`` (``"rng"``, ``"shm"``,
+  ``"lock"``, ...) plus the creation site (line/col), hashable and
+  totally ordered so joined states are deterministic;
+* :class:`Env` — an immutable mapping ``name -> frozenset[Tag]`` with
+  the pointwise union join (may-analysis: a name *may* hold a value);
+* helpers to extract assignment targets and name uses from statements
+  without leaking bindings out of comprehension or nested-function
+  scopes (comprehensions have their own scope in Python 3; a ``for x in
+  ...`` inside a listcomp must not count as defining ``x`` in the
+  enclosing function).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Tag", "Env", "assigned_names", "name_uses",
+           "walk_expressions", "step_expressions",
+           "step_assigned_names", "step_calls"]
+
+
+@dataclass(frozen=True, order=True)
+class Tag:
+    """An abstract value identified by kind and creation site."""
+
+    kind: str
+    line: int
+    col: int = 0
+    detail: str = ""
+
+    def __repr__(self) -> str:          # compact in solver dumps
+        extra = f":{self.detail}" if self.detail else ""
+        return f"<{self.kind}@{self.line}{extra}>"
+
+
+class Env:
+    """Immutable ``name -> frozenset[Tag]`` with pointwise-union join."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: dict[str, frozenset[Tag]] | None = None):
+        self._map: dict[str, frozenset[Tag]] = dict(mapping or {})
+
+    # ------------------------------------------------------------- access
+    def get(self, name: str) -> frozenset[Tag]:
+        return self._map.get(name, frozenset())
+
+    def names_of(self, tag: Tag) -> list[str]:
+        return sorted(name for name, tags in self._map.items()
+                      if tag in tags)
+
+    def tags(self) -> frozenset[Tag]:
+        out: set[Tag] = set()
+        for tags in self._map.values():
+            out |= tags
+        return frozenset(out)
+
+    def items(self):
+        return self._map.items()
+
+    # ------------------------------------------------------------ updates
+    def bind(self, name: str, tags: Iterable[Tag]) -> "Env":
+        """Strong update: ``name`` now holds exactly ``tags``."""
+        mapping = dict(self._map)
+        tags = frozenset(tags)
+        if tags:
+            mapping[name] = tags
+        else:
+            mapping.pop(name, None)
+        return Env(mapping)
+
+    def drop_tag(self, tag: Tag) -> "Env":
+        """Remove ``tag`` from every binding (e.g. handle closed)."""
+        mapping = {}
+        for name, tags in self._map.items():
+            kept = tags - {tag}
+            if kept:
+                mapping[name] = kept
+        return Env(mapping)
+
+    # ------------------------------------------------------------ lattice
+    def join(self, other: "Env") -> "Env":
+        mapping = dict(self._map)
+        for name, tags in other._map.items():
+            mapping[name] = mapping.get(name, frozenset()) | tags
+        return Env(mapping)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Env) and self._map == other._map
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._map.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={sorted(v)}"
+                          for k, v in sorted(self._map.items()))
+        return f"Env({inner})"
+
+
+# ---------------------------------------------------------------- scoping
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+                ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+                ast.ClassDef)
+
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+
+
+def walk_expressions(node: ast.AST, *, into_scopes: bool = False):
+    """Yield ``node`` and its descendants, stopping at scope boundaries.
+
+    Nested functions, lambdas, comprehensions, and class bodies are
+    separate Python scopes; a dataflow transfer for the enclosing
+    function must not treat their internals as executing inline (a
+    comprehension's loop variable does not bind in the function, a
+    nested function's body does not run at definition time).  The parts
+    that *do* evaluate in the enclosing scope are still walked: default
+    argument values, decorators, and a comprehension's outermost
+    iterable.
+    """
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if not into_scopes and isinstance(child, _SCOPE_NODES):
+            args = getattr(child, "args", None)
+            if args is not None and not isinstance(args, list):
+                for default in list(args.defaults) + \
+                        [d for d in args.kw_defaults if d is not None]:
+                    yield from walk_expressions(default)
+            for decorator in getattr(child, "decorator_list", []):
+                yield from walk_expressions(decorator)
+            if isinstance(child, _COMPREHENSIONS) and child.generators:
+                yield from walk_expressions(child.generators[0].iter)
+            continue
+        yield from walk_expressions(child, into_scopes=into_scopes)
+
+
+def assigned_names(stmt: ast.AST) -> list[str]:
+    """Plain-name targets a statement (re)binds in the current scope.
+
+    Tuple unpacking is flattened; attribute/subscript stores are not
+    name bindings; comprehension targets and nested-function internals
+    are excluded (their scope is not ours).  A nested ``def f`` *does*
+    bind ``f``.
+    """
+    names: list[str] = []
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return [stmt.name]
+    if isinstance(stmt, ast.Import):
+        return [a.asname or a.name.split(".")[0] for a in stmt.names]
+    if isinstance(stmt, ast.ImportFrom):
+        return [a.asname or a.name for a in stmt.names if a.name != "*"]
+    for node in walk_expressions(stmt):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.append(node.id)
+    return names
+
+
+def name_uses(node: ast.AST) -> list[ast.Name]:
+    """``Name`` loads in ``node``, scope-aware (see
+    :func:`walk_expressions`)."""
+    return [sub for sub in walk_expressions(node)
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)]
+
+
+# ----------------------------------------------------------- step helpers
+
+def step_expressions(step):
+    """The AST actually *evaluated at* a CFG step.
+
+    A compound statement's step covers only its header (the ``if``/
+    ``while`` test, the ``for`` iterable + target, the context-manager
+    expression), never its body — the body lives in successor blocks.
+    Simple statements are walked whole; nested scopes are skipped per
+    :func:`walk_expressions`.
+    """
+    from repro.analysis.flow.cfg import (ENTER_WITH, EXCEPT, EXIT_WITH,
+                                         STMT, TEST)
+    node = step.node
+    if step.kind == TEST:
+        if isinstance(node, (ast.If, ast.While)):
+            yield from walk_expressions(node.test)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from walk_expressions(node.iter)
+            yield from walk_expressions(node.target)
+        elif isinstance(node, ast.Match):
+            yield from walk_expressions(node.subject)
+        return
+    if step.kind == ENTER_WITH:
+        yield from walk_expressions(step.item.context_expr)
+        if step.item.optional_vars is not None:
+            yield from walk_expressions(step.item.optional_vars)
+        return
+    if step.kind == EXIT_WITH:
+        return
+    if step.kind == EXCEPT:
+        if node.type is not None:
+            yield from walk_expressions(node.type)
+        return
+    if step.kind == STMT and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # definition headers only: decorators and defaults evaluate now
+        for decorator in node.decorator_list:
+            yield from walk_expressions(decorator)
+        args = getattr(node, "args", None)
+        if args is not None:
+            for default in list(args.defaults) + \
+                    [d for d in args.kw_defaults if d is not None]:
+                yield from walk_expressions(default)
+        return
+    yield from walk_expressions(node)
+
+
+def step_assigned_names(step) -> list[str]:
+    """Names a CFG step binds in the current scope."""
+    from repro.analysis.flow.cfg import (ENTER_WITH, EXCEPT, STMT, TEST)
+    node = step.node
+    if step.kind == TEST:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return [sub.id for sub in ast.walk(node.target)
+                    if isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Store)]
+        if isinstance(node, (ast.If, ast.While)):
+            # walrus in the test binds
+            return [sub.target.id for sub in walk_expressions(node.test)
+                    if isinstance(sub, ast.NamedExpr)
+                    and isinstance(sub.target, ast.Name)]
+        return []
+    if step.kind == ENTER_WITH:
+        target = step.item.optional_vars
+        if target is None:
+            return []
+        return [sub.id for sub in ast.walk(target)
+                if isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Store)]
+    if step.kind == EXCEPT:
+        return [node.name] if node.name else []
+    if step.kind == STMT:
+        return assigned_names(node)
+    return []
+
+
+def step_calls(step) -> list[ast.Call]:
+    """Call expressions evaluated at a CFG step, in source order."""
+    return [sub for sub in step_expressions(step)
+            if isinstance(sub, ast.Call)]

@@ -1,0 +1,138 @@
+"""Worklist dataflow solver over :class:`~repro.analysis.flow.cfg.CFG`.
+
+A client subclasses :class:`DataflowAnalysis` (or calls
+:func:`solve_forward` directly) and supplies the lattice operations:
+
+* ``entry_state()`` — state at the CFG entry;
+* ``initial_state()`` — the pre-join identity for every other block
+  (⊤ for must-analyses joined by intersection, ⊥ for may-analyses
+  joined by union);
+* ``join(a, b)`` — the lattice join of two predecessor states;
+* ``transfer_step(step, state)`` — state after one block step.
+
+The solver iterates blocks to a fixpoint.  **Determinism:** states must
+be value-comparable (``==``) and transfers monotone; under those
+conditions the fixpoint is unique, so the solution is independent of
+worklist iteration order.  ``order`` exists to let tests *prove* that
+(hypothesis shuffles it and asserts equal fixpoints) — production
+callers leave it as the default reverse postorder, which converges
+fastest.
+
+After the fixpoint, :meth:`DataflowAnalysis.run` replays each reachable
+block from its entry state and calls ``visit_step`` with the state *in
+force at that step* — that is where lint rules fire their findings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.analysis.flow.cfg import CFG, Step
+
+__all__ = ["DataflowAnalysis", "solve_forward"]
+
+#: Fixpoint iteration ceiling: (blocks * steps) is bounded for any real
+#: function; this guards against a non-monotone client transfer.
+MAX_PASSES = 10_000
+
+
+def solve_forward(cfg: CFG, *, entry_state, initial_state, join,
+                  transfer_block, order=None) -> list:
+    """Fixpoint entry-states for every block of ``cfg``.
+
+    ``transfer_block(block, state) -> state`` maps a block's entry
+    state to its exit state.  Returns a list indexed by block number;
+    unreachable blocks keep ``initial_state()``.
+    """
+    states = [initial_state() for _ in cfg.blocks]
+    states[cfg.entry] = entry_state()
+    reachable = cfg.reachable()
+    seed = order if order is not None else cfg.rpo()
+    worklist = deque(index for index in seed if index in reachable)
+    queued = set(worklist)
+    passes = 0
+    while worklist:
+        passes += 1
+        if passes > MAX_PASSES:
+            raise RuntimeError("dataflow solver failed to converge "
+                               "(non-monotone transfer function?)")
+        index = worklist.popleft()
+        queued.discard(index)
+        block = cfg.block(index)
+        out_state = transfer_block(block, states[index])
+        for succ in block.succs:
+            if succ not in reachable:
+                continue
+            if (index, succ) in cfg.exc_edges:
+                # the exception may fire before any step of this block
+                # ran: the handler sees entry state as well as exit
+                flowed = join(states[index], out_state)
+            else:
+                flowed = out_state
+            merged = join(states[succ], flowed)
+            if merged != states[succ]:
+                states[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return states
+
+
+class DataflowAnalysis:
+    """Forward dataflow analysis with a post-fixpoint visiting pass."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+
+    # ------------------------------------------------- lattice (override)
+    def entry_state(self):
+        raise NotImplementedError
+
+    def initial_state(self):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        raise NotImplementedError
+
+    def transfer_step(self, step: Step, state):
+        raise NotImplementedError
+
+    def visit_step(self, step: Step, state) -> None:
+        """Called during :meth:`run`'s replay with the state in force
+        *before* ``step`` executes."""
+
+    # ------------------------------------------------------------- driving
+    def _transfer_block(self, block, state):
+        for step in block.steps:
+            state = self.transfer_step(step, state)
+        return state
+
+    def solve(self, order=None) -> list:
+        return solve_forward(
+            self.cfg, entry_state=self.entry_state,
+            initial_state=self.initial_state, join=self.join,
+            transfer_block=self._transfer_block, order=order)
+
+    def run(self) -> list:
+        """Solve, then replay reachable blocks calling ``visit_step``;
+        returns the fixpoint states."""
+        states = self.solve()
+        for index in sorted(self.cfg.reachable()):
+            state = states[index]
+            for step in self.cfg.block(index).steps:
+                self.visit_step(step, state)
+                state = self.transfer_step(step, state)
+        return states
+
+    # -------------------------------------------------------------- final
+    def exit_state(self, states):
+        """The joined state at the normal (non-raise) function exit."""
+        reachable = self.cfg.reachable()
+        state = self.initial_state()
+        for pred in self.cfg.block(self.cfg.exit).preds:
+            if pred not in reachable:
+                continue
+            block = self.cfg.block(pred)
+            state = self.join(state, self._transfer_block(
+                block, states[pred]))
+        return state

@@ -2,33 +2,44 @@
 
 ``repro lint`` enforces the invariants the paper's methodology demands
 but the type system cannot: bit-reproducible measurements (REP001),
-an unblocked serving event loop (REP002), cycles/ns/GB-s unit
-discipline (REP003), golden-model API parity (REP004), and hazard
-hygiene on simulation paths (REP005).  Stdlib ``ast`` only — no new
-dependencies.
+an unblocked serving event loop (REP002 syntactic, REP007
+flow-sensitive), cycles/ns/GB-s unit discipline (REP003), golden-model
+API parity (REP004), hazard hygiene on simulation paths (REP005),
+keyed-RNG stream discipline (REP006), SHM/descriptor lifecycle
+(REP008), and engine-fingerprint completeness for ResultCache keys
+(REP009).  Stdlib ``ast`` only — no new dependencies; the
+flow-sensitive rules run on :mod:`repro.analysis.flow` CFGs.
 
 Programmatic use::
 
     from repro.analysis.lint import run_lint, load_baseline
-    result = run_lint(["src"], root=repo_root,
+    result = run_lint(["src"], root=repo_root, jobs=4,
+                      cache_dir=".lint-cache",
                       baseline=load_baseline("lint-baseline.json"))
     assert result.exit_code == 0, render_text(result)
 
-Inline suppression: ``# repro: noqa[REP002]`` (or bare ``# repro:
-noqa`` for all rules) on the flagged line.
+Inline suppression: ``# repro: noqa[REP002,REP007]`` (or bare
+``# repro: noqa`` for all rules) on the flagged line; suppressions
+that stop matching anything are themselves reported as REP010.
+Per-rule module scopes come from ``[tool.repro.lint.scopes]`` in
+``pyproject.toml`` (:mod:`repro.analysis.lint.config`).
 """
 
 from repro.analysis.lint.baseline import (BaselineError, DEFAULT_BASELINE,
-                                          load_baseline, write_baseline)
+                                          load_baseline, prune_baseline,
+                                          write_baseline)
+from repro.analysis.lint.config import LintConfig, load_config
 from repro.analysis.lint.engine import (LintResult, iter_python_files,
                                         run_lint)
 from repro.analysis.lint.findings import Finding
-from repro.analysis.lint.reporting import render_json, render_text
+from repro.analysis.lint.reporting import (render_json, render_sarif,
+                                           render_text)
 from repro.analysis.lint.rules import Rule, build_rules, rule_table
 
 __all__ = [
-    "Finding", "LintResult", "Rule",
+    "Finding", "LintResult", "Rule", "LintConfig", "load_config",
     "run_lint", "iter_python_files", "build_rules", "rule_table",
-    "load_baseline", "write_baseline", "BaselineError", "DEFAULT_BASELINE",
-    "render_text", "render_json",
+    "load_baseline", "write_baseline", "prune_baseline",
+    "BaselineError", "DEFAULT_BASELINE",
+    "render_text", "render_json", "render_sarif",
 ]

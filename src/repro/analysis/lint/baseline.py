@@ -44,6 +44,31 @@ def load_baseline(path: str | Path) -> set[str]:
     return set(entries)
 
 
+def prune_baseline(path: str | Path,
+                   live_fingerprints: set[str] | frozenset[str]) -> list[str]:
+    """Drop baseline entries no longer produced by the current tree.
+
+    Returns the stale fingerprints that were removed (empty when the
+    baseline was already tight).  CI runs ``repro lint
+    --prune-baseline`` and fails when anything came back: a stale entry
+    means a grandfathered violation was fixed but its suppression
+    lingered, ready to mask a future regression at the same site.
+    """
+    path = Path(path)
+    fingerprints = load_baseline(path)       # validates the document
+    document = json.loads(path.read_text(encoding="utf-8"))
+    stale = sorted(fingerprints - set(live_fingerprints))
+    if not stale:
+        return []
+    entries = document["baseline"]
+    for fingerprint in stale:
+        entries.pop(fingerprint, None)
+    document["baseline"] = dict(sorted(entries.items()))
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return stale
+
+
 def write_baseline(path: str | Path, findings: list[Finding]) -> int:
     """Write the current findings as the new baseline; returns count."""
     entries = {f.fingerprint: f"{f.rule} {f.path}:{f.line} {f.message}"

@@ -30,17 +30,54 @@ class FileContext:
     """Everything a rule may ask about the file being linted."""
 
     def __init__(self, *, path: str, module: str, tree: ast.AST,
-                 source: str):
+                 source: str, config=None):
         self.path = path                  # repo-relative posix path
         self.module = module              # dotted module guess ("" if n/a)
         self.tree = tree
         self.source = source
         self.source_lines = source.splitlines()
         self.findings: list[Finding] = []
+        #: cross-file facts a rule collects here and consumes in its
+        #: ``finalize`` once every file's facts are merged; values must
+        #: be JSON-serializable (they ride the incremental cache)
+        self.facts: dict[str, list] = {}
         # scope stacks maintained by the engine during the walk
         self.function_stack: list[ast.AST] = []
         self.class_stack: list[ast.ClassDef] = []
         self._aliases = self._collect_aliases(tree)
+        self._config = config
+        self._cfgs: dict[int, object] = {}
+        self._module_returns: dict[str, list[str]] | None = None
+
+    # ------------------------------------------------------------- config
+    def in_rule_scope(self, rule_id: str) -> bool:
+        """Does this rule's configured module scope cover this file?"""
+        if self._config is None:
+            return True
+        return self._config.in_scope(rule_id, self.module)
+
+    # -------------------------------------------------------- flow support
+    def cfg_for(self, func: ast.AST):
+        """The function's CFG, built once and shared across flow rules."""
+        from repro.analysis.flow import build_cfg
+        key = id(func)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            cfg = self._cfgs[key] = build_cfg(func)
+        return cfg
+
+    @property
+    def factory_returns(self) -> dict[str, list[str]]:
+        """``local function -> dotted names it returns`` (same module);
+        lets flow rules see through ``cls = _factory()`` indirection."""
+        if self._module_returns is None:
+            from repro.analysis.flow import module_returns
+            self._module_returns = module_returns(self.tree, self._aliases)
+        return self._module_returns
+
+    def add_fact(self, rule_id: str, fact: dict) -> None:
+        """Record a JSON-serializable cross-file fact for ``rule_id``."""
+        self.facts.setdefault(rule_id, []).append(fact)
 
     # ------------------------------------------------------------ imports
     @staticmethod

@@ -24,6 +24,7 @@ class Finding:
     col: int           # 0-based, matching ast
     message: str
     snippet: str = ""  # stripped source line, for reports and fingerprints
+    level: str = "warning"    # SARIF level: "warning" | "note" | "error"
     fingerprint: str = field(default="", compare=False)
 
     def render(self) -> str:
@@ -33,7 +34,16 @@ class Finding:
     def to_json(self) -> dict:
         return {"rule": self.rule, "path": self.path, "line": self.line,
                 "col": self.col, "message": self.message,
-                "snippet": self.snippet, "fingerprint": self.fingerprint}
+                "snippet": self.snippet, "level": self.level,
+                "fingerprint": self.fingerprint}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Finding":
+        return cls(rule=doc["rule"], path=doc["path"], line=doc["line"],
+                   col=doc["col"], message=doc["message"],
+                   snippet=doc.get("snippet", ""),
+                   level=doc.get("level", "warning"),
+                   fingerprint=doc.get("fingerprint", ""))
 
 
 def _digest(rule: str, path: str, snippet: str, occurrence: int) -> str:

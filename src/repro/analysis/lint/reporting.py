@@ -1,8 +1,10 @@
-"""Text and JSON reporters for lint results.
+"""Text, JSON, and SARIF reporters for lint results.
 
-Both renderers are pure (result -> str) so the CLI, tests, and CI can
+All renderers are pure (result -> str) so the CLI, tests, and CI can
 share them; the JSON document is versioned and round-trips through
-``json.loads`` losslessly (asserted by the CLI tests).
+``json.loads`` losslessly (asserted by the CLI tests).  The SARIF
+renderer emits SARIF 2.1.0 so CI can upload ``lint.sarif`` to GitHub
+code scanning and findings surface as PR annotations.
 """
 
 from __future__ import annotations
@@ -12,6 +14,9 @@ import json
 from repro.analysis.lint.engine import LintResult
 
 REPORT_VERSION = 1
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                 "master/Schemata/sarif-schema-2.1.0.json")
 
 
 def render_text(result: LintResult) -> str:
@@ -47,3 +52,51 @@ def render_json(result: LintResult) -> str:
         "exit_code": result.exit_code,
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document for GitHub code scanning.
+
+    Fingerprints ride along as ``partialFingerprints`` so code scanning
+    tracks a finding across commits the same way the baseline does.
+    """
+    from repro.analysis.lint.rules import rule_table
+
+    rules = [{"id": "REP000", "name": "syntax-error",
+              "shortDescription": {"text": "file does not parse"}}]
+    rules += [{"id": row["id"], "name": row["name"],
+               "shortDescription": {"text": row["summary"]}}
+              for row in rule_table()]
+    index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in sorted(result.findings,
+                          key=lambda f: (f.path, f.line, f.col, f.rule)):
+        entry = {
+            "ruleId": finding.rule,
+            "level": finding.level,
+            "message": {"text": f"{finding.rule} {finding.message}"},
+            "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+            "locations": [{"physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1,
+                           "snippet": {"text": finding.snippet}},
+            }}],
+        }
+        if finding.rule in index:
+            entry["ruleIndex"] = index[finding.rule]
+        results.append(entry)
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-lint",
+                "rules": rules,
+            }},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -2,13 +2,22 @@
 
 A rule declares the AST node-type names it cares about (``interests``);
 the engine's single visitor pass dispatches each node to every enabled
-rule interested in its type.  Cross-file rules (REP004) accumulate state
-during the walk and emit findings from :meth:`Rule.finalize`, which runs
-once after every file has been visited.
+rule interested in its type.  Rules with ``mode = "flow"`` additionally
+implement :meth:`Rule.check_function`: the engine hands them every
+function definition together with its control-flow graph
+(:mod:`repro.analysis.flow`), built once per function and shared.
+
+Cross-file rules record JSON-serializable *facts* during the walk
+(``ctx.add_fact(rule_id, {...})``) and emit findings from
+:meth:`Rule.finalize`, which runs once after every file's facts are
+merged — the facts model is what lets per-file analysis run in worker
+processes and land in the incremental cache while cross-file checks
+stay exact.
 
 Adding a rule: subclass :class:`Rule`, set ``id``/``name``/``summary``/
-``interests``, implement ``check``, and append an instance to
-:data:`ALL_RULES` (DESIGN.md §10 walks through an example).
+``interests`` (and ``mode``), implement ``check`` and/or
+``check_function``, and register it in :func:`build_rules`
+(DESIGN.md §10 and §15 walk through examples).
 """
 
 from __future__ import annotations
@@ -17,47 +26,71 @@ import ast
 
 from repro.analysis.lint.context import FileContext
 
+#: Informational rules render as SARIF ``note`` instead of ``warning``.
+NOTE_RULES = frozenset({"REP010"})
+
 
 class Rule:
-    """One invariant checked over the AST."""
+    """One invariant checked over the AST (or its CFGs)."""
 
     id: str = "REP000"
     name: str = "abstract"
     summary: str = ""
+    #: ``"syntactic"`` rules see nodes via ``check``; ``"flow"`` rules
+    #: additionally see every function + CFG via ``check_function``.
+    mode: str = "syntactic"
     #: AST node class names this rule wants to see (e.g. ``("Call",)``).
     interests: tuple[str, ...] = ()
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
         """Inspect one node; call ``ctx.report(self.id, node, msg)``."""
 
-    def finalize(self, report) -> None:
-        """Emit cross-file findings; ``report(rule_id, path, line, col,
-        message, snippet)``.  Called once per lint run."""
+    def check_function(self, func: ast.AST, cfg, ctx: FileContext) -> None:
+        """Flow-mode hook: one (async) function and its CFG."""
+
+    def finalize(self, facts: list[dict], report) -> None:
+        """Emit cross-file findings from this rule's merged facts;
+        ``report(rule_id, path, line, col, message, snippet)``.  Called
+        once per lint run."""
 
 
 def build_rules(select: tuple[str, ...] | None = None) -> list[Rule]:
-    """Fresh rule instances (rules are stateful across one run only)."""
+    """Fresh rule instances (rules are stateless across files; facts
+    accumulate on the context, not the rule)."""
+    from repro.analysis.lint.rules.async_flow import AsyncFlowRule
     from repro.analysis.lint.rules.async_safety import AsyncSafetyRule
     from repro.analysis.lint.rules.determinism import DeterminismRule
+    from repro.analysis.lint.rules.fingerprint import (
+        FingerprintCompletenessRule)
     from repro.analysis.lint.rules.hygiene import HazardHygieneRule
+    from repro.analysis.lint.rules.lifecycle import ResourceLifecycleRule
     from repro.analysis.lint.rules.parity import GoldenModelParityRule
+    from repro.analysis.lint.rules.rng_stream import RngStreamRule
     from repro.analysis.lint.rules.units_discipline import UnitDisciplineRule
 
     rules: list[Rule] = [DeterminismRule(), AsyncSafetyRule(),
                          UnitDisciplineRule(), GoldenModelParityRule(),
-                         HazardHygieneRule()]
+                         HazardHygieneRule(), RngStreamRule(),
+                         AsyncFlowRule(), ResourceLifecycleRule(),
+                         FingerprintCompletenessRule()]
     if select:
         wanted = {r.upper() for r in select}
-        unknown = wanted - {rule.id for rule in rules}
+        unknown = wanted - {rule.id for rule in rules} - {"REP010"}
         if unknown:
             raise ValueError(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-                f"available: {', '.join(rule.id for rule in rules)}")
+                f"available: {', '.join(rule.id for rule in rules)}, "
+                "REP010")
         rules = [rule for rule in rules if rule.id in wanted]
     return rules
 
 
 def rule_table() -> list[dict]:
-    """Id/name/summary for docs and ``lint --format json`` metadata."""
-    return [{"id": rule.id, "name": rule.name, "summary": rule.summary}
+    """Id/name/summary for docs, ``lint --format json`` metadata, and
+    the SARIF driver rules array."""
+    rows = [{"id": rule.id, "name": rule.name, "summary": rule.summary}
             for rule in build_rules()]
+    rows.append({"id": "REP010", "name": "unused-noqa",
+                 "summary": "informational: a `# repro: noqa[...]` "
+                            "comment that suppresses nothing"})
+    return rows

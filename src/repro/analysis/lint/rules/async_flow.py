@@ -1,0 +1,201 @@
+"""REP007 — flow-sensitive async-safety (the upgrade of REP002).
+
+REP002 catches a ``with lock:`` whose body *syntactically* contains an
+``await``.  This rule tracks the held-resource state along CFG paths
+instead, so it also catches the shapes the syntactic check cannot see:
+
+* ``lock.acquire()`` ... ``await`` ... ``lock.release()`` split across
+  branches (the await is reachable on a path where the lock is held);
+* an ``async with`` whose body spans awaits while an *outer* thread
+  lock is still held;
+* a blocking call (``time.sleep``, sync I/O) on a path where a thread
+  lock is held inside a coroutine — every other task contending for
+  that lock now waits out the blocking call too;
+* a ``SharedMemory`` buffer opened in a coroutine and held across an
+  ``await`` — the suspension can outlive the request (client gone,
+  task cancelled) and the segment stays mapped.
+
+State per path: which lock/SHM tags are held.  ``with`` enter/exit
+steps, ``.acquire()``/``.release()`` and ``.close()``/``.unlink()``
+calls move tags in and out; joins are unions (held on *some* path is a
+finding).  The rule only analyses ``async def`` functions — sync
+helpers hold locks across blocking calls legitimately.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow import (DataflowAnalysis, ENTER_WITH, EXIT_WITH,
+                                 Env, STMT, Tag, TEST,
+                                 step_assigned_names, step_expressions)
+from repro.analysis.lint.context import FileContext, resolve_attribute
+from repro.analysis.lint.rules import Rule
+
+_LOCKISH = ("lock", "mutex", "semaphore", "condition")
+
+_SANCTIONED_LOCKS = ("asyncio.Lock", "asyncio.Semaphore",
+                     "asyncio.Condition", "asyncio.BoundedSemaphore")
+
+_BLOCKING = {"time.sleep", "open", "io.open", "os.system",
+             "subprocess.run", "subprocess.call", "subprocess.check_call",
+             "subprocess.check_output", "subprocess.Popen",
+             "socket.create_connection", "urllib.request.urlopen"}
+
+_SHM = "SharedMemory"
+
+
+def _lock_expr_name(expr: ast.AST, ctx: FileContext) -> str | None:
+    """Dotted name of a thread-lock-ish expression, else None."""
+    if isinstance(expr, ast.Call):
+        resolved = ctx.resolve_call(expr)
+        if resolved and resolved.startswith("asyncio."):
+            return None
+        expr = expr.func
+    resolved = resolve_attribute(expr)
+    if resolved is None:
+        return None
+    if any(resolved == s or resolved.endswith("." + s)
+           for s in _SANCTIONED_LOCKS):
+        return None
+    terminal = resolved.rsplit(".", 1)[-1].lower()
+    if any(word in terminal for word in _LOCKISH):
+        return resolved
+    return None
+
+
+def _is_shm_call(call: ast.Call, ctx: FileContext) -> bool:
+    target = ctx.resolve_call(call)
+    return target is not None and (target == _SHM or
+                                   target.endswith("." + _SHM))
+
+
+class _HeldAnalysis(DataflowAnalysis):
+    """Env of synthetic keys -> held lock/shm tags."""
+
+    def __init__(self, cfg, ctx: FileContext, rule_id: str):
+        super().__init__(cfg)
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self._reported: set[tuple[int, int, str]] = set()
+
+    def entry_state(self) -> Env:
+        return Env()
+
+    def initial_state(self) -> Env:
+        return Env()
+
+    def join(self, a: Env, b: Env) -> Env:
+        return a.join(b)
+
+    # ------------------------------------------------------------ transfer
+    def transfer_step(self, step, env: Env) -> Env:
+        if step.kind == ENTER_WITH:
+            expr = step.item.context_expr
+            lock = None if step.is_async else _lock_expr_name(expr, self.ctx)
+            if lock is not None:
+                tag = Tag("lock", expr.lineno, expr.col_offset, detail=lock)
+                return env.bind(f"@with:{expr.lineno}:{expr.col_offset}",
+                                {tag})
+            if isinstance(expr, ast.Call) and _is_shm_call(expr, self.ctx):
+                tag = Tag("shm", expr.lineno, expr.col_offset)
+                return env.bind(f"@with:{expr.lineno}:{expr.col_offset}",
+                                {tag})
+            return env
+        if step.kind == EXIT_WITH:
+            expr = step.item.context_expr
+            return env.bind(f"@with:{expr.lineno}:{expr.col_offset}",
+                            frozenset())
+        node = step.node
+        if step.kind == STMT and isinstance(node, ast.Assign) and \
+                isinstance(node.value, ast.Call) and \
+                _is_shm_call(node.value, self.ctx):
+            tag = Tag("shm", node.value.lineno, node.value.col_offset)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    env = env.bind(f"@shm:{target.id}", {tag})
+            return env
+        for call in (sub for sub in step_expressions(step)
+                     if isinstance(sub, ast.Call)):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "acquire":
+                lock = _lock_expr_name(func.value, self.ctx)
+                if lock is not None:
+                    tag = Tag("lock", call.lineno, call.col_offset,
+                              detail=lock)
+                    env = env.bind(f"@acq:{lock}", {tag})
+            elif func.attr == "release":
+                lock = _lock_expr_name(func.value, self.ctx)
+                if lock is not None:
+                    env = env.bind(f"@acq:{lock}", frozenset())
+            elif func.attr in ("close", "unlink"):
+                base = func.value
+                if isinstance(base, ast.Name):
+                    env = env.bind(f"@shm:{base.id}", frozenset())
+        for name in step_assigned_names(step):
+            env = env.bind(f"@shm:{name}", frozenset())
+        return env
+
+    # ------------------------------------------------------------ findings
+    def _held(self, env: Env, kind: str) -> Tag | None:
+        tags = sorted(tag for tag in env.tags() if tag.kind == kind)
+        return tags[0] if tags else None
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        key = (node.lineno, node.col_offset, message[:24])
+        if key not in self._reported:
+            self._reported.add(key)
+            self.ctx.report(self.rule_id, node, message)
+
+    def visit_step(self, step, env: Env) -> None:
+        # state *before* this step: a `with lock:` enter itself is fine
+        lock = self._held(env, "lock")
+        shm = self._held(env, "shm")
+        if lock is None and shm is None:
+            return
+        awaits = [sub for sub in step_expressions(step)
+                  if isinstance(sub, ast.Await)]
+        if step.kind == ENTER_WITH and step.is_async:
+            awaits.append(step.item.context_expr)
+        if step.kind == TEST and isinstance(step.node, ast.AsyncFor):
+            awaits.append(step.node.iter)
+        for point in awaits:
+            if lock is not None:
+                self._flag(point,
+                           f"thread lock `{lock.detail}` (held since line "
+                           f"{lock.line}) is held across `await`; the loop "
+                           "can starve the releasing task — use "
+                           "asyncio.Lock or release before awaiting")
+            if shm is not None:
+                self._flag(point,
+                           "SharedMemory buffer opened at line "
+                           f"{shm.line} is held across `await`; a "
+                           "cancelled/stalled task keeps the segment "
+                           "mapped — close before suspending")
+        if lock is None:
+            return
+        for call in (sub for sub in step_expressions(step)
+                     if isinstance(sub, ast.Call)):
+            target = self.ctx.resolve_call(call)
+            if target in _BLOCKING:
+                self._flag(call,
+                           f"blocking call `{target}()` on a path holding "
+                           f"thread lock `{lock.detail}` (line {lock.line}) "
+                           "in async code; contending tasks wait out the "
+                           "block too")
+
+
+class AsyncFlowRule(Rule):
+    id = "REP007"
+    name = "async-flow-safety"
+    summary = ("flow-sensitive: no thread lock or SharedMemory buffer "
+               "held across `await`, no blocking call while a lock is "
+               "held in async code")
+    mode = "flow"
+
+    def check_function(self, func, cfg, ctx: FileContext) -> None:
+        if not isinstance(func, ast.AsyncFunctionDef):
+            return
+        _HeldAnalysis(cfg, ctx, self.id).run()

@@ -1,30 +1,33 @@
 """REP002 — async-safety: keep the event loop unblocked.
 
 ``repro.serve`` is a single asyncio event loop; one blocking call in an
-``async def`` stalls every in-flight request.  Four checks:
+``async def`` stalls every in-flight request.  Three syntactic checks
+(the scope comes from ``[tool.repro.lint.scopes.REP002]``, default
+``repro.serve`` + ``repro.traffic``):
 
 * blocking calls (``time.sleep``, sync file I/O, ``subprocess``/
   ``os.system``) inside any ``async def``;
-* a ``threading.Lock``-ish context manager held across an ``await``
-  (deadlock + loop stall: the loop may never reach the releasing task);
-* ``time.sleep`` anywhere in ``repro.serve`` — even sync helpers run
-  near the loop, so the blocking *sync client* must opt in with an
-  explicit ``# repro: noqa[REP002]``;
+* ``time.sleep`` anywhere in scope — even sync helpers run near the
+  loop, so the blocking *sync client* must opt in with an explicit
+  ``# repro: noqa[REP002]``;
 * ``pickle.dump(s)`` or ``SharedMemory`` creation inside an ``async
-  def`` in ``repro.serve`` — result serialization and segment setup
-  belong to the worker tier (or a thread), not the loop: pickling a
-  multi-megabyte result stalls every request for its full duration,
-  and the worker tier's transport contract is pickle-free.
+  def`` — result serialization and segment setup belong to the worker
+  tier (or a thread), not the loop: pickling a multi-megabyte result
+  stalls every request for its full duration, and the worker tier's
+  transport contract is pickle-free.
+
+The *thread lock held across an await* check that used to live here is
+now REP007 (:mod:`repro.analysis.lint.rules.async_flow`), which tracks
+lock state along CFG paths instead of requiring the ``with`` block and
+the ``await`` to be syntactically nested.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.analysis.lint.context import FileContext, resolve_attribute
+from repro.analysis.lint.context import FileContext
 from repro.analysis.lint.rules import Rule
-
-ASYNC_PACKAGES = ("repro.serve", "repro.traffic")
 
 _BLOCKING = {"time.sleep", "open", "io.open", "os.system",
              "subprocess.run", "subprocess.call", "subprocess.check_call",
@@ -38,45 +41,17 @@ _SERVE_TRANSPORT = ("pickle.dump", "pickle.dumps")
 
 _SHM_CREATOR = "SharedMemory"
 
-_LOCKISH = ("lock", "mutex", "semaphore", "condition")
-
-_SANCTIONED_LOCKS = ("asyncio.Lock", "asyncio.Semaphore",
-                     "asyncio.Condition", "asyncio.BoundedSemaphore")
-
-
-def _looks_like_thread_lock(item: ast.withitem, ctx: FileContext) -> bool:
-    """Heuristic: context expr names a lock and is not asyncio's."""
-    expr = item.context_expr
-    if isinstance(expr, ast.Call):
-        resolved = ctx.resolve_call(expr)
-        if resolved and resolved.startswith("asyncio."):
-            return False
-        expr = expr.func
-    resolved = resolve_attribute(expr)
-    if resolved is None:
-        return False
-    if any(resolved == s or resolved.endswith("." + s)
-           for s in _SANCTIONED_LOCKS):
-        return False
-    terminal = resolved.rsplit(".", 1)[-1].lower()
-    return any(word in terminal for word in _LOCKISH)
-
 
 class AsyncSafetyRule(Rule):
     id = "REP002"
     name = "async-safety"
-    summary = ("no blocking calls in `async def`, no thread locks held "
-               "across `await`, no time.sleep / coroutine pickling / "
-               "SharedMemory setup in repro.serve")
-    interests = ("Call", "With")
+    summary = ("no blocking calls in `async def`, no time.sleep / "
+               "coroutine pickling / SharedMemory setup in repro.serve")
+    interests = ("Call",)
 
-    def check(self, node: ast.AST, ctx: FileContext) -> None:
-        if isinstance(node, ast.Call):
-            self._check_call(node, ctx)
-        elif isinstance(node, ast.With):
-            self._check_with(node, ctx)
-
-    def _check_call(self, node: ast.Call, ctx: FileContext) -> None:
+    def check(self, node: ast.Call, ctx: FileContext) -> None:
+        if not ctx.in_rule_scope(self.id):
+            return
         target = ctx.resolve_call(node)
         if target is None:
             return
@@ -85,13 +60,12 @@ class AsyncSafetyRule(Rule):
                        f"blocking call `{target}()` inside `async def "
                        f"{ctx.function_stack[-1].name}`; use an awaitable "
                        "(asyncio.sleep / to_thread / run_in_executor)")
-        elif (target == "time.sleep" and not ctx.in_async_function
-              and ctx.module_in(ASYNC_PACKAGES)):
+        elif target == "time.sleep" and not ctx.in_async_function:
             ctx.report(self.id, node,
                        "time.sleep in repro.serve blocks threads the event "
                        "loop shares; an intentionally-blocking sync helper "
                        "needs `# repro: noqa[REP002]`")
-        elif ctx.in_async_function and ctx.module_in(ASYNC_PACKAGES):
+        elif ctx.in_async_function:
             if target in _SERVE_TRANSPORT:
                 ctx.report(self.id, node,
                            f"`{target}()` inside `async def "
@@ -106,17 +80,3 @@ class AsyncSafetyRule(Rule):
                            f"{ctx.function_stack[-1].name}` blocks the "
                            "loop on segment setup; create segments in "
                            "worker processes or a thread")
-
-    def _check_with(self, node: ast.With, ctx: FileContext) -> None:
-        if not ctx.in_async_function:
-            return
-        if not any(_looks_like_thread_lock(item, ctx) for item in node.items):
-            return
-        for child in node.body:
-            for sub in ast.walk(child):
-                if isinstance(sub, ast.Await):
-                    ctx.report(self.id, sub,
-                               "thread lock held across `await`; the loop "
-                               "can starve the releasing task — use "
-                               "asyncio.Lock or release before awaiting")
-                    return

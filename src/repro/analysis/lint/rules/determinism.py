@@ -4,9 +4,11 @@ The paper's measurements are reproduced with *deterministic* per-key
 noise streams (:mod:`repro.rng`); any path through the simulated device
 that touches the process-global RNG or the wall clock breaks
 bit-reproducibility between runs — exactly the measurement-discipline
-slip microbenchmark papers blame for divergent results.  Scope is the
-simulation packages only: serving, exec, and benchmark timing code
-legitimately reads clocks.
+slip microbenchmark papers blame for divergent results.  Scope comes
+from ``[tool.repro.lint.scopes.REP001]`` (default: the simulation
+packages, with ``repro.rng`` — which *implements* the discipline —
+exempt); serving, exec, and benchmark timing code legitimately reads
+clocks.
 """
 
 from __future__ import annotations
@@ -15,14 +17,6 @@ import ast
 
 from repro.analysis.lint.context import FileContext
 from repro.analysis.lint.rules import Rule
-
-#: Packages whose modules must be bit-reproducible.
-SIMULATION_PACKAGES = ("repro.noc", "repro.gpu", "repro.memory",
-                       "repro.core", "repro.runtime", "repro.sidechannel",
-                       "repro.workloads", "repro.traffic")
-
-#: The sanctioned wrapper is exempt (it *implements* the discipline).
-EXEMPT_MODULES = ("repro.rng",)
 
 _WALL_CLOCK = {"time.time", "time.time_ns", "time.monotonic",
                "time.monotonic_ns", "time.perf_counter",
@@ -42,9 +36,7 @@ class DeterminismRule(Rule):
     interests = ("Call",)
 
     def check(self, node: ast.Call, ctx: FileContext) -> None:
-        if not ctx.module_in(SIMULATION_PACKAGES):
-            return
-        if ctx.module_in(EXEMPT_MODULES):
+        if not ctx.in_rule_scope(self.id):
             return
         target = ctx.resolve_call(node)
         if target is None:

@@ -1,0 +1,137 @@
+"""REP009 — fingerprint completeness (cross-file).
+
+``ResultCache`` keys fold in :func:`repro.core.fastpath
+.engine_fingerprint` so a cached result is invalidated when the engine
+that produced it changes.  That only works if *every* engine name the
+codebase accepts actually contributes a version field there: an engine
+registered in an ``ENGINES``/``MESH_ENGINES`` tuple but missing from
+``engine_fingerprint`` silently serves stale cache entries across
+kernel changes — the exact staleness bug the fingerprint exists to
+prevent.
+
+Two kinds of per-file facts feed :meth:`finalize`:
+
+* **registrations** — module-level ``*ENGINES = ("...", ...)`` tuples
+  of string constants (the selector vocabularies);
+* **fingerprints** — inside any function named ``engine_fingerprint``,
+  a branch comparing the engine to a string constant whose body returns
+  a dict carrying a ``*_version`` key marks that engine as versioned.
+
+Every registered engine except the golden ``"scalar"`` (version-free
+by design: its results *define* correctness) must be fingerprinted
+somewhere in the linted tree.  The check is cross-file by nature —
+``MESH_ENGINES`` lives in ``fastmesh.py``, the fingerprint in
+``fastpath/__init__.py`` — which is exactly what the facts model is
+for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.context import FileContext
+from repro.analysis.lint.rules import Rule
+
+#: The golden engine is version-free by design.
+_EXEMPT = frozenset({"scalar"})
+
+_FINGERPRINT_FN = "engine_fingerprint"
+
+
+def _registered_engines(node: ast.Assign) -> list[str] | None:
+    """Engine strings when ``node`` is ``*ENGINES = ("a", "b", ...)``."""
+    if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+        return None
+    if not node.targets[0].id.endswith("ENGINES"):
+        return None
+    value = node.value
+    if not isinstance(value, (ast.Tuple, ast.List)):
+        return None
+    names: list[str] = []
+    for element in value.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _fingerprinted_engines(func: ast.AST) -> list[str]:
+    """Engine strings versioned inside an ``engine_fingerprint`` body.
+
+    A branch ``if <name> == "X":`` (or the symmetric compare) whose body
+    returns a dict literal with a key ending ``_version`` versions
+    engine ``"X"``.
+    """
+    versioned: list[str] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                and isinstance(test.ops[0], ast.Eq)):
+            continue
+        sides = [test.left, test.comparators[0]]
+        literals = [s.value for s in sides
+                    if isinstance(s, ast.Constant)
+                    and isinstance(s.value, str)]
+        if len(literals) != 1:
+            continue
+        for sub in node.body:
+            for ret in ast.walk(sub):
+                if isinstance(ret, ast.Return) and \
+                        isinstance(ret.value, ast.Dict) and any(
+                            isinstance(k, ast.Constant)
+                            and isinstance(k.value, str)
+                            and k.value.endswith("_version")
+                            for k in ret.value.keys):
+                    versioned.append(literals[0])
+    return versioned
+
+
+class FingerprintCompletenessRule(Rule):
+    id = "REP009"
+    name = "fingerprint-completeness"
+    summary = ("every engine registered in *ENGINES tuples must carry a "
+               "*_version field in engine_fingerprint (scalar exempt), "
+               "or ResultCache serves stale entries")
+    interests = ("Assign", "FunctionDef")
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Assign):
+            if ctx.function_stack or ctx.class_stack:
+                return              # only module-level registries
+            engines = _registered_engines(node)
+            if engines is not None:
+                ctx.add_fact(self.id, {
+                    "kind": "registry", "engines": engines,
+                    "path": ctx.path, "line": node.lineno,
+                    "name": node.targets[0].id,
+                    "snippet": ctx.source_segment(node)})
+            return
+        if node.name != _FINGERPRINT_FN:
+            return
+        ctx.add_fact(self.id, {
+            "kind": "fingerprint",
+            "engines": _fingerprinted_engines(node),
+            "path": ctx.path, "line": node.lineno})
+
+    def finalize(self, facts: list[dict], report) -> None:
+        fingerprint_sites = [f for f in facts if f["kind"] == "fingerprint"]
+        if not fingerprint_sites:
+            return          # engine_fingerprint not in the linted path set
+        versioned: set[str] = set()
+        for fact in fingerprint_sites:
+            versioned.update(fact["engines"])
+        for fact in facts:
+            if fact["kind"] != "registry":
+                continue
+            for engine in fact["engines"]:
+                if engine in _EXEMPT or engine in versioned:
+                    continue
+                report(self.id, fact["path"], fact["line"], 0,
+                       f"engine '{engine}' (registered in `{fact['name']}`)"
+                       " contributes no *_version field in "
+                       "engine_fingerprint; cached results for it survive "
+                       "engine changes — add a versioned branch",
+                       fact["snippet"])

@@ -70,35 +70,32 @@ def _required_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
     return tuple(names)
 
 
-class _ClassApi:
-    def __init__(self, path: str, node: ast.ClassDef):
-        self.path = path
-        self.line = node.lineno
-        self.members: dict[str, dict] = {}
-        for stmt in node.body:
-            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if stmt.name.startswith("_") and stmt.name != "__init__":
-                continue
-            decorators = {d.id for d in stmt.decorator_list
-                          if isinstance(d, ast.Name)}
-            self.members[stmt.name] = {
-                "kind": "property" if "property" in decorators else "method",
-                "required": _required_params(stmt),
-                "line": stmt.lineno,
-                "snippet": f"def {stmt.name}",
-            }
+def _class_fact(path: str, node: ast.ClassDef) -> dict:
+    """JSON-serializable public-API descriptor of a watched class."""
+    members: dict[str, dict] = {}
+    for stmt in node.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name.startswith("_") and stmt.name != "__init__":
+            continue
+        decorators = {d.id for d in stmt.decorator_list
+                      if isinstance(d, ast.Name)}
+        members[stmt.name] = {
+            "kind": "property" if "property" in decorators else "method",
+            "required": list(_required_params(stmt)),
+            "line": stmt.lineno,
+            "snippet": f"def {stmt.name}",
+        }
+    return {"path": path, "line": node.lineno, "members": members}
 
 
-class _FunctionApi:
-    def __init__(self, path: str, node):
-        self.path = path
-        self.line = node.lineno
-        self.required = _required_params(node)
-        args = node.args
-        self.params = tuple(
-            a.arg for a in args.posonlyargs + args.args + args.kwonlyargs)
-        self.snippet = f"def {node.name}"
+def _function_fact(path: str, node) -> dict:
+    args = node.args
+    return {"path": path, "line": node.lineno,
+            "required": list(_required_params(node)),
+            "params": [a.arg for a in
+                       args.posonlyargs + args.args + args.kwonlyargs],
+            "snippet": f"def {node.name}"}
 
 
 class GoldenModelParityRule(Rule):
@@ -109,29 +106,36 @@ class GoldenModelParityRule(Rule):
                "functions vs their repro.core.fastpath twins")
     interests = ("ClassDef", "FunctionDef")
 
-    def __init__(self):
-        self._seen: dict[tuple[str, str], _ClassApi] = {}
-        self._seen_funcs: dict[tuple[str, str], _FunctionApi] = {}
-
     def check(self, node: ast.AST, ctx: FileContext) -> None:
         if isinstance(node, ast.ClassDef):
             for pair in WATCHED_PAIRS:
                 for module, cls in (pair[:2], pair[2:]):
                     if ctx.module == module and node.name == cls:
-                        self._seen[(module, cls)] = _ClassApi(ctx.path, node)
+                        ctx.add_fact(self.id, {
+                            "module": module, "name": cls,
+                            "api": _class_fact(ctx.path, node)})
             return
         if node.col_offset != 0:        # only module-level functions
             return
         for pair in WATCHED_FUNCTION_PAIRS:
             for module, fn in (pair[:2], pair[2:]):
                 if ctx.module == module and node.name == fn:
-                    self._seen_funcs[(module, fn)] = _FunctionApi(
-                        ctx.path, node)
+                    ctx.add_fact(self.id, {
+                        "module": module, "name": fn,
+                        "fn": _function_fact(ctx.path, node)})
 
-    def finalize(self, report) -> None:
+    def finalize(self, facts: list[dict], report) -> None:
+        classes: dict[tuple[str, str], dict] = {}
+        functions: dict[tuple[str, str], dict] = {}
+        for fact in facts:
+            key = (fact["module"], fact["name"])
+            if "api" in fact:
+                classes[key] = fact["api"]
+            else:
+                functions[key] = fact["fn"]
         for mod_a, cls_a, mod_b, cls_b in WATCHED_PAIRS:
-            api_a = self._seen.get((mod_a, cls_a))
-            api_b = self._seen.get((mod_b, cls_b))
+            api_a = classes.get((mod_a, cls_a))
+            api_b = classes.get((mod_b, cls_b))
             if api_a is None or api_b is None:
                 continue        # pair not in the linted path set
             self._diff(report, cls_a, api_a, cls_b, api_b,
@@ -141,55 +145,57 @@ class GoldenModelParityRule(Rule):
             self._diff(report, cls_b, api_b, cls_a, api_a,
                        check_common=False)
         for mod_s, fn_s, mod_v, fn_v in WATCHED_FUNCTION_PAIRS:
-            scalar = self._seen_funcs.get((mod_s, fn_s))
+            scalar = functions.get((mod_s, fn_s))
             if scalar is None:
                 continue        # scalar module not in the linted path set
-            fast = self._seen_funcs.get((mod_v, fn_v))
+            fast = functions.get((mod_v, fn_v))
             if fast is None:
-                report(self.id, scalar.path, scalar.line, 0,
+                report(self.id, scalar["path"], scalar["line"], 0,
                        f"`{fn_s}` has no vectorized twin `{mod_v}.{fn_v}`; "
                        "the fastpath equivalence suite cannot cover it",
-                       scalar.snippet)
+                       scalar["snippet"])
                 continue
-            scalar_req = tuple(p for p in scalar.required
+            scalar_req = tuple(p for p in scalar["required"]
                                if p not in _SCALAR_ONLY_PARAMS)
-            if scalar_req != fast.required:
-                report(self.id, fast.path, fast.line, 0,
+            fast_req = tuple(fast["required"])
+            if scalar_req != fast_req:
+                report(self.id, fast["path"], fast["line"], 0,
                        f"`{fn_v}` required parameters differ from the "
-                       f"scalar golden model: {fn_v}{fast.required} vs "
-                       f"{fn_s}{scalar_req}", fast.snippet)
-            if "engine" not in scalar.params:
-                report(self.id, scalar.path, scalar.line, 0,
+                       f"scalar golden model: {fn_v}{fast_req} vs "
+                       f"{fn_s}{scalar_req}", fast["snippet"])
+            if "engine" not in scalar["params"]:
+                report(self.id, scalar["path"], scalar["line"], 0,
                        f"`{fn_s}` lacks the `engine=` selector; the "
                        f"vectorized twin `{fn_v}` is unreachable from the "
-                       "measurement API", scalar.snippet)
+                       "measurement API", scalar["snippet"])
 
-    def _diff(self, report, name_a: str, api_a: _ClassApi,
-              name_b: str, api_b: _ClassApi, *, check_common: bool) -> None:
+    def _diff(self, report, name_a: str, api_a: dict,
+              name_b: str, api_b: dict, *, check_common: bool) -> None:
         """Findings for members of ``a`` that ``b`` lacks or mismatches.
 
         Anchored at the lagging side (``b``'s class line for missing
         members) so the finding points where the fix goes.
         """
-        for member, info in sorted(api_a.members.items()):
-            other = api_b.members.get(member)
+        for member, info in sorted(api_a["members"].items()):
+            other = api_b["members"].get(member)
             if other is None:
-                report(self.id, api_b.path, api_b.line, 0,
+                report(self.id, api_b["path"], api_b["line"], 0,
                        f"{name_b} is missing public {info['kind']} "
                        f"`{member}` present on {name_a} "
-                       f"({api_a.path}:{info['line']}); the equivalence "
+                       f"({api_a['path']}:{info['line']}); the equivalence "
                        "suite cannot cover it",
                        f"class {name_b}")
                 continue
             if not check_common:
                 continue
             if other["kind"] != info["kind"]:
-                report(self.id, api_b.path, other["line"], 0,
+                report(self.id, api_b["path"], other["line"], 0,
                        f"`{member}` is a {other['kind']} on {name_b} but a "
                        f"{info['kind']} on {name_a}; callers cannot treat "
                        "the models interchangeably", other["snippet"])
             elif other["required"] != info["required"]:
-                report(self.id, api_b.path, other["line"], 0,
+                report(self.id, api_b["path"], other["line"], 0,
                        f"`{member}` required parameters differ: "
-                       f"{name_b}{other['required']} vs "
-                       f"{name_a}{info['required']}", other["snippet"])
+                       f"{name_b}{tuple(other['required'])} vs "
+                       f"{name_a}{tuple(info['required'])}",
+                       other["snippet"])

@@ -1,0 +1,207 @@
+"""REP006 — rng-stream discipline (flow-sensitive).
+
+:func:`repro.rng.generator_for` hands out *keyed* streams: the (seed,
+key) pair fully determines every draw, which is what makes measurement
+runs bit-reproducible and cache keys honest.  A keyed stream stays
+disciplined only while its draws happen in-order, in-process:
+
+* **reseeding** (``gen.bit_generator.seed(...)``, assigning
+  ``gen.bit_generator.state``) silently replaces the keyed stream with
+  an ambient one — the (seed, key) in the cache key no longer describes
+  the draws;
+* **ambient forking** (``gen.spawn(...)``, ``gen.jumped(...)``) derives
+  child streams whose identity depends on how many times the parent was
+  forked, i.e. on call order — derive independent streams with another
+  ``generator_for(seed, *key)`` instead;
+* **escaping into a worker or closure** (passed to ``Thread``/
+  ``Process``/executor ``submit``/``map``, or captured by a nested
+  ``def``/``lambda``) lets draws interleave nondeterministically across
+  threads, or pickles generator state across processes.
+
+The rule runs a small taint analysis over each function's CFG: names
+bound to ``generator_for`` results carry a tag through assignments and
+joins, and the checks above fire wherever a tagged name reaches them on
+*some* path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow import (DataflowAnalysis, Env, STMT, Tag,
+                                 step_assigned_names, step_expressions)
+from repro.analysis.lint.context import FileContext, resolve_attribute
+from repro.analysis.lint.rules import Rule
+
+#: Calls whose result is a keyed stream.
+_CREATORS = frozenset({"repro.rng.generator_for"})
+
+#: Methods that fork a stream ambiently.
+_FORKERS = frozenset({"spawn", "jumped"})
+
+#: Call targets that move an argument into another thread/process.
+_SPAWNERS = frozenset({"threading.Thread", "multiprocessing.Process",
+                       "concurrent.futures.ProcessPoolExecutor",
+                       "concurrent.futures.ThreadPoolExecutor"})
+_SPAWN_METHODS = ("submit", "map", "map_async", "apply_async",
+                  "starmap", "starmap_async")
+
+
+def _base_name(node: ast.AST) -> str | None:
+    """Innermost Name of an attribute chain (``gen.bit_generator.state``
+    -> ``gen``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _StreamAnalysis(DataflowAnalysis):
+    def __init__(self, cfg, ctx: FileContext, rule_id: str):
+        super().__init__(cfg)
+        self.ctx = ctx
+        self.rule_id = rule_id
+        self._reported: set[tuple[int, int, str]] = set()
+
+    # ------------------------------------------------------------- lattice
+    def entry_state(self) -> Env:
+        return Env()
+
+    def initial_state(self) -> Env:
+        return Env()
+
+    def join(self, a: Env, b: Env) -> Env:
+        return a.join(b)
+
+    def _value_tags(self, value: ast.AST, env: Env) -> frozenset[Tag]:
+        if isinstance(value, ast.Name):
+            return env.get(value.id)
+        if isinstance(value, ast.Call):
+            target = self.ctx.resolve_call(value)
+            if target in _CREATORS:
+                return frozenset({Tag("rng", value.lineno,
+                                      value.col_offset)})
+        return frozenset()
+
+    def transfer_step(self, step, env: Env) -> Env:
+        node = step.node
+        if step.kind == STMT and isinstance(node, ast.Assign):
+            tags = self._value_tags(node.value, env)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    env = env.bind(target.id, tags)
+                else:
+                    for name in step_assigned_names(step):
+                        env = env.bind(name, frozenset())
+            return env
+        if step.kind == STMT and isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and node.value is not None:
+            return env.bind(node.target.id,
+                            self._value_tags(node.value, env))
+        for name in step_assigned_names(step):
+            env = env.bind(name, frozenset())
+        return env
+
+    # ------------------------------------------------------------ findings
+    def _flag(self, node: ast.AST, what: str) -> None:
+        key = (node.lineno, node.col_offset, what[:20])
+        if key not in self._reported:
+            self._reported.add(key)
+            self.ctx.report(self.rule_id, node, what)
+
+    def visit_step(self, step, env: Env) -> None:
+        node = step.node
+        # `gen.bit_generator.state = ...` — state replacement
+        if step.kind == STMT and isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and \
+                        target.attr in ("state", "seed"):
+                    base = _base_name(target)
+                    if base and env.get(base):
+                        self._flag(node,
+                                   f"keyed stream `{base}` is reseeded by "
+                                   f"assigning `.{target.attr}`; the (seed, "
+                                   "key) identity no longer describes its "
+                                   "draws — derive a fresh stream with "
+                                   "repro.rng.generator_for")
+        for expr in step_expressions(step):
+            if isinstance(expr, ast.Call):
+                self._visit_call(expr, env)
+        # closure capture: a nested def/lambda defined while a stream is
+        # live, referencing a tagged name
+        if step.kind == STMT and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._check_capture(node, node.name, env)
+        elif step.kind == STMT:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Lambda):
+                    self._check_capture(sub, "<lambda>", env)
+
+    def _visit_call(self, call: ast.Call, env: Env) -> None:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = _base_name(func)
+            tagged = base is not None and bool(env.get(base))
+            if tagged and func.attr in _FORKERS:
+                self._flag(call,
+                           f"keyed stream `{base}` forked ambiently via "
+                           f"`.{func.attr}()`; child-stream identity then "
+                           "depends on call order — derive independent "
+                           "streams with repro.rng.generator_for(seed, "
+                           "*key)")
+                return
+            if tagged and func.attr == "seed":
+                self._flag(call,
+                           f"keyed stream `{base}` is reseeded via "
+                           f"`.seed()`; the (seed, key) identity no longer "
+                           "describes its draws")
+                return
+        target = self.ctx.resolve_call(call)
+        spawnish = target in _SPAWNERS or (
+            isinstance(func, ast.Attribute) and func.attr in _SPAWN_METHODS)
+        if not spawnish:
+            return
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name) and env.get(sub.id):
+                    self._flag(call,
+                               f"keyed stream `{sub.id}` escapes into a "
+                               "spawned worker; cross-thread draws "
+                               "interleave nondeterministically — pass "
+                               "(seed, key) and rebuild the stream with "
+                               "generator_for in the worker")
+                    return
+
+    def _check_capture(self, scope_node: ast.AST, label: str,
+                       env: Env) -> None:
+        inner_bound = {sub.id for sub in ast.walk(scope_node)
+                       if isinstance(sub, ast.Name)
+                       and isinstance(sub.ctx, ast.Store)}
+        args = getattr(scope_node, "args", None)
+        if args is not None:
+            inner_bound |= {a.arg for a in
+                           args.posonlyargs + args.args + args.kwonlyargs}
+            if args.vararg:
+                inner_bound.add(args.vararg.arg)
+            if args.kwarg:
+                inner_bound.add(args.kwarg.arg)
+        for sub in ast.walk(scope_node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load) \
+                    and sub.id not in inner_bound and env.get(sub.id):
+                self._flag(scope_node,
+                           f"keyed stream `{sub.id}` captured by closure "
+                           f"`{label}`; if the closure outlives this call "
+                           "or runs concurrently, its draws detach from "
+                           "the (seed, key) identity — pass (seed, key) "
+                           "and rebuild inside")
+                return
+
+
+class RngStreamRule(Rule):
+    id = "REP006"
+    name = "rng-stream-discipline"
+    summary = ("keyed repro.rng streams must not be reseeded, forked via "
+               ".spawn()/.jumped(), or escape into workers/closures")
+    mode = "flow"
+
+    def check_function(self, func, cfg, ctx: FileContext) -> None:
+        _StreamAnalysis(cfg, ctx, self.id).run()

@@ -21,8 +21,6 @@ import ast
 from repro.analysis.lint.context import FileContext, resolve_attribute
 from repro.analysis.lint.rules import Rule
 
-EXEMPT_MODULES = ("repro.units", "repro.analysis.lint")
-
 #: value -> the units.py name that spells it.
 MAGIC_VALUES = {
     10 ** 9: "units.GIGA (vendor GB / Hz-per-GHz)",
@@ -92,7 +90,7 @@ class UnitDisciplineRule(Rule):
     interests = ("Constant", "BinOp")
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
-        if ctx.module_in(EXEMPT_MODULES):
+        if not ctx.in_rule_scope(self.id):
             return
         if isinstance(node, ast.BinOp):
             self._check_mixed_suffixes(node, ctx)

@@ -11,7 +11,7 @@ run from a shell:
 * ``observations``               — all twelve observation checks
 * ``serve``                      — measurement-as-a-service HTTP server
 * ``traffic``                    — open-loop traffic replay + scenarios
-* ``lint``                       — AST invariant linter (REP001–REP005)
+* ``lint``                       — AST + dataflow linter (REP001–REP009)
 """
 
 from __future__ import annotations
@@ -245,7 +245,8 @@ def _cmd_traffic(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import (BaselineError, DEFAULT_BASELINE,
-                                     load_baseline, render_json,
+                                     load_baseline, prune_baseline,
+                                     render_json, render_sarif,
                                      render_text, run_lint, write_baseline)
     from pathlib import Path
 
@@ -266,7 +267,8 @@ def _cmd_lint(args) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
     try:
-        result = run_lint(args.paths, select=select, baseline=fingerprints)
+        result = run_lint(args.paths, select=select, baseline=fingerprints,
+                          jobs=args.jobs, cache_dir=args.cache)
     except ValueError as exc:        # unknown --select rule id
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -275,8 +277,28 @@ def _cmd_lint(args) -> int:
         count = write_baseline(target, result.findings)
         print(f"wrote {count} baselined finding(s) to {target}")
         return 0
-    print(render_json(result) if args.format == "json"
-          else render_text(result))
+    if args.prune_baseline:
+        if baseline_path is None:
+            print("repro lint: --prune-baseline needs a baseline file",
+                  file=sys.stderr)
+            return 2
+        stale = prune_baseline(baseline_path, result.live_fingerprints)
+        if stale:
+            print(f"pruned {len(stale)} stale fingerprint(s) from "
+                  f"{baseline_path}:")
+            for fingerprint in stale:
+                print(f"  {fingerprint}")
+            return 1        # CI treats a dirty baseline as a failure
+        print(f"baseline {baseline_path} is tight (nothing to prune)")
+        return result.exit_code
+    renderers = {"text": render_text, "json": render_json,
+                 "sarif": render_sarif}
+    rendered = renderers[args.format](result)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {args.format} report to {args.output}")
+    else:
+        print(rendered)
     return result.exit_code
 
 
@@ -403,12 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     scenario_p.add_argument("--out", default=None, metavar="FILE",
                             help="write the full JSON result here")
     lint = sub.add_parser(
-        "lint", help="AST invariant linter (REP001-REP005)")
+        "lint", help="AST + dataflow invariant linter (REP001-REP009)")
     lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
                       help="files/directories to lint "
                            "(default: src benchmarks)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (default text)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="report format (default text)")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="write the report here instead of stdout")
     lint.add_argument("--baseline", default=None, metavar="FILE",
                       help="baseline JSON of grandfathered findings "
                            "(default: ./lint-baseline.json if present)")
@@ -421,6 +445,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true",
                       help="write current findings to the baseline file "
                            "and exit 0")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="drop baseline fingerprints the tree no longer "
+                           "produces; exit 1 if any were stale")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="lint files across N worker processes")
+    lint.add_argument("--cache", default=None, metavar="DIR",
+                      help="incremental result cache directory "
+                           "(keyed on content + ruleset version)")
     return parser
 
 

@@ -198,7 +198,7 @@ def make_stream(seed: int, *key):
     if _STREAM_CLS is None:
         try:
             ok = _raw_stream_matches()
-        except Exception:           # repro: noqa[REP005] - fallback probe
+        except Exception:           # fallback probe: any failure means "no"
             ok = False
         _STREAM_CLS = _RawStream if ok else _GeneratorStream
     return _STREAM_CLS(seed, *key)

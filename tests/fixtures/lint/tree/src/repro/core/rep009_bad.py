@@ -1,0 +1,8 @@
+"""Fixture: REP009 fingerprint-completeness violation.
+
+``turbo`` is registered but carries no ``*_version`` field in the
+``engine_fingerprint`` defined in :mod:`rep009_ok` — cross-file, the
+way the real registries split across modules.
+"""
+
+SOLVER_ENGINES = ("scalar", "vectorized", "turbo")

@@ -1,0 +1,11 @@
+"""Fixture: the fingerprint side of the REP009 pair."""
+
+FIXTURE_ENGINES = ("scalar", "vectorized")
+
+VECTOR_VERSION = 3
+
+
+def engine_fingerprint(name):
+    if name == "vectorized":
+        return {"fastpath_version": VECTOR_VERSION}
+    return {}

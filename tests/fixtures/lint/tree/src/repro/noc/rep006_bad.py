@@ -1,0 +1,60 @@
+"""Fixture: REP006 rng-stream discipline violations."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.rng import generator_for
+
+
+def forked_stream(seed):
+    gen = generator_for(seed, "fixture", 0)
+    return gen.spawn(4)
+
+
+def jumped_alias(seed):
+    gen = generator_for(seed, "fixture", 1)
+    alias = gen
+    return alias.jumped()
+
+
+def reseeded_state(seed, state):
+    gen = generator_for(seed, "fixture", 2)
+    gen.bit_generator.state = state
+    return gen.normal()
+
+
+def reseeded_call(seed):
+    gen = generator_for(seed, "fixture", 3)
+    gen.seed(0)
+    return gen
+
+
+def stream_into_thread(seed):
+    gen = generator_for(seed, "fixture", 4)
+    worker = threading.Thread(target=print, args=(gen,))
+    worker.start()
+
+
+def stream_into_executor(seed, pool: ThreadPoolExecutor):
+    gen = generator_for(seed, "fixture", 5)
+    return pool.submit(sum, gen)
+
+
+def stream_captured_by_closure(seed):
+    gen = generator_for(seed, "fixture", 6)
+
+    def draw():
+        return gen.random()
+
+    return draw
+
+
+def forked_on_one_branch(seed, flag):
+    gen = generator_for(seed, "fixture", 7)
+    if flag:
+        g = gen
+    else:
+        g = None
+    if g is not None:
+        return g.spawn(2)
+    return None

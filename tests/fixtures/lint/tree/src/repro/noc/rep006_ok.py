@@ -1,0 +1,36 @@
+"""Fixture: REP006-clean keyed-stream usage."""
+
+import threading
+
+from repro.rng import generator_for
+
+
+def keyed_children(seed, n):
+    # independent streams come from independent keys, not .spawn()
+    return [generator_for(seed, "child", i) for i in range(n)]
+
+
+def key_into_thread(seed):
+    def worker(worker_seed, key):
+        gen = generator_for(worker_seed, *key)
+        return gen.random()
+
+    thread = threading.Thread(target=worker, args=(seed, ("worker", 0)))
+    thread.start()
+
+
+def draws_in_order(seed):
+    gen = generator_for(seed, "fixture", 0)
+    return gen.integers(0, 10) + gen.random()
+
+
+def rebound_stream_dies(seed):
+    gen = generator_for(seed, "fixture", 1)
+    total = gen.random()
+    gen = None
+    spawnable = gen
+
+    def closure():
+        return spawnable
+
+    return total, closure

@@ -11,5 +11,9 @@ def suppressed_all():
     return time.time()  # repro: noqa
 
 
+def suppressed_by_rule_list():
+    return time.time()  # repro: noqa[REP001,REP003]
+
+
 def not_suppressed():
     return time.time()  # repro: noqa[REP003]  (wrong rule: still reported)

@@ -1,0 +1,39 @@
+"""Fixture: REP007 flow-sensitive async-safety violations.
+
+Shapes the syntactic REP002 check cannot see: acquire/release split
+across statements and branches, a SharedMemory buffer mapped across a
+suspension, a blocking call on a lock-holding path.
+"""
+
+import threading
+import time
+from multiprocessing import shared_memory
+
+_lock = threading.Lock()
+
+
+async def split_acquire_release(awaitable):
+    _lock.acquire()
+    await awaitable
+    _lock.release()
+
+
+async def held_on_one_branch(flag, awaitable):
+    if flag:
+        _lock.acquire()
+    await awaitable
+    if flag:
+        _lock.release()
+
+
+async def shm_across_await(awaitable, size):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    await awaitable
+    buf.close()
+    buf.unlink()
+
+
+async def blocking_while_locked():
+    _lock.acquire()
+    time.sleep(0.01)
+    _lock.release()

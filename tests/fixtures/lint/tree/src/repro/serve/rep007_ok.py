@@ -1,0 +1,29 @@
+"""Fixture: REP007-clean async code."""
+
+import asyncio
+import threading
+
+_lock = threading.Lock()
+_aio_lock = asyncio.Lock()
+
+
+async def release_before_await(awaitable):
+    _lock.acquire()
+    _lock.release()
+    await awaitable
+
+
+async def asyncio_lock_is_sanctioned(awaitable):
+    async with _aio_lock:
+        await awaitable
+
+
+async def lock_without_suspension():
+    with _lock:
+        return 1
+
+
+def sync_helper_holds_lock():
+    # sync functions legitimately hold locks across blocking work
+    with _lock:
+        return 2

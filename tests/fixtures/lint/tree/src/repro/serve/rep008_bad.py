@@ -1,0 +1,41 @@
+"""Fixture: REP008 resource-lifecycle violations."""
+
+import os
+from multiprocessing import shared_memory
+
+
+def leaked_segment(size):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    return buf.name          # reads a field; the handle itself leaks
+
+
+def swallowed_close(size):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    ok = True
+    try:
+        buf.buf[:1] = b"\x00"
+        buf.close()
+        buf.unlink()
+    except ValueError:
+        ok = False           # swallowed: buf may still be open here
+    return ok
+
+
+def closed_on_one_branch(size, keep):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    if not keep:
+        buf.close()
+        buf.unlink()
+
+
+def partial_close(size):
+    first = shared_memory.SharedMemory(create=True, size=size)
+    second = shared_memory.SharedMemory(create=True, size=size)
+    first.close()
+    first.unlink()
+    return None              # `second` never closes
+
+
+def leaked_descriptor(path):
+    fd = os.open(path, os.O_RDONLY)
+    return os.read(fd, 16)   # os.read is a use, not an ownership handoff

@@ -1,0 +1,42 @@
+"""Fixture: REP008-clean resource lifecycles."""
+
+import os
+from contextlib import closing
+from multiprocessing import shared_memory
+
+
+def closed_in_finally(size):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(buf.buf[:1])
+    finally:
+        buf.close()
+        buf.unlink()
+
+
+def descriptor_closed(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)
+
+
+def with_block(size):
+    with closing(shared_memory.SharedMemory(create=True, size=size)) as buf:
+        return bytes(buf.buf[:1])
+
+
+def returned_handle(size):
+    # the caller owns what we return
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def handed_off(size, registry):
+    buf = shared_memory.SharedMemory(create=True, size=size)
+    registry.adopt(buf)      # ownership transfer: the registry closes it
+    return buf.name
+
+
+def stored_on_object(holder, size):
+    holder.buf = shared_memory.SharedMemory(create=True, size=size)

@@ -1,0 +1,319 @@
+"""repro.analysis.flow: CFG edge cases, lattice scoping, and solver
+fixpoint determinism.
+
+The CFG assertions are behavioural, not structural: instead of pinning
+block indices (fragile against builder changes) they run small concrete
+analyses over the graph and assert the *facts* the lint rules depend
+on — "the finally body runs on every path to the exit", "a break
+bypasses the loop's else", "an `async with` scope covers both awaits".
+"""
+
+from __future__ import annotations
+
+import ast
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.analysis.flow import (DataflowAnalysis, ENTER_WITH, EXIT_WITH,
+                                 assigned_names, build_cfg, iter_functions,
+                                 name_uses, step_assigned_names,
+                                 step_expressions)
+
+
+def cfg_of(source: str):
+    tree = ast.parse(source)
+    func = next(iter_functions(tree))
+    return build_cfg(func)
+
+
+class MayAssigned(DataflowAnalysis):
+    """Names assigned on *some* path (join = union)."""
+
+    def entry_state(self):
+        return frozenset()
+
+    def initial_state(self):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer_step(self, step, state):
+        return state | frozenset(step_assigned_names(step))
+
+
+class MustAssigned(DataflowAnalysis):
+    """Names assigned on *every* path (join = intersection, None = ⊤)."""
+
+    def entry_state(self):
+        return frozenset()
+
+    def initial_state(self):
+        return None
+
+    def join(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer_step(self, step, state):
+        if state is None:
+            return None
+        return state | frozenset(step_assigned_names(step))
+
+
+# ----------------------------------------------- try/finally with return
+
+FINALLY_RETURN = """
+def f(flag):
+    try:
+        if flag:
+            acquired = 1
+            return acquired
+        other = 2
+    finally:
+        cleaned = 3
+"""
+
+
+def test_finally_runs_on_return_paths():
+    analysis = MustAssigned(cfg_of(FINALLY_RETURN))
+    exit_state = analysis.exit_state(analysis.run())
+    # every path to the normal exit — including the early return —
+    # passes through the finally body
+    assert "cleaned" in exit_state
+    # branch-local bindings are not guaranteed
+    assert "acquired" not in exit_state
+    assert "other" not in exit_state
+
+
+def test_finally_is_not_skipped_by_may_paths():
+    analysis = MayAssigned(cfg_of(FINALLY_RETURN))
+    exit_state = analysis.exit_state(analysis.run())
+    assert {"acquired", "other", "cleaned"} <= exit_state
+
+
+NESTED_FINALLY = """
+def f():
+    try:
+        try:
+            return 1
+        finally:
+            inner = 1
+    finally:
+        outer = 1
+"""
+
+
+def test_nested_finallys_chain_on_return():
+    # the outermost finally guards every path; the inner one is only
+    # *may* at the exit because exception edges into the outer finally
+    # merge with the return continuation (the documented
+    # over-approximation — may-analyses stay sound under it)
+    analysis = MustAssigned(cfg_of(NESTED_FINALLY))
+    exit_state = analysis.exit_state(analysis.run())
+    assert "outer" in exit_state
+    may = MayAssigned(cfg_of(NESTED_FINALLY))
+    assert {"inner", "outer"} <= may.exit_state(may.run())
+
+
+# ----------------------------------------------- exception-edge soundness
+
+SWALLOW = """
+def f():
+    try:
+        opened = 1
+        closed = 1
+    except ValueError:
+        swallowed = 1
+    return 0
+"""
+
+
+def test_handler_sees_pre_step_state():
+    # the exception may fire *between* `opened` and `closed`: at the
+    # handler, `closed` must not be considered definitely-assigned
+    analysis = MustAssigned(cfg_of(SWALLOW))
+    exit_state = analysis.exit_state(analysis.run())
+    assert "closed" not in exit_state
+    assert "opened" not in exit_state    # ... or before `opened` ran
+
+
+# ------------------------------------------------ async with split awaits
+
+ASYNC_WITH = """
+async def f(ctx, a, b):
+    async with ctx() as c:
+        await a
+        mid = 1
+        await b
+    tail = 2
+"""
+
+
+class WithDepth(DataflowAnalysis):
+    """Context-manager nesting depth; records it at every await."""
+
+    def __init__(self, cfg):
+        super().__init__(cfg)
+        self.await_depths: list[int] = []
+        self.stmt_depths: dict[str, int] = {}
+
+    def entry_state(self):
+        return 0
+
+    def initial_state(self):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer_step(self, step, state):
+        if step.kind == ENTER_WITH:
+            return state + 1
+        if step.kind == EXIT_WITH:
+            return state - 1
+        return state
+
+    def visit_step(self, step, state):
+        for sub in step_expressions(step):
+            if isinstance(sub, ast.Await):
+                self.await_depths.append(state)
+        if isinstance(step.node, ast.Assign):
+            target = step.node.targets[0]
+            if isinstance(target, ast.Name):
+                self.stmt_depths[target.id] = state
+
+
+def test_async_with_scope_spans_split_awaits():
+    cfg = cfg_of(ASYNC_WITH)
+    enters = [s for b in cfg.blocks for s in b.steps if s.kind == ENTER_WITH]
+    exits = [s for b in cfg.blocks for s in b.steps if s.kind == EXIT_WITH]
+    assert len(enters) == 1 and enters[0].is_async
+    assert len(exits) == 1 and exits[0].is_async
+    analysis = WithDepth(cfg)
+    analysis.run()
+    # both awaits happen inside the async-with scope ...
+    assert analysis.await_depths == [1, 1]
+    assert analysis.stmt_depths["mid"] == 1
+    # ... and the statement after the block is back outside it
+    assert analysis.stmt_depths["tail"] == 0
+
+
+# ---------------------------------------------------------- while / else
+
+WHILE_ELSE = """
+def f(n):
+    while n:
+        n = n - 1
+    else:
+        finished = 1
+    after = 2
+"""
+
+WHILE_ELSE_BREAK = """
+def f(n):
+    while n:
+        if n == 1:
+            break
+        n = n - 1
+    else:
+        finished = 1
+    after = 2
+"""
+
+
+def test_while_else_runs_on_normal_exhaustion():
+    analysis = MustAssigned(cfg_of(WHILE_ELSE))
+    exit_state = analysis.exit_state(analysis.run())
+    # without a break, every path out of the loop runs the else
+    assert {"finished", "after"} <= exit_state
+
+
+def test_break_bypasses_while_else():
+    analysis = MustAssigned(cfg_of(WHILE_ELSE_BREAK))
+    exit_state = analysis.exit_state(analysis.run())
+    assert "after" in exit_state
+    assert "finished" not in exit_state      # the break path skips else
+    may = MayAssigned(cfg_of(WHILE_ELSE_BREAK))
+    assert "finished" in may.exit_state(may.run())   # ... but some path runs it
+
+
+# -------------------------------------------------- comprehension scoping
+
+def test_comprehension_targets_do_not_bind_in_function_scope():
+    stmt = ast.parse("ys = [x * x for x in xs]").body[0]
+    assert assigned_names(stmt) == ["ys"]
+    uses = {n.id for n in name_uses(stmt)}
+    assert "xs" in uses              # the outermost iterable evaluates here
+    assert "x" not in uses           # the loop variable is comprehension-local
+
+
+def test_nested_def_binds_only_its_name():
+    stmt = ast.parse("def inner():\n    hidden = 1").body[0]
+    assert assigned_names(stmt) == ["inner"]
+
+
+COMPREHENSION_FLOW = """
+def f(xs):
+    squares = [x * x for x in xs]
+    return squares
+"""
+
+
+def test_comprehension_variable_invisible_to_dataflow():
+    analysis = MayAssigned(cfg_of(COMPREHENSION_FLOW))
+    exit_state = analysis.exit_state(analysis.run())
+    assert "squares" in exit_state
+    assert "x" not in exit_state
+
+
+# -------------------------------------------- solver fixpoint determinism
+
+GNARLY = """
+def f(n, flag):
+    total = 0
+    try:
+        while n:
+            if flag:
+                total = total + n
+                n = n - 1
+                continue
+            elif n == 3:
+                break
+            else:
+                n = n - 2
+        else:
+            exhausted = 1
+    except ValueError:
+        caught = 1
+    finally:
+        done = 1
+    for i in range(3):
+        total = total + i
+    else:
+        finished = 1
+    return total
+"""
+
+_GNARLY_CFG = cfg_of(GNARLY)
+_BASELINE_MAY = MayAssigned(_GNARLY_CFG).solve()
+_BASELINE_MUST = MustAssigned(_GNARLY_CFG).solve()
+
+
+@given(st.permutations(range(len(_GNARLY_CFG.blocks))))
+def test_fixpoint_is_order_independent(order):
+    """Monotone transfers over a finite lattice have a unique least
+    fixpoint: shuffling the worklist seed must not change the answer."""
+    assert MayAssigned(_GNARLY_CFG).solve(order=list(order)) == \
+        _BASELINE_MAY
+    assert MustAssigned(_GNARLY_CFG).solve(order=list(order)) == \
+        _BASELINE_MUST
+
+
+def test_rpo_is_deterministic():
+    assert _GNARLY_CFG.rpo() == cfg_of(GNARLY).rpo()
+    assert len(set(_GNARLY_CFG.rpo())) == len(_GNARLY_CFG.rpo())

@@ -56,13 +56,22 @@ def test_rep001_out_of_scope_module():
 def test_rep002_positive():
     result = lint_fixture("src/repro/serve/rep002_bad.py", ("REP002",))
     assert rules_found(result) == {"REP002"}
-    assert len(result.findings) == 7
+    assert len(result.findings) == 6
     messages = " ".join(f.message for f in result.findings)
     assert "blocking call" in messages
-    assert "thread lock held across `await`" in messages
     assert "noqa[REP002]" in messages        # the sync-sleep allowance hint
     assert "pickle.dumps" in messages        # coroutine serialization
     assert "SharedMemory creation" in messages
+    # the lock-across-await shape is REP007's job now
+    assert "held across" not in messages
+
+
+def test_rep007_catches_rep002s_old_lock_case():
+    result = lint_fixture("src/repro/serve/rep002_bad.py", ("REP007",))
+    assert rules_found(result) == {"REP007"}
+    assert len(result.findings) == 1
+    assert "held across `await`" in result.findings[0].message
+    assert result.findings[0].line == 27
 
 
 def test_rep002_clean():
@@ -210,12 +219,150 @@ def test_rep005_clean():
     assert result.findings == []
 
 
+# ------------------------------------------------------------------ REP006
+
+def test_rep006_positive():
+    result = lint_fixture("src/repro/noc/rep006_bad.py", ("REP006",))
+    assert rules_found(result) == {"REP006"}
+    assert len(result.findings) == 8
+    messages = " ".join(f.message for f in result.findings)
+    assert "forked ambiently via `.spawn()`" in messages
+    assert "`.jumped()`" in messages         # through the alias binding
+    assert "reseeded by assigning `.state`" in messages
+    assert "reseeded via `.seed()`" in messages
+    assert "escapes into a spawned worker" in messages
+    assert "captured by closure `draw`" in messages
+
+
+def test_rep006_flow_sensitivity_across_branches():
+    # `g` is the stream only on one branch; the fork still fires
+    result = lint_fixture("src/repro/noc/rep006_bad.py", ("REP006",))
+    branch = [f for f in result.findings if f.line == 59]
+    assert len(branch) == 1
+    assert "`g` forked ambiently" in branch[0].message
+
+
+def test_rep006_clean():
+    result = lint_fixture("src/repro/noc/rep006_ok.py", ("REP006",))
+    assert result.findings == []
+
+
+def test_rep006_out_of_scope_module():
+    # repro.rng itself is excluded from the stream rule's scope
+    result = run_lint(["src/repro/rng"], root=REPO_ROOT, select=("REP006",))
+    assert result.findings == []
+
+
+# ------------------------------------------------------------------ REP007
+
+def test_rep007_positive():
+    result = lint_fixture("src/repro/serve/rep007_bad.py", ("REP007",))
+    assert rules_found(result) == {"REP007"}
+    assert len(result.findings) == 4
+    messages = " ".join(f.message for f in result.findings)
+    assert "held across `await`" in messages
+    assert "SharedMemory buffer" in messages
+    assert "blocking call `time.sleep()` on a path holding" in messages
+
+
+def test_rep007_clean():
+    result = lint_fixture("src/repro/serve/rep007_ok.py", ("REP007",))
+    assert result.findings == []
+
+
+def test_rep007_branch_sensitivity():
+    # held only when `flag` is true — the await is still flagged because
+    # a path exists where the lock is live
+    result = lint_fixture("src/repro/serve/rep007_bad.py", ("REP007",))
+    assert any(f.line == 24 for f in result.findings)
+
+
+# ------------------------------------------------------------------ REP008
+
+def test_rep008_positive():
+    result = lint_fixture("src/repro/serve/rep008_bad.py", ("REP008",))
+    assert rules_found(result) == {"REP008"}
+    assert len(result.findings) == 5
+    messages = " ".join(f.message for f in result.findings)
+    assert "SharedMemory segment" in messages
+    assert "os.open descriptor" in messages
+    # one finding per leaked creation site, reported at the creation
+    assert sorted(f.line for f in result.findings) == [8, 13, 25, 33, 40]
+
+
+def test_rep008_clean():
+    result = lint_fixture("src/repro/serve/rep008_ok.py", ("REP008",))
+    assert result.findings == []
+
+
+def test_rep008_swallowed_exception_path():
+    # the except ValueError handler rejoins normal flow with `buf` open:
+    # caught only because the solver walks exception edges
+    result = lint_fixture("src/repro/serve/rep008_bad.py", ("REP008",))
+    assert any(f.line == 13 and "swallowed_close" in f.message
+               for f in result.findings)
+
+
+# ------------------------------------------------------------------ REP009
+
+def test_rep009_cross_file_positive():
+    result = run_lint(["src/repro/core/rep009_bad.py",
+                       "src/repro/core/rep009_ok.py"],
+                      root=TREE, select=("REP009",))
+    assert [f.rule for f in result.findings] == ["REP009"]
+    finding = result.findings[0]
+    assert finding.path == "src/repro/core/rep009_bad.py"
+    assert "engine 'turbo'" in finding.message
+    assert "SOLVER_ENGINES" in finding.message
+
+
+def test_rep009_partial_path_set_is_silent():
+    # without the engine_fingerprint side there is nothing to diff
+    result = run_lint(["src/repro/core/rep009_bad.py"], root=TREE,
+                      select=("REP009",))
+    assert result.findings == []
+
+
+def test_rep009_scalar_and_versioned_exempt():
+    result = run_lint(["src/repro/core/rep009_ok.py"], root=TREE,
+                      select=("REP009",))
+    assert result.findings == []
+
+
 # ------------------------------------------------------- suppression layers
 
 def test_noqa_suppression():
     result = lint_fixture("src/repro/noc/rep_noqa.py", ("REP001",))
     assert len(result.findings) == 1         # wrong-rule noqa still reports
-    assert result.suppressed_noqa == 2
+    assert result.suppressed_noqa == 3       # incl. the comma-separated list
+
+
+def test_unused_noqa_reported_as_rep010():
+    # full-rule run: the noqa[REP003] on a REP001 line suppresses nothing
+    result = run_lint(["src/repro/noc/rep_noqa.py"], root=TREE)
+    notes = [f for f in result.findings if f.rule == "REP010"]
+    assert len(notes) == 1
+    assert notes[0].level == "note"
+    assert "suppresses no REP003 finding" in notes[0].message
+    # the comma-separated noqa[REP001,REP003] matched REP001: not unused
+    assert notes[0].line == 19
+
+
+def test_unused_noqa_not_judged_on_partial_runs():
+    # under --select REP001 the REP003-only directive cannot be judged
+    result = lint_fixture("src/repro/noc/rep_noqa.py", ("REP001",))
+    assert not any(f.rule == "REP010" for f in result.findings)
+
+
+def test_noqa_in_docstring_is_not_a_directive(tmp_path):
+    target = tmp_path / "src" / "repro" / "noc"
+    target.mkdir(parents=True)
+    (target / "mod.py").write_text(
+        '"""Mentions # repro: noqa in prose only."""\n'
+        "import time\n\ndef f():\n    return time.time()\n")
+    result = run_lint([target / "mod.py"], root=tmp_path)
+    assert [f.rule for f in result.findings] == ["REP001"]
+    assert result.suppressed_noqa == 0
 
 
 def test_noqa_map_parsing():
@@ -293,7 +440,7 @@ def test_cli_json_round_trip(capsys, monkeypatch):
     assert document["exit_code"] == 1
     finding = document["findings"][0]
     assert set(finding) == {"rule", "path", "line", "col", "message",
-                            "snippet", "fingerprint"}
+                            "snippet", "level", "fingerprint"}
     assert finding["path"] == "src/repro/core/rep003_bad.py"
 
 
@@ -334,7 +481,8 @@ def test_repo_tree_is_lint_clean():
 
 def test_rule_table_lists_all_rules():
     ids = [row["id"] for row in rule_table()]
-    assert ids == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+    assert ids == ["REP001", "REP002", "REP003", "REP004", "REP005",
+                   "REP006", "REP007", "REP008", "REP009", "REP010"]
 
 
 def test_renderers_disagree_only_in_format():
@@ -343,6 +491,207 @@ def test_renderers_disagree_only_in_format():
     document = json.loads(render_json(result))
     assert str(len(result.findings)) in text
     assert len(document["findings"]) == len(result.findings)
+
+
+# ------------------------------------------------------------ config scopes
+
+def test_pyproject_scope_override(tmp_path):
+    target = tmp_path / "src" / "repro" / "noc"
+    target.mkdir(parents=True)
+    module = target / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    default = run_lint([module], root=tmp_path, select=("REP001",))
+    assert len(default.findings) == 1
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint.scopes.REP001]\n"
+        'include = ["repro.gpu"]\n'
+        "exclude = []\n")
+    scoped = run_lint([module], root=tmp_path, select=("REP001",))
+    assert scoped.findings == []         # repro.noc no longer in scope
+
+
+def test_scope_exclude_beats_include(tmp_path):
+    target = tmp_path / "src" / "repro" / "noc" / "sub"
+    target.mkdir(parents=True)
+    module = target / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint.scopes.REP001]\n"
+        'include = ["repro.noc"]\n'
+        'exclude = ["repro.noc.sub"]\n')
+    result = run_lint([module], root=tmp_path, select=("REP001",))
+    assert result.findings == []
+
+
+def test_config_digest_changes_with_scopes(tmp_path):
+    from repro.analysis.lint import load_config
+    defaults = load_config(None)
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.repro.lint.scopes.REP003]\n"
+        'include = ["repro.core"]\n')
+    overridden = load_config(tmp_path)
+    assert defaults.digest() != overridden.digest()
+
+
+# ----------------------------------------------------------- prune-baseline
+
+def test_prune_baseline_drops_stale_entries(tmp_path):
+    from repro.analysis.lint import prune_baseline
+    dirty = lint_fixture("src/repro/core/rep003_bad.py", ("REP003",))
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, dirty.findings)
+    # simulate a fixed violation: one entry no longer produced
+    live = frozenset(f.fingerprint for f in dirty.findings[1:])
+    stale = prune_baseline(baseline_file, live)
+    assert stale == [dirty.findings[0].fingerprint]
+    assert load_baseline(baseline_file) == set(live)
+    assert prune_baseline(baseline_file, live) == []     # now tight
+
+
+def test_cli_prune_baseline(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    baseline = tmp_path / "base.json"
+    assert main(["lint", "src/repro/core/rep005_bad.py",
+                 "--baseline", str(baseline), "--write-baseline"]) == 0
+    # everything in the baseline is still produced: nothing pruned
+    assert main(["lint", "src/repro/core/rep005_bad.py",
+                 "--baseline", str(baseline), "--prune-baseline"]) == 0
+    assert "nothing to prune" in capsys.readouterr().out
+    # narrow the run so the baselined REP005 findings go stale
+    assert main(["lint", "src/repro/core/rep003_ok.py",
+                 "--baseline", str(baseline), "--prune-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "pruned 4 stale fingerprint(s)" in out
+    assert load_baseline(baseline) == set()
+
+
+# -------------------------------------------------------------------- SARIF
+
+def test_sarif_document_shape():
+    from repro.analysis.lint import render_sarif
+    result = lint_fixture("src/repro/core/rep005_bad.py", ("REP005",))
+    document = json.loads(render_sarif(result))
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    ids = [rule["id"] for rule in driver["rules"]]
+    assert ids[0] == "REP000" and "REP008" in ids and "REP010" in ids
+    assert len(run["results"]) == len(result.findings)
+    entry = run["results"][0]
+    assert entry["ruleId"] == "REP005"
+    assert entry["level"] == "warning"
+    assert entry["partialFingerprints"]["reproLint/v1"]
+    location = entry["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    lines = sorted(e["locations"][0]["physicalLocation"]["region"]
+                   ["startLine"] for e in run["results"])
+    assert lines == sorted(f.line for f in result.findings)
+    assert driver["rules"][entry["ruleIndex"]]["id"] == "REP005"
+
+
+def test_cli_sarif_output_file(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(TREE)
+    out_file = tmp_path / "lint.sarif"
+    code = main(["lint", "src/repro/core/rep005_bad.py",
+                 "--format", "sarif", "--output", str(out_file),
+                 "--no-baseline"])
+    assert code == 1                     # findings still set the exit code
+    document = json.loads(out_file.read_text())
+    assert document["runs"][0]["results"]
+    assert "wrote sarif report" in capsys.readouterr().out
+
+
+# ------------------------------------------------- parallel + incremental
+
+def _result_key(result):
+    return sorted((f.rule, f.path, f.line, f.col, f.message, f.fingerprint)
+                  for f in result.findings)
+
+
+def test_parallel_run_matches_serial():
+    serial = run_lint(["src"], root=TREE)
+    parallel = run_lint(["src"], root=TREE, jobs=2)
+    assert _result_key(serial) == _result_key(parallel)
+    assert serial.files_scanned == parallel.files_scanned
+    assert serial.suppressed_noqa == parallel.suppressed_noqa
+
+
+def test_incremental_cache_round_trip(tmp_path):
+    cache = tmp_path / "cache"
+    cold = run_lint(["src"], root=TREE, cache_dir=cache)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == cold.files_scanned
+    warm = run_lint(["src"], root=TREE, cache_dir=cache)
+    assert warm.cache_misses == 0
+    assert warm.cache_hits == warm.files_scanned
+    assert _result_key(cold) == _result_key(warm)
+
+
+def test_cache_invalidated_by_edit(tmp_path):
+    root = tmp_path / "proj"
+    target = root / "src" / "repro" / "noc"
+    target.mkdir(parents=True)
+    module = target / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    cache = tmp_path / "cache"
+    first = run_lint([module], root=root, cache_dir=cache)
+    assert first.cache_misses == 1
+    edited = run_lint([module], root=root, cache_dir=cache)
+    assert edited.cache_hits == 1
+    module.write_text("import time\n\ndef g():\n    return time.time()\n")
+    third = run_lint([module], root=root, cache_dir=cache)
+    assert third.cache_misses == 1       # content hash changed
+    assert len(third.findings) == 1
+
+
+def test_cache_respects_select_and_config(tmp_path):
+    root = tmp_path / "proj"
+    target = root / "src" / "repro" / "noc"
+    target.mkdir(parents=True)
+    module = target / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    cache = tmp_path / "cache"
+    run_lint([module], root=root, cache_dir=cache)
+    narrowed = run_lint([module], root=root, cache_dir=cache,
+                        select=("REP003",))
+    assert narrowed.cache_misses == 1    # different enabled-rule key
+    assert narrowed.findings == []
+
+
+# --------------------------------------------------- seeded mutation gate
+
+def test_seeded_mutations_are_caught(tmp_path):
+    """Inject the two archetypal serve-tier bugs into a fixture copy and
+    assert the flow rules catch both (the PR's acceptance mutation)."""
+    import shutil
+    root = tmp_path / "proj"
+    serve_src = REPO_ROOT / "src" / "repro" / "serve"
+    serve_dst = root / "src" / "repro" / "serve"
+    shutil.copytree(serve_src, serve_dst)
+    (serve_dst / "mutated.py").write_text(
+        "import threading\n"
+        "from multiprocessing import shared_memory\n\n"
+        "_lock = threading.Lock()\n\n\n"
+        "async def respond(payload, send):\n"
+        "    _lock.acquire()\n"
+        "    await send(payload)\n"
+        "    _lock.release()\n\n\n"
+        "def publish(frame):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=len(frame))\n"
+        "    seg.buf[:len(frame)] = frame\n"
+        "    return seg.name\n")
+    result = run_lint([serve_dst], root=root,
+                      select=("REP007", "REP008"))
+    mutated = [f for f in result.findings
+               if f.path.endswith("mutated.py")]
+    assert {f.rule for f in mutated} == {"REP007", "REP008"}
+    lock_finding = next(f for f in mutated if f.rule == "REP007")
+    assert "held across `await`" in lock_finding.message
+    leak_finding = next(f for f in mutated if f.rule == "REP008")
+    assert "SharedMemory segment" in leak_finding.message
+    # the untouched serve sources stay clean
+    assert all(f.path.endswith("mutated.py") for f in result.findings)
 
 
 def test_module_name_for(tmp_path):
