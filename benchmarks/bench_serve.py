@@ -50,6 +50,7 @@ import time
 
 from _figutil import show
 
+from repro import engines as engine_registry
 from repro.serve import ServeClient, serve_in_thread
 
 HOT_WORKERS = 8
@@ -59,13 +60,13 @@ COLD_REQUESTS = 12
 
 _HOT_PARAMS = {"gpu": "V100", "seed": 0, "sms": [0, 1, 2, 3],
                "samples": 1}
-ENGINES = ("scalar", "vectorized")
+ENGINES = engine_registry.names("device")
 
 MESH_HOT_SECONDS = 1.0
 MESH_HOT_WORKERS = 4
 _MESH_SWEEP_PARAMS = {"rates": [0.05, 0.1, 0.2, 0.3], "arbiter": "rr",
                       "cycles": 2000, "warmup": 500}
-MESH_ENGINES = ("scalar", "batched")
+MESH_ENGINES = engine_registry.names("mesh")
 
 
 def _percentiles(samples: list) -> dict:

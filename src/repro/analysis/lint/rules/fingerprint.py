@@ -9,7 +9,16 @@ registered in an ``ENGINES``/``MESH_ENGINES`` tuple but missing from
 kernel changes — the exact staleness bug the fingerprint exists to
 prevent.
 
-Two kinds of per-file facts feed :meth:`finalize`:
+The registry form of the check is local: every
+:func:`repro.engines.register` call naming a non-golden engine must
+pass ``version=`` (the registry derives the fingerprint from it); a
+registration without one produces engines whose cached results survive
+kernel changes.  The golden ``"scalar"`` engines are version-free by
+design: their results *define* correctness.
+
+The legacy form is cross-file, and still guards trees (and fixtures)
+that predate the registry.  Two kinds of per-file facts feed
+:meth:`finalize`:
 
 * **registrations** — module-level ``*ENGINES = ("...", ...)`` tuples
   of string constants (the selector vocabularies);
@@ -17,12 +26,12 @@ Two kinds of per-file facts feed :meth:`finalize`:
   a branch comparing the engine to a string constant whose body returns
   a dict carrying a ``*_version`` key marks that engine as versioned.
 
-Every registered engine except the golden ``"scalar"`` (version-free
-by design: its results *define* correctness) must be fingerprinted
-somewhere in the linted tree.  The check is cross-file by nature —
-``MESH_ENGINES`` lives in ``fastmesh.py``, the fingerprint in
-``fastpath/__init__.py`` — which is exactly what the facts model is
-for.
+Every tuple-registered engine except ``"scalar"`` must be fingerprinted
+somewhere in the linted tree — ``MESH_ENGINES`` lives in one module,
+the fingerprint in another, which is exactly what the facts model is
+for.  ``*ENGINES`` assignments whose value is *derived from the
+registry* (``engines.names(...)``) are not literal tuples and carry no
+obligation: the register() check already covers their contents.
 """
 
 from __future__ import annotations
@@ -36,6 +45,32 @@ from repro.analysis.lint.rules import Rule
 _EXEMPT = frozenset({"scalar"})
 
 _FINGERPRINT_FN = "engine_fingerprint"
+
+_REGISTER_FN = "repro.engines.register"
+
+
+def _register_call(node: ast.Call) -> tuple[str, bool] | None:
+    """``(engine_name, has_version)`` for a registry register() call.
+
+    ``None`` when the engine name is not a string literal (dynamic
+    registration is out of scope for a static check).
+    """
+    name = None
+    if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant) \
+            and isinstance(node.args[1].value, str):
+        name = node.args[1].value
+    has_version = False
+    for kw in node.keywords:
+        if kw.arg == "name" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            name = kw.value.value
+        if kw.arg == "version" and not (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value is None):
+            has_version = True
+    if name is None:
+        return None
+    return name, has_version
 
 
 def _registered_engines(node: ast.Assign) -> list[str] | None:
@@ -92,12 +127,31 @@ def _fingerprinted_engines(func: ast.AST) -> list[str]:
 class FingerprintCompletenessRule(Rule):
     id = "REP009"
     name = "fingerprint-completeness"
-    summary = ("every engine registered in *ENGINES tuples must carry a "
-               "*_version field in engine_fingerprint (scalar exempt), "
-               "or ResultCache serves stale entries")
-    interests = ("Assign", "FunctionDef")
+    summary = ("every non-golden engine — repro.engines.register() calls "
+               "and legacy *ENGINES tuples — must carry a *_version "
+               "fingerprint (scalar exempt), or ResultCache serves stale "
+               "entries")
+    interests = ("Assign", "FunctionDef", "Call")
 
     def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Call):
+            resolved = ctx.resolve_call(node)
+            if resolved != _REGISTER_FN and not (
+                    resolved == "register"
+                    and ctx.module == "repro.engines"):
+                return
+            info = _register_call(node)
+            if info is None:
+                return
+            engine, has_version = info
+            if engine in _EXEMPT or has_version:
+                return
+            ctx.report(self.id, node,
+                       f"engine '{engine}' registered without a version; "
+                       "cached results for it survive kernel changes — "
+                       "pass version=<MODULE>_VERSION (the registry "
+                       "derives the fingerprint from it)")
+            return
         if isinstance(node, ast.Assign):
             if ctx.function_stack or ctx.class_stack:
                 return              # only module-level registries

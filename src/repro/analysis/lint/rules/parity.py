@@ -31,8 +31,12 @@ from repro.analysis.lint.context import FileContext
 from repro.analysis.lint.rules import Rule
 
 #: (module_a, class_a, module_b, class_b) pairs kept in lockstep.
-WATCHED_PAIRS = (("repro.noc.mesh.network", "Mesh2D",
-                  "repro.noc.mesh.reference", "ReferenceMesh2D"),)
+WATCHED_PAIRS = (
+    ("repro.noc.mesh.network", "Mesh2D",
+     "repro.noc.mesh.reference", "ReferenceMesh2D"),
+    ("repro.noc.mesh.vc", "VCMesh",
+     "repro.noc.mesh.vcmesh_batched", "BatchedVCMesh"),
+)
 
 #: (scalar_module, scalar_fn, fast_module, fast_fn) pairs: the scalar
 #: golden APIs and their vectorized (fastpath) / batched (fastmesh)
@@ -52,11 +56,29 @@ WATCHED_FUNCTION_PAIRS = (
      "repro.noc.mesh.fastmesh", "batched_fairness_experiments"),
     ("repro.noc.mesh.interfaces", "run_reply_bottleneck",
      "repro.noc.mesh.fastmesh", "batched_reply_bottleneck"),
+    ("repro.noc.mesh.vc", "run_shared_network_experiment",
+     "repro.noc.mesh.vcmesh_batched", "batched_shared_network_experiment"),
+    ("repro.noc.mesh.vc", "sweep_vc_grid",
+     "repro.noc.mesh.vcmesh_batched", "batched_vc_grid"),
 )
 
 #: Defaulted parameters the scalar side owns (execution knobs the
 #: vectorized twin does not mirror).
 _SCALAR_ONLY_PARAMS = frozenset({"jobs", "engine"})
+
+#: The leading batch-selector parameter of lane-batched twins
+#: (``BatchedVCMesh.inject(lane, packet)`` mirrors
+#: ``VCMesh.inject(packet)``): stripped before required-param
+#: comparison.
+_LANE_PARAM = "lane"
+
+#: Public members a batched twin may carry beyond the scalar model:
+#: lane-batch accessors with no scalar counterpart by design.
+_BATCHED_ONLY_MEMBERS = frozenset({"last_ejected"})
+
+
+def _strip_lane(required: list) -> list:
+    return required[1:] if required[:1] == [_LANE_PARAM] else required
 
 
 def _required_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple:
@@ -177,6 +199,8 @@ class GoldenModelParityRule(Rule):
         members) so the finding points where the fix goes.
         """
         for member, info in sorted(api_a["members"].items()):
+            if member in _BATCHED_ONLY_MEMBERS:
+                continue
             other = api_b["members"].get(member)
             if other is None:
                 report(self.id, api_b["path"], api_b["line"], 0,
@@ -193,7 +217,8 @@ class GoldenModelParityRule(Rule):
                        f"`{member}` is a {other['kind']} on {name_b} but a "
                        f"{info['kind']} on {name_a}; callers cannot treat "
                        "the models interchangeably", other["snippet"])
-            elif other["required"] != info["required"]:
+            elif _strip_lane(other["required"]) != _strip_lane(
+                    info["required"]):
                 report(self.id, api_b["path"], other["line"], 0,
                        f"`{member}` required parameters differ: "
                        f"{name_b}{tuple(other['required'])} vs "

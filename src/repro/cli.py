@@ -311,6 +311,27 @@ def _cmd_observations(_args) -> int:
     return 0 if all(r.holds for r in results) else 1
 
 
+def _cmd_engines(args) -> int:
+    import json
+
+    from repro import engines as engine_registry
+    if args.json:
+        print(json.dumps(engine_registry.describe(), indent=2))
+        return 0
+    rows = []
+    for domain in engine_registry.domains():
+        for name in engine_registry.names(domain):
+            engine = engine_registry.get(domain, name)
+            rows.append({
+                "domain": domain, "engine": name,
+                "role": ("golden" if engine.golden else
+                         f"{engine.version_field}={engine.version}"),
+                "default": "*" if engine.default else "",
+                "summary": engine.summary})
+    print(render_table(rows, title="Engine registry"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -323,8 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="device seed (default 0)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro import engines as engine_registry
+
     def _engine_argument(p) -> None:
-        p.add_argument("--engine", choices=("scalar", "vectorized"),
+        p.add_argument("--engine",
+                       choices=tuple(engine_registry.names("device")),
                        default="scalar",
                        help="measurement engine; vectorized is the "
                             "batched fast path, bit-identical to scalar")
@@ -345,8 +369,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-mesh", action="store_true",
                         help="skip the (slower) mesh experiments")
     _engine_argument(report)
-    report.add_argument("--mesh-engine", choices=("scalar", "batched"),
-                        default="batched",
+    report.add_argument("--mesh-engine",
+                        choices=tuple(engine_registry.names("mesh")),
+                        default=engine_registry.default_name("mesh"),
                         help="mesh kernel; batched is the lockstep "
                              "fastmesh engine, bit-identical to scalar")
     report.add_argument("--jobs", type=_jobs_argument, default=None,
@@ -453,6 +478,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--cache", default=None, metavar="DIR",
                       help="incremental result cache directory "
                            "(keyed on content + ruleset version)")
+    engines_p = sub.add_parser(
+        "engines", help="list the registered compute engines")
+    engines_p.add_argument("--json", action="store_true",
+                           help="emit the registry catalogue as JSON")
     return parser
 
 
@@ -467,6 +496,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "traffic": _cmd_traffic,
     "lint": _cmd_lint,
+    "engines": _cmd_engines,
 }
 
 

@@ -26,40 +26,29 @@ surfaces from drifting.
 
 from __future__ import annotations
 
-from repro.errors import ConfigurationError
+from repro import engines as _engines
+from repro.engines import FASTPATH_VERSION  # noqa: F401 (re-export)
 
-#: Engine names accepted by every ``engine=`` selector.
-ENGINES = ("scalar", "vectorized")
-
-#: Bumped whenever the vectorized engine's implementation changes in a
-#: way that *could* alter results; folded into ResultCache keys so a
-#: stale vectorized entry can never alias a scalar one (or vice versa).
-FASTPATH_VERSION = 1
+#: Engine names accepted by every device ``engine=`` selector, sourced
+#: from the :mod:`repro.engines` registry.
+ENGINES = _engines.names("device")
 
 
 def resolve_engine(engine: str | None) -> str:
     """Validate an ``engine=`` argument (``None`` means scalar)."""
-    if engine is None:
-        return "scalar"
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; use one of {', '.join(ENGINES)}")
-    return engine
+    return _engines.resolve("device", engine, default="scalar")
 
 
 def engine_fingerprint(engine: str | None) -> dict:
     """Cache-key fragment identifying the engine that produced a result.
 
-    The scalar golden model is version-free (its results define
-    correctness); vectorized results carry :data:`FASTPATH_VERSION` so
-    recalibrating the fast path invalidates exactly its own entries.
-    The mesh kernel's ``"batched"`` engine carries
-    :data:`repro.noc.mesh.fastmesh.FASTMESH_VERSION` the same way.
+    Thin shim over :func:`repro.engines.fingerprint_for`: the scalar
+    golden model is version-free (its results define correctness);
+    versioned engines carry their registered ``*_version`` field so
+    recalibrating a fast path invalidates exactly its own entries.
+    Bare ``"batched"`` keeps its historical meaning — the mesh-domain
+    kernel — for callers predating qualified ``"domain:name"`` refs.
     """
     if engine == "batched":
-        from repro.noc.mesh.fastmesh import FASTMESH_VERSION
-        return {"name": engine, "fastmesh_version": FASTMESH_VERSION}
-    name = resolve_engine(engine)
-    if name == "vectorized":
-        return {"name": name, "fastpath_version": FASTPATH_VERSION}
-    return {"name": name}
+        return _engines.fingerprint("mesh", "batched")
+    return _engines.fingerprint("device", resolve_engine(engine))

@@ -60,18 +60,20 @@ def _jsonify(value):
 def cache_key(algorithm: str, payload: dict, engine: str | None = None) -> str:
     """Stable content hash for (algorithm, payload) at CACHE_VERSION.
 
-    ``engine`` folds the measurement engine's fingerprint (name plus, for
-    the fast path, its version) into the key: results produced by
-    different engines — or different fastpath revisions — never alias,
-    even though they are bit-identical by contract today.
+    ``engine`` folds the engine's registry fingerprint (name plus, for
+    versioned engines, their ``*_version`` field) into the key: results
+    produced by different engines — or different engine revisions —
+    never alias, even though they are bit-identical by contract today.
+    Accepts a qualified ``"domain:name"`` reference or an unambiguous
+    bare name (see :func:`repro.engines.fingerprint_for`).
     """
     if not algorithm:
         raise ConfigurationError("cache key needs an algorithm name")
     entry = {"version": CACHE_VERSION, "algorithm": algorithm,
              "payload": payload}
     if engine is not None:
-        from repro.core.fastpath import engine_fingerprint
-        entry["engine"] = engine_fingerprint(engine)
+        from repro.engines import fingerprint_for
+        entry["engine"] = fingerprint_for(engine)
     canonical = json.dumps(entry, sort_keys=True, separators=(",", ":"),
                            default=_jsonify)
     return hashlib.sha256(canonical.encode()).hexdigest()

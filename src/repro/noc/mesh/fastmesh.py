@@ -46,29 +46,21 @@ from collections import deque
 
 import numpy as np
 
+from repro import engines as _engines
 from repro import rng
-from repro.errors import ConfigurationError, MeshConfigError
+from repro.engines import FASTMESH_VERSION  # noqa: F401 (re-export)
+from repro.errors import MeshConfigError
 from repro.noc.mesh.network import _NUM_PORTS, _OPP, _RR_PICK, DeliveryStats
 from repro.noc.mesh.routing import Port, xy_route
 
-#: Mesh engine names accepted by every mesh ``engine=`` selector.
-MESH_ENGINES = ("scalar", "batched")
-
-#: Bumped whenever the batched kernel changes in a way that *could*
-#: alter results; folded into ResultCache keys via
-#: :func:`repro.core.fastpath.engine_fingerprint`.
-FASTMESH_VERSION = 1
+#: Mesh engine names accepted by every mesh ``engine=`` selector,
+#: sourced from the :mod:`repro.engines` registry.
+MESH_ENGINES = _engines.names("mesh")
 
 
 def resolve_mesh_engine(engine: str | None, default: str = "batched") -> str:
     """Validate a mesh ``engine=`` argument (``None`` means ``default``)."""
-    if engine is None:
-        return default
-    if engine not in MESH_ENGINES:
-        raise ConfigurationError(
-            f"unknown mesh engine {engine!r}; use one of "
-            f"{', '.join(MESH_ENGINES)}")
-    return engine
+    return _engines.resolve("mesh", engine, default=default)
 
 
 # ---------------------------------------------------------------------------

@@ -100,8 +100,8 @@ def run_reply_bottleneck(cycles: int = 20000, window: int = 100,
     (:func:`repro.noc.mesh.fastmesh.batched_reply_bottleneck`,
     bit-identical by contract); ``"scalar"`` steps two :class:`Mesh2D`.
     """
-    from repro.noc.mesh.fastmesh import resolve_mesh_engine
-    engine = resolve_mesh_engine(engine)
+    from repro import engines as engine_registry
+    engine = engine_registry.resolve("mesh", engine)
     if engine == "batched":
         from repro.noc.mesh.fastmesh import batched_reply_bottleneck
         return batched_reply_bottleneck(

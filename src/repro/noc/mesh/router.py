@@ -12,6 +12,21 @@ from repro.noc.mesh.routing import Port
 NUM_PORTS = len(Port)
 
 
+def update_wormhole_lock(locks: dict, key, flit) -> None:
+    """Wormhole lock transition for one traversing flit.
+
+    A head flit acquires the output channel for its packet, the tail
+    flit releases it, and a single-flit packet (head *and* tail) passes
+    without ever holding the lock.  Shared by the plain :class:`Router`
+    (per-output locks) and the VC router (per-(output, VC) locks) so the
+    two models cannot drift on this transition.
+    """
+    if flit.is_head and not flit.is_tail:
+        locks[key] = flit.packet
+    if flit.is_tail:
+        locks[key] = None
+
+
 class Router:
     """One mesh router: 5 input FIFOs, per-output arbitration, wormhole.
 
@@ -69,10 +84,7 @@ class Router:
         if not buf:
             raise MeshConfigError(f"router {self.node}: pop from empty buffer")
         flit = buf.popleft()
-        if flit.is_head and not flit.is_tail:
-            self.out_lock[out_port] = flit.packet
-        if flit.is_tail:
-            self.out_lock[out_port] = None
+        update_wormhole_lock(self.out_lock, out_port, flit)
         return flit
 
     @property

@@ -161,12 +161,17 @@ def _collect_metrics(tasks, seed: int, jobs, cache, engine: str = "scalar",
     def _task_engine(task: str) -> str:
         return mesh_engine if task in _MESH_TASKS else engine
 
+    def _task_engine_ref(task: str) -> str:
+        """Qualified ``domain:name`` registry ref for the cache key."""
+        domain = "mesh" if task in _MESH_TASKS else "device"
+        return f"{domain}:{_task_engine(task)}"
+
     metrics = {}
     missing = []
     for task in tasks:
         cached = (cache.get(cache_key("report-task",
                                       _task_payload(task, seed),
-                                      _task_engine(task)))
+                                      _task_engine_ref(task)))
                   if cache is not None else None)
         if cached is not None:
             metrics[task] = cached
@@ -181,7 +186,7 @@ def _collect_metrics(tasks, seed: int, jobs, cache, engine: str = "scalar",
             if cache is not None:
                 cache.put(cache_key("report-task",
                                     _task_payload(task, seed),
-                                    _task_engine(task)),
+                                    _task_engine_ref(task)),
                           result)
     return metrics
 
@@ -261,10 +266,9 @@ def generate_report(seed: int = 0, include_mesh: bool = True,
     bit-identical either way, but cache entries never alias across
     engines.
     """
-    from repro.core.fastpath import resolve_engine
-    from repro.noc.mesh.fastmesh import resolve_mesh_engine
-    engine = resolve_engine(engine)
-    mesh_engine = resolve_mesh_engine(mesh_engine)
+    from repro import engines as engine_registry
+    engine = engine_registry.resolve("device", engine, default="scalar")
+    mesh_engine = engine_registry.resolve("mesh", mesh_engine)
     if isinstance(cache, str):
         from repro.exec import ResultCache
         cache = ResultCache(cache)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import engines as engine_registry
 from repro.errors import ReproError
 
 #: Report sections servable via the ``report-section`` experiment.
@@ -226,6 +227,27 @@ def _mesh_load_sweep(params) -> dict:
             "saturation_rate": saturation if saturation != inf else None}
 
 
+def _mesh_vc_sweep(params) -> dict:
+    """Shared request/reply VC grid on the credit-based wormhole mesh.
+
+    The default ``mesh_engine="batched"`` runs the full VC-count x
+    buffer-depth x credit-latency x seed grid as ONE lockstep
+    :class:`~repro.noc.mesh.vcmesh_batched.BatchedVCMesh` simulation,
+    bit-identical to looping the scalar golden model.  An empty
+    ``rates`` list means greedy backlog-limited sources.
+    """
+    from repro.noc.mesh.vc import sweep_vc_grid
+    rates = tuple(params["rates"]) if params["rates"] else (None,)
+    results = sweep_vc_grid(
+        vc_counts=tuple(params["vc_counts"]),
+        buffer_depths=tuple(params["buffer_depths"]),
+        credit_latencies=tuple(params["credit_latencies"]),
+        injection_rates=rates, seeds=tuple(params["seeds"]),
+        cycles=params["cycles"], reply_flits=params["reply_flits"],
+        window=params["window"], engine=params["mesh_engine"])
+    return {"grid": [r.to_json() for r in results]}
+
+
 def _sidechannel_probe(params) -> dict:
     """One attacker probe batch under a chosen CTA scheduler.
 
@@ -274,17 +296,28 @@ _SEED = Param("seed", "int", 0, doc="device seed")
 _GPU = Param("gpu", "gpu", "V100", doc="V100/A100/H100")
 #: Hot endpoints default to the vectorized fast path (bit-identical to
 #: scalar); report endpoints keep the scalar golden model as default.
+#: Choices come from the engine registry, so registering a kernel there
+#: is what makes it servable — no per-endpoint lists to update.
 _ENGINE_FAST = Param("engine", "str", "vectorized",
-                     choices=("scalar", "vectorized"),
+                     choices=tuple(engine_registry.names("device")),
                      doc="measurement engine (results bit-identical)")
 _ENGINE_SCALAR = Param("engine", "str", "scalar",
-                       choices=("scalar", "vectorized"),
+                       choices=tuple(engine_registry.names("device")),
                        doc="measurement engine (results bit-identical)")
 #: Mesh sections default to the batched fastmesh kernel (bit-identical
 #: to the scalar Mesh2D golden model).
-_MESH_ENGINE = Param("mesh_engine", "str", "batched",
-                     choices=("scalar", "batched"),
+_MESH_ENGINE = Param("mesh_engine", "str",
+                     engine_registry.default_name("mesh"),
+                     choices=tuple(engine_registry.names("mesh")),
                      doc="mesh kernel (results bit-identical)")
+_VC_ENGINE = Param("mesh_engine", "str",
+                   engine_registry.default_name("vcmesh"),
+                   choices=tuple(engine_registry.names("vcmesh")),
+                   doc="VC-mesh kernel (results bit-identical)")
+
+#: Registry domain each experiment's engine parameter resolves in;
+#: experiments absent here use the ``device`` measurement engine.
+ENGINE_DOMAINS = {"mesh-load-sweep": "mesh", "mesh-vc-sweep": "vcmesh"}
 
 EXPERIMENTS = {e.name: e for e in (
     Experiment(
@@ -326,6 +359,22 @@ EXPERIMENTS = {e.name: e for e in (
          Param("cycles", "int", 2000, doc="cycles simulated per point"),
          Param("warmup", "int", 500, doc="cycles excluded from the stats"),
          _MESH_ENGINE)),
+    Experiment(
+        "mesh-vc-sweep",
+        "credit-based wormhole VC grid as one batched run (Fig 21-class)",
+        _mesh_vc_sweep,
+        (Param("vc_counts", "int-list", [1, 2], doc="VCs per port"),
+         Param("buffer_depths", "int-list", [4],
+               doc="flit buffer depth per (port, VC)"),
+         Param("credit_latencies", "int-list", [1],
+               doc="credit return latency in cycles"),
+         Param("rates", "float-list", [],
+               doc="injection rates; empty = greedy sources"),
+         Param("seeds", "int-list", [0], doc="traffic seeds"),
+         Param("cycles", "int", 2000, doc="cycles simulated per lane"),
+         Param("reply_flits", "int", 5, doc="flits per MC reply packet"),
+         Param("window", "int", 100, doc="utilization sampling window"),
+         _VC_ENGINE)),
     Experiment(
         "sidechannel-probe",
         "one AES/RSA timing-probe batch under static/random scheduling",
@@ -386,16 +435,19 @@ def cache_payload(name: str, params: dict) -> dict:
 
 
 def engine_param(name: str, params: dict):
-    """The engine whose fingerprint addresses this experiment's cache.
+    """The engine ref whose fingerprint addresses this experiment's cache.
 
-    Mesh experiments are keyed on the mesh kernel (``mesh_engine``:
-    a FASTMESH_VERSION bump invalidates exactly the batched entries);
-    everything else on the measurement engine.  ``None`` for
-    experiments with no engine parameter (``observations``).
+    Returns a registry-qualified ``"domain:name"`` reference — VC-mesh
+    experiments key on the ``vcmesh`` kernel, other mesh experiments on
+    the ``mesh`` kernel (a ``*_VERSION`` bump invalidates exactly that
+    kernel's entries), everything else on the ``device`` measurement
+    engine.  ``None`` for experiments with no engine parameter
+    (``observations``).
     """
-    if name.startswith("mesh-"):
-        return params.get("mesh_engine")
-    return params.get("engine")
+    domain = ENGINE_DOMAINS.get(name, "device")
+    engine = params.get("mesh_engine" if domain in ("mesh", "vcmesh")
+                        else "engine")
+    return None if engine is None else f"{domain}:{engine}"
 
 
 def run_experiment(args) -> dict:

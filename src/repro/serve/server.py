@@ -494,8 +494,8 @@ class ExperimentServer:
         engine = engine_param(name, params)
         fingerprint = None
         if engine is not None:
-            from repro.core.fastpath import engine_fingerprint
-            fingerprint = engine_fingerprint(engine)
+            from repro.engines import fingerprint_for
+            fingerprint = fingerprint_for(engine)
         self.registry.record(
             experiment=name, params=params, key=key, engine=fingerprint,
             worker=result.worker, wall_ms=result.wall_ms,

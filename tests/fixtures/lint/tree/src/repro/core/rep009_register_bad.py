@@ -1,0 +1,14 @@
+"""Fixture: REP009 registry-form violation.
+
+``turbo`` is registered through :func:`repro.engines.register` without
+a ``version=``: its cache fingerprint is name-only, so cached results
+survive kernel changes undetected.
+"""
+
+from repro import engines
+
+engines.register("solver", "scalar", default=True)       # golden: exempt
+engines.register("solver", "turbo",
+                 summary="unversioned fast kernel")      # finding
+engines.register("solver", "warp", version=2,
+                 version_field="warp_version")           # versioned: OK

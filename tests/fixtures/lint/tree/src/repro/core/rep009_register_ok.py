@@ -1,0 +1,10 @@
+"""Fixture: clean registry-form registrations for REP009."""
+
+from repro import engines as engine_registry
+
+WARP_VERSION = 3
+
+engine_registry.register("grid", "scalar", default=True)
+engine_registry.register("grid", "warp", version=WARP_VERSION,
+                         version_field="warp_version",
+                         summary="versioned fast kernel")

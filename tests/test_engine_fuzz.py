@@ -1,0 +1,95 @@
+"""Differential fuzz: every registered engine pair, pulled from the
+registry, must be bit-identical on randomized workloads.
+
+The per-engine equivalence suites pin known-interesting configurations;
+this harness closes the loop the other way: it asks
+:mod:`repro.engines` what engines *exist* per domain and drives each
+domain's canonical workload across all of them, so registering a new
+engine automatically subjects it to differential testing — there is no
+per-engine test list to forget to extend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import engines
+from repro.core.latency_bench import measured_latency_matrix
+from repro.gpu.device import SimulatedGPU
+from repro.noc.mesh.interfaces import run_reply_bottleneck
+from repro.noc.mesh.vc import run_shared_network_experiment
+
+
+def _device_workload(engine: str, seed: int, sms) -> np.ndarray:
+    gpu = SimulatedGPU("V100", seed=seed)
+    return measured_latency_matrix(gpu, sms=sms, samples=1, engine=engine)
+
+
+def _mesh_workload(engine: str, seed: int, arbiter: str) -> tuple:
+    result = run_reply_bottleneck(cycles=300, window=100, seed=seed,
+                                  arbiter=arbiter, engine=engine)
+    return (tuple(result.utilization.tolist()), result.mean_utilization,
+            result.peak_utilization)
+
+
+def _vcmesh_workload(engine: str, seed: int, num_vcs: int,
+                     depth: int, latency: int, rate) -> dict:
+    return run_shared_network_experiment(
+        num_vcs, cycles=400, window=100, seed=seed, buffer_flits=depth,
+        credit_latency=latency, injection_rate=rate,
+        engine=engine).to_json()
+
+
+def _assert_all_engines_agree(domain: str, workload) -> None:
+    names = engines.names(domain)
+    assert len(names) >= 2, f"domain {domain} has nothing to differ"
+    golden_name = next(n for n in names if engines.get(domain, n).golden)
+    golden = workload(golden_name)
+    for name in names:
+        if name == golden_name:
+            continue
+        other = workload(name)
+        if isinstance(golden, np.ndarray):
+            assert (golden == other).all(), (domain, name)
+        else:
+            assert golden == other, (domain, name)
+
+
+def test_every_domain_has_exactly_one_golden_engine():
+    for domain in engines.domains():
+        golden = [n for n in engines.names(domain)
+                  if engines.get(domain, n).golden]
+        assert golden == ["scalar"], domain
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       start=st.integers(min_value=0, max_value=5),
+       stride=st.integers(min_value=7, max_value=19))
+def test_fuzz_device_engines(seed, start, stride):
+    sms = list(range(start, 80, stride))
+    _assert_all_engines_agree(
+        "device", lambda e: _device_workload(e, seed, sms))
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       arbiter=st.sampled_from(["rr", "age"]))
+def test_fuzz_mesh_engines(seed, arbiter):
+    _assert_all_engines_agree(
+        "mesh", lambda e: _mesh_workload(e, seed, arbiter))
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       num_vcs=st.integers(min_value=1, max_value=3),
+       depth=st.integers(min_value=1, max_value=6),
+       latency=st.integers(min_value=1, max_value=3),
+       rate=st.one_of(st.none(),
+                      st.floats(min_value=0.05, max_value=1.0,
+                                allow_nan=False)))
+def test_fuzz_vcmesh_engines(seed, num_vcs, depth, latency, rate):
+    _assert_all_engines_agree(
+        "vcmesh",
+        lambda e: _vcmesh_workload(e, seed, num_vcs, depth, latency, rate))

@@ -121,7 +121,7 @@ def test_resolve_mesh_engine_default():
 
 
 def test_resolve_mesh_engine_rejects_unknown():
-    with pytest.raises(ConfigurationError, match="unknown mesh engine"):
+    with pytest.raises(ConfigurationError, match="unknown engine"):
         resolve_mesh_engine("vectorized")
 
 
@@ -132,7 +132,7 @@ def test_resolve_mesh_engine_rejects_unknown():
     lambda: run_reply_bottleneck(cycles=40, window=10, engine="turbo"),
 ])
 def test_entry_points_reject_unknown_engine(call):
-    with pytest.raises(ConfigurationError, match="unknown mesh engine"):
+    with pytest.raises(ConfigurationError, match="unknown engine"):
         call()
 
 

@@ -120,17 +120,40 @@ def test_rep003_const_eval_helpers():
 # ------------------------------------------------------------------ REP004
 
 def test_rep004_positive():
-    # the fixture mesh tree carries 4 class-pair drifts and 3 mesh
+    # the fixture mesh tree carries 4 Mesh2D class-pair drifts, 3 mesh
     # function-pair drifts (see test_rep004_mesh_function_pairs_positive)
+    # and 4 VC-pair drifts (see test_rep004_vc_pair_positive)
     result = run_lint(["src/repro/noc/mesh"], root=TREE, select=("REP004",))
     assert rules_found(result) == {"REP004"}
     messages = [f.message for f in result.findings]
-    assert len(messages) == 7
+    assert len(messages) == 11
     assert any("missing public method `drain`" in m for m in messages)
     assert any("missing public method `golden_only`" in m for m in messages)
     assert any("`delivered_count` is a method on ReferenceMesh2D but a "
                "property on Mesh2D" in m for m in messages)
     assert any("`inject` required parameters differ" in m for m in messages)
+
+
+def test_rep004_vc_pair_positive():
+    # the scalar VC mesh vs its lane-batched twin: the leading `lane`
+    # parameter and the batched-only `last_ejected` extra are allowed,
+    # the other drifts report
+    result = run_lint(["src/repro/noc/mesh/vc.py",
+                       "src/repro/noc/mesh/vcmesh_batched.py"],
+                      root=TREE, select=("REP004",))
+    assert rules_found(result) == {"REP004"}
+    messages = [f.message for f in result.findings]
+    assert len(messages) == 4
+    assert any("missing public method `credit_snapshot`" in m
+               for m in messages)
+    assert any("`step` required parameters differ" in m for m in messages)
+    assert any("`batched_shared_network_experiment` required parameters "
+               "differ" in m for m in messages)
+    assert any("`sweep_vc_grid` has no vectorized twin" in m
+               for m in messages)
+    # lane-stripped inject and the allowlisted last_ejected are silent
+    assert not any("`inject`" in m for m in messages)
+    assert not any("last_ejected" in m for m in messages)
 
 
 def test_rep004_clean_on_real_tree():
@@ -326,6 +349,24 @@ def test_rep009_partial_path_set_is_silent():
 def test_rep009_scalar_and_versioned_exempt():
     result = run_lint(["src/repro/core/rep009_ok.py"], root=TREE,
                       select=("REP009",))
+    assert result.findings == []
+
+
+def test_rep009_register_call_positive():
+    # the registry form is file-local: a versionless register() call
+    # reports without any engine_fingerprint in the path set
+    result = run_lint(["src/repro/core/rep009_register_bad.py"],
+                      root=TREE, select=("REP009",))
+    assert [f.rule for f in result.findings] == ["REP009"]
+    finding = result.findings[0]
+    assert "engine 'turbo' registered without a version" in finding.message
+    # scalar and the versioned warp engine are exempt
+    assert len(result.findings) == 1
+
+
+def test_rep009_register_call_clean():
+    result = run_lint(["src/repro/core/rep009_register_ok.py"],
+                      root=TREE, select=("REP009",))
     assert result.findings == []
 
 

@@ -143,7 +143,7 @@ def test_identical_params_different_spelling_share_one_computation(client):
 def test_healthz_reports_shape(client):
     health = client.healthz().json
     assert health["status"] == "ok"
-    assert health["experiments"] == 8
+    assert health["experiments"] == 9
     assert health["inflight_computations"] == 0
 
 

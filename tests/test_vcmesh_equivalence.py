@@ -1,0 +1,173 @@
+"""Exact-equality parity: BatchedVCMesh vs the scalar credit-based VCMesh.
+
+Every assertion is ``==`` — the batched kernel replays the scalar
+model's per-cycle schedule (VC allocation, switch allocation, credit
+return) exactly, so buffer occupancies, credit counters and delivery
+statistics must match *per cycle*, not just at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MeshConfigError
+from repro.noc.mesh.flit import Packet, PacketKind
+from repro.noc.mesh.vc import (VCMesh, run_shared_network_experiment,
+                               sweep_vc_grid)
+from repro.noc.mesh.vcmesh_batched import (BatchedVCMesh,
+                                           batched_shared_network_experiment,
+                                           batched_vc_grid)
+
+
+def lockstep(width, height, cfgs, cycles, traffic_seed, arbiter="rr",
+             pipeline_stages=1, reply_bias=0.5):
+    """Drive identical random traffic into both models, compare per cycle."""
+    scalars = [VCMesh(width, height, num_vcs=v, buffer_flits=d,
+                      credit_latency=la, pipeline_stages=pipeline_stages,
+                      arbiter_kind=arbiter)
+               for v, d, la in cfgs]
+    batched = BatchedVCMesh(width, height,
+                            num_vcs=tuple(v for v, _d, _la in cfgs),
+                            buffer_flits=tuple(d for _v, d, _la in cfgs),
+                            credit_latency=tuple(la for _v, _d, la in cfgs),
+                            pipeline_stages=pipeline_stages,
+                            arbiter_kind=arbiter)
+    n = width * height
+    gen = np.random.default_rng(traffic_seed)
+    for cycle in range(cycles):
+        for lane, scalar in enumerate(scalars):
+            for node in range(n):
+                if gen.random() < 0.3 and scalar.source_backlog(node) < 6:
+                    dst = int(gen.integers(n))
+                    if dst == node:
+                        continue
+                    reply = gen.random() < reply_bias
+                    spec = dict(src=node, dst=dst,
+                                size=3 if reply else 1,
+                                kind=(PacketKind.REPLY if reply
+                                      else PacketKind.REQUEST))
+                    scalar.inject(Packet(**spec))
+                    batched.inject(lane, Packet(**spec))
+        for scalar in scalars:
+            scalar.step()
+        batched.step()
+        for lane, scalar in enumerate(scalars):
+            where = (cycle, lane)
+            assert scalar.buffer_occupancy() == \
+                batched.buffer_occupancy(lane), where
+            assert scalar.credit_snapshot() == \
+                batched.credit_snapshot(lane), where
+            assert scalar.flits_delivered == \
+                batched.delivered_flits(lane), where
+            assert len(scalar.delivered) == \
+                batched.delivered_count(lane), where
+            assert scalar.source_backlog(0) == \
+                batched.source_backlog(lane, 0), where
+
+
+# ------------------------------------------------------- lockstep traces
+
+def test_lockstep_heterogeneous_lanes():
+    # one batched run covering four different (VCs, depth, latency) lanes
+    lockstep(3, 3, [(1, 4, 1), (2, 4, 1), (2, 2, 3), (3, 5, 2)],
+             cycles=200, traffic_seed=42)
+
+
+def test_lockstep_age_arbiter():
+    lockstep(3, 3, [(2, 3, 1), (2, 4, 2)], cycles=200, traffic_seed=1,
+             arbiter="age")
+
+
+def test_lockstep_deep_pipeline():
+    lockstep(3, 3, [(2, 4, 1)], cycles=150, traffic_seed=5,
+             pipeline_stages=3)
+
+
+def test_lockstep_single_vc_request_only():
+    # one VC shared by both classes: the protocol-coupling regime
+    lockstep(4, 3, [(1, 2, 1)], cycles=150, traffic_seed=9,
+             reply_bias=0.7)
+
+
+# -------------------------------------------------- experiment entry points
+
+@pytest.mark.parametrize("num_vcs", (1, 2))
+def test_shared_network_experiment_identical(num_vcs):
+    scalar = run_shared_network_experiment(num_vcs, cycles=600, window=100,
+                                           engine="scalar")
+    batched = batched_shared_network_experiment(num_vcs, cycles=600,
+                                                window=100)
+    assert scalar.to_json() == batched.to_json()
+    assert np.array_equal(scalar.utilization, batched.utilization)
+
+
+def test_shared_network_injection_rate_identical():
+    scalar = run_shared_network_experiment(2, cycles=600, window=100,
+                                           injection_rate=0.25,
+                                           engine="scalar")
+    batched = run_shared_network_experiment(2, cycles=600, window=100,
+                                            injection_rate=0.25)
+    assert scalar.to_json() == batched.to_json()
+
+
+def test_vc_grid_identical_row_major():
+    kwargs = dict(vc_counts=(1, 2), buffer_depths=(2, 4),
+                  credit_latencies=(1, 2), injection_rates=(None, 0.4),
+                  seeds=(0, 7), cycles=400, reply_flits=3, window=50)
+    scalar = sweep_vc_grid(engine="scalar", **kwargs)
+    batched = batched_vc_grid(**kwargs)
+    assert len(scalar) == len(batched) == 32
+    for s, b in zip(scalar, batched):
+        assert s.to_json() == b.to_json()
+
+
+def test_default_engine_is_batched():
+    via_registry = run_shared_network_experiment(2, cycles=400, window=100)
+    direct = batched_shared_network_experiment(2, cycles=400, window=100)
+    assert via_registry.to_json() == direct.to_json()
+
+
+# ------------------------------------------------------------- validation
+
+def test_batched_validation():
+    with pytest.raises(MeshConfigError):
+        BatchedVCMesh(0, 3)
+    with pytest.raises(MeshConfigError):
+        BatchedVCMesh(3, 3, num_vcs=(0,))
+    with pytest.raises(MeshConfigError):
+        BatchedVCMesh(3, 3, num_vcs=(2,), credit_latency=(0,))
+    with pytest.raises(MeshConfigError):
+        BatchedVCMesh(3, 3, num_vcs=(9,))      # bitmask exactness bound
+    with pytest.raises(MeshConfigError):
+        BatchedVCMesh(3, 3, arbiter_kind="fifo")
+    with pytest.raises(MeshConfigError):
+        batched_vc_grid(vc_counts=(1,), injection_rates=(1.5,),
+                        cycles=200, window=50)
+
+
+def test_empty_grid_returns_empty():
+    assert batched_vc_grid(vc_counts=()) == []
+
+
+# ---------------------------------------------- property-based geometry
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_property_lockstep_random_geometry(data):
+    width = data.draw(st.integers(min_value=2, max_value=4), label="width")
+    height = data.draw(st.integers(min_value=2, max_value=4),
+                       label="height")
+    arbiter = data.draw(st.sampled_from(["rr", "age"]), label="arbiter")
+    lanes = data.draw(st.lists(
+        st.tuples(st.integers(min_value=1, max_value=4),
+                  st.integers(min_value=1, max_value=5),
+                  st.integers(min_value=1, max_value=3)),
+        min_size=1, max_size=3), label="lanes")
+    seed = data.draw(st.integers(min_value=0, max_value=2 ** 16),
+                     label="seed")
+    stages = data.draw(st.integers(min_value=1, max_value=2),
+                       label="pipeline_stages")
+    lockstep(width, height, lanes, cycles=120, traffic_seed=seed,
+             arbiter=arbiter, pipeline_stages=stages)
