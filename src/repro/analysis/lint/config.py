@@ -65,8 +65,9 @@ DEFAULT_SCOPES: dict[str, dict] = {
     # linter's own fixtures/engine
     "REP003": {"include": [],
                "exclude": ["repro.units", "repro.analysis.lint"]},
-    # resource lifecycle: every repro package (shm transport, cache
-    # locks, registries)
+    # resource lifecycle: every repro package — notably the shared
+    # segment core (repro.ipc), both transports riding it (repro.serve
+    # .shm, repro.exec.shm) and the cache's lock descriptors
     "REP008": {"include": ["repro"], "exclude": []},
 }
 

@@ -36,17 +36,21 @@ def single_sm_slice_bandwidth(gpu: SimulatedGPU, sm: int, slice_id: int,
     return measure_bandwidth(gpu, {sm: [slice_id]}).total_gbps
 
 
-def _distribution_shard(args) -> list:
-    """Sweep-runner worker: solo bandwidths for one chunk of SMs."""
+def _distribution_shard(args) -> np.ndarray:
+    """Sweep-runner worker: solo bandwidths for one chunk of SMs.
+
+    Returns the chunk as an ndarray so the pool's zero-copy transport
+    can move its buffer without re-encoding it.
+    """
     spec_data, seed, sms, slice_id, engine = args
     from repro.exec.runner import rebuild_device
     gpu = rebuild_device(spec_data, seed)
     if engine == "vectorized":
         from repro.core.fastpath.bandwidth import (
             vectorized_bandwidth_distribution)
-        return vectorized_bandwidth_distribution(gpu, slice_id,
-                                                 sms).tolist()
-    return [single_sm_slice_bandwidth(gpu, sm, slice_id) for sm in sms]
+        return vectorized_bandwidth_distribution(gpu, slice_id, sms)
+    return np.array([single_sm_slice_bandwidth(gpu, sm, slice_id)
+                     for sm in sms])
 
 
 def slice_bandwidth_distribution(gpu: SimulatedGPU, slice_id: int,
@@ -77,7 +81,7 @@ def slice_bandwidth_distribution(gpu: SimulatedGPU, slice_id: int,
     shards = [(spec_data, seed, shard, slice_id, engine)
               for shard in chunk(sms)]
     values = SweepRunner(jobs).map(_distribution_shard, shards)
-    return np.array([v for shard in values for v in shard])
+    return np.concatenate([np.atleast_1d(v) for v in values])
 
 
 def group_to_slice_bandwidth(gpu: SimulatedGPU, sms, slice_id: int,

@@ -75,14 +75,16 @@ def latency_profile(gpu: SimulatedGPU, sm: int, samples: int = 3,
     return measure_l2_latency(gpu, sm, samples=samples)
 
 
-def _latency_shard(args) -> list:
+def _latency_shard(args) -> np.ndarray:
     """Sweep-runner worker: one chunk of SMs on a freshly rebuilt device.
 
     Each shard rebuilds its :class:`SimulatedGPU` from the spec dict, so
     the measurement stream it sees depends only on the shard contents —
     results are bit-identical no matter how many workers run the sweep.
     With the vectorized engine a shard is one NumPy block instead of a
-    per-SM interpreter loop, same contents either way.
+    per-SM interpreter loop, same contents either way.  The shard's
+    ``[SM x slice]`` block comes back as an ndarray so the pool's
+    zero-copy transport can move its buffer without re-encoding it.
     """
     spec_data, seed, sms, slices, samples, engine = args
     from repro.exec.runner import rebuild_device
@@ -90,9 +92,9 @@ def _latency_shard(args) -> list:
     slices = list(slices) if slices is not None else None
     if engine == "vectorized":
         from repro.core.fastpath.latency import vectorized_latency_matrix
-        return vectorized_latency_matrix(gpu, sms, slices, samples).tolist()
-    return [measure_l2_latency(gpu, sm, slices, samples).tolist()
-            for sm in sms]
+        return vectorized_latency_matrix(gpu, sms, slices, samples)
+    return np.array([measure_l2_latency(gpu, sm, slices, samples)
+                     for sm in sms])
 
 
 def measured_latency_matrix(gpu: SimulatedGPU, sms=None, slices=None,
@@ -126,7 +128,7 @@ def measured_latency_matrix(gpu: SimulatedGPU, sms=None, slices=None,
     shards = [(spec_data, seed, shard, slices_key, samples, engine)
               for shard in chunk(sms)]
     shard_rows = SweepRunner(jobs).map(_latency_shard, shards)
-    return np.array([row for rows in shard_rows for row in rows])
+    return np.concatenate([np.atleast_2d(rows) for rows in shard_rows])
 
 
 def measure_miss_penalty(gpu: SimulatedGPU, sm: int, slices=None,

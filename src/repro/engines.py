@@ -201,12 +201,16 @@ def describe() -> list[dict]:
 # declaration lives here so one file answers "what engines exist".
 # ---------------------------------------------------------------------------
 
+# The ``zerocopy`` capability marks engines whose sharded sweep entry
+# points return ndarray-valued shard results, eligible for the
+# shared-memory transport of repro.exec.shm when run with jobs > 1.
+
 register("device", "scalar", default=True,
-         capabilities=("golden",),
+         capabilities=("golden", "zerocopy"),
          summary="interpreter warps via repro.runtime (golden model)")
 register("device", "vectorized",
          version=FASTPATH_VERSION, version_field="fastpath_version",
-         capabilities=("vectorized", "device-state"),
+         capabilities=("vectorized", "device-state", "zerocopy"),
          summary="batched NumPy Algorithm 1/2 fast path "
                  "(repro.core.fastpath)")
 
@@ -220,12 +224,13 @@ register("mesh", "batched", default=True,
                  "(repro.noc.mesh.fastmesh)")
 
 register("vcmesh", "scalar",
-         capabilities=("golden", "virtual-channels", "credit-flow"),
+         capabilities=("golden", "virtual-channels", "credit-flow",
+                       "zerocopy"),
          summary="credit-based wormhole VC router interpreter "
                  "(repro.noc.mesh.vc)")
 register("vcmesh", "batched", default=True,
          version=VCMESH_VERSION, version_field="vcmesh_version",
          capabilities=("batched", "lockstep-lanes", "virtual-channels",
-                       "credit-flow"),
+                       "credit-flow", "zerocopy"),
          summary="struct-of-arrays lockstep VC/credit mesh kernel "
                  "(repro.noc.mesh.vcmesh_batched)")

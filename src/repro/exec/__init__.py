@@ -9,12 +9,18 @@ cache's stampede-safe ``get_or_compute``, the hot/cold paths of the
 :mod:`repro.serve` measurement service.
 """
 
-from repro.exec.cache import CACHE_VERSION, ResultCache, cache_key
+from repro.exec.cache import (BINARY_MIN_BYTES, CACHE_VERSION, ResultCache,
+                              cache_key)
 from repro.exec.runner import (DEFAULT_SHARD_SMS, SweepRunner, chunk,
-                               device_payload, rebuild_device)
+                               device_payload, pool_chunksize,
+                               rebuild_device)
+from repro.exec.shm import (ZEROCOPY_MIN_BYTES, ShardSegment,
+                            decode_result, encode_result)
 
 __all__ = [
-    "CACHE_VERSION", "ResultCache", "cache_key",
+    "BINARY_MIN_BYTES", "CACHE_VERSION", "ResultCache", "cache_key",
     "DEFAULT_SHARD_SMS", "SweepRunner", "chunk",
-    "device_payload", "rebuild_device",
+    "device_payload", "pool_chunksize", "rebuild_device",
+    "ZEROCOPY_MIN_BYTES", "ShardSegment",
+    "decode_result", "encode_result",
 ]

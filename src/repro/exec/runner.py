@@ -37,11 +37,31 @@ from __future__ import annotations
 from concurrent.futures import Future, ProcessPoolExecutor
 
 from repro.errors import ConfigurationError
+from repro.exec.shm import (ZEROCOPY_MIN_BYTES, decode_result, run_token,
+                            shm_available, sweep_run, zerocopy_shard)
 
 #: SMs measured per latency/bandwidth shard.  Small enough to balance
 #: load across a handful of workers, large enough to amortise the fresh
 #: device build (~10 ms) over many ~8 ms measurements.
 DEFAULT_SHARD_SMS = 8
+
+#: Target chunks handed to each pool worker by :func:`pool_chunksize`.
+#: More than one so a slow chunk doesn't straggle the whole map; few
+#: enough that hundreds of shards don't dispatch one IPC round trip
+#: each.
+_CHUNKS_PER_WORKER = 4
+
+
+def pool_chunksize(n_shards: int, workers: int) -> int:
+    """Executor ``chunksize`` for ``n_shards`` over ``workers`` procs.
+
+    ``ProcessPoolExecutor.map`` defaults to chunksize 1 — one dispatch
+    and one result message per shard, which dominates wall time once a
+    sweep has hundreds of cheap shards.  Aim for
+    :data:`_CHUNKS_PER_WORKER` chunks per worker; short shard lists
+    still get chunksize 1 (identical to the old behaviour).
+    """
+    return max(1, n_shards // (max(1, workers) * _CHUNKS_PER_WORKER))
 
 
 def chunk(items, size: int = DEFAULT_SHARD_SMS) -> list:
@@ -56,7 +76,7 @@ class SweepRunner:
     """Maps a picklable worker over shard arguments, serially or not."""
 
     def __init__(self, jobs: int | None = None, persistent: bool = False,
-                 initializer=None):
+                 initializer=None, zerocopy: bool | None = None):
         if jobs is None:
             jobs = 1
         if jobs < 1:
@@ -69,7 +89,15 @@ class SweepRunner:
         #: first request).  Only the persistent pool uses it: per-call
         #: pools are short-lived and would pay the warm-up per map().
         self.initializer = initializer
+        #: ``None`` (default) auto-detects: shard results above
+        #: :data:`repro.exec.shm.ZEROCOPY_MIN_BYTES` come back through
+        #: shared-memory segments when the platform supports them,
+        #: through the pool's pickle pipe otherwise.  ``False`` forces
+        #: the pickle path (bit-identical by construction — the bench
+        #: and the identity tests compare the two).
+        self.zerocopy = shm_available() if zerocopy is None else zerocopy
         self._pool: ProcessPoolExecutor | None = None
+        self._tokens: list = []
 
     def _persistent_pool(self) -> ProcessPoolExecutor:
         if not self.persistent:
@@ -85,16 +113,44 @@ class SweepRunner:
         """Run ``worker`` over every shard; results in shard order.
 
         ``worker`` must be a module-level function and every element of
-        ``shard_args`` picklable when ``jobs > 1``.
+        ``shard_args`` picklable when ``jobs > 1``.  With zero-copy
+        enabled, workers park large results in shared-memory segments
+        and only a small descriptor crosses the pool pipe; the parent
+        decodes each descriptor back into NumPy views.  Both pool paths
+        cap the effective worker count at ``min(jobs, len(shard_args))``
+        and hand the executor a computed chunksize so hundreds of cheap
+        shards don't dispatch one at a time.
         """
         shard_args = list(shard_args)
         if self.jobs == 1 or len(shard_args) <= 1:
             return [worker(args) for args in shard_args]
-        if self.persistent:
-            return list(self._persistent_pool().map(worker, shard_args))
         workers = min(self.jobs, len(shard_args))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(worker, shard_args))
+        chunksize = pool_chunksize(len(shard_args), workers)
+        if not self.zerocopy:
+            if self.persistent:
+                return list(self._persistent_pool().map(
+                    worker, shard_args, chunksize=chunksize))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(worker, shard_args,
+                                     chunksize=chunksize))
+        token = run_token()
+        packed = [(worker, args, token, ZEROCOPY_MIN_BYTES)
+                  for args in shard_args]
+        try:
+            if self.persistent:
+                encoded = list(self._persistent_pool().map(
+                    zerocopy_shard, packed, chunksize=chunksize))
+            else:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    encoded = list(pool.map(zerocopy_shard, packed,
+                                            chunksize=chunksize))
+            return [decode_result(item) for item in encoded]
+        except BaseException:
+            # a failed or interrupted run may have parked segments whose
+            # descriptors were never decoded — unlink them before
+            # re-raising so /dev/shm doesn't accumulate orphans
+            sweep_run(token)
+            raise
 
     def submit(self, worker, args) -> Future:
         """Run ``worker(args)`` once on the persistent pool (a Future).
@@ -102,15 +158,49 @@ class SweepRunner:
         Unlike :meth:`map` there is no in-process shortcut: even with
         ``jobs=1`` the invocation runs in a pool worker, because the
         point of :meth:`submit` is keeping the *calling* thread (an
-        event loop) free.
+        event loop) free.  With zero-copy enabled the worker's result
+        comes back through a shared-memory segment and is decoded on
+        the pool's callback thread before the returned future resolves.
         """
-        return self._persistent_pool().submit(worker, args)
+        pool = self._persistent_pool()
+        if not self.zerocopy:
+            return pool.submit(worker, args)
+        token = run_token()
+        self._tokens.append(token)
+        inner = pool.submit(zerocopy_shard,
+                            (worker, args, token, ZEROCOPY_MIN_BYTES))
+        outer: Future = Future()
+
+        def _resolve(done: Future) -> None:
+            try:
+                self._tokens.remove(token)
+            except ValueError:      # close() already swept this token
+                pass
+            exc = done.exception()
+            if exc is not None:
+                sweep_run(token)
+                outer.set_exception(exc)
+                return
+            try:
+                outer.set_result(decode_result(done.result()))
+            except BaseException as err:  # segment vanished/corrupt
+                sweep_run(token)
+                outer.set_exception(err)
+
+        inner.add_done_callback(_resolve)
+        return outer
 
     def close(self) -> None:
-        """Shut the persistent pool down (idempotent, waits for work)."""
+        """Shut the persistent pool down (idempotent, waits for work).
+
+        Also sweeps shared-memory segments of any in-flight zero-copy
+        submissions whose descriptors will now never be decoded.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        while self._tokens:
+            sweep_run(self._tokens.pop())
 
     def __enter__(self) -> "SweepRunner":
         return self

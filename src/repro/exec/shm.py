@@ -1,0 +1,157 @@
+"""Zero-copy shard-result transport for the offline sweep path.
+
+The batched NumPy kernels made the sweeps compute-cheap enough that
+result serialization shows up: a ``SweepRunner`` worker's struct-of-
+arrays shard result used to be pickled into a pipe, copied through the
+kernel, and unpickled by the parent — the array payload crossing the
+boundary four times.  This module moves it across once:
+
+* the **worker** pickles only the result's *skeleton* with protocol 5,
+  letting ``pickle`` hand every contiguous array buffer out-of-band
+  (``buffer_callback``), writes the pickle stream plus the raw buffers
+  into one :mod:`repro.ipc` segment (header digest over the stream and
+  part layout — see ``share_segment(hash_parts=...)``), and returns a
+  :class:`ShardSegment` descriptor — a ~100-byte message listing the
+  part sizes;
+* the **parent** maps the segment in place (:func:`repro.ipc
+  .map_segment`), checks the header against the descriptor, and
+  ``pickle.loads(..., buffers=...)`` reconstructs the arrays as
+  writable NumPy views straight over the shared pages — no copy, no
+  re-hash, no per-array allocation; decode cost is independent of
+  payload size.
+
+Results whose encoded size is below :data:`ZEROCOPY_MIN_BYTES`, and
+every result on platforms without shared memory, fall back to the
+plain pickle path — bit-identical by construction, since both sides of
+the transport are ``pickle`` round trips of the same object.
+
+A worker that dies between parking a segment and the parent decoding
+its descriptor leaks that segment; :meth:`repro.exec.runner.SweepRunner`
+sweeps the run's segments (by name token) when a pool call fails or
+the runner closes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from dataclasses import dataclass
+
+from repro.ipc import (SegmentRef, map_available, map_segment,
+                       read_segment, share_segment, shm_available,
+                       sweep_orphans)
+from repro.units import KIB
+
+#: Encoded results at or above this size move through shared memory;
+#: smaller ones ride the pool's pickle pipe (segment setup costs ~2
+#: syscalls and a page fault, which only pays off past a few pages).
+ZEROCOPY_MIN_BYTES = 64 * KIB
+
+#: Name prefix of every segment this module creates.  The full segment
+#: name is ``repro-exec-<owner>-<pid>-<n>`` where ``owner`` is the
+#: run token minted by :func:`run_token` in the parent, so a failed
+#: run sweeps exactly its own segments.
+_PREFIX = "repro-exec"
+
+_TOKEN_COUNTER = itertools.count()
+
+
+def run_token() -> str:
+    """A fresh owner token for one pool run (parent pid + counter).
+
+    Segments created for the run embed the token in their name, so the
+    parent can sweep *this run's* orphans on failure without touching
+    segments of a concurrent runner in the same process.
+    """
+    return f"{os.getpid()}.{next(_TOKEN_COUNTER)}"
+
+
+def sweep_run(token: str) -> int:
+    """Remove segments a failed/abandoned run left behind (by token)."""
+    return sweep_orphans(_PREFIX, token)
+
+
+@dataclass(frozen=True)
+class ShardSegment:
+    """Descriptor of one shard result parked in shared memory.
+
+    ``sizes[0]`` is the length of the pickle stream; the remaining
+    entries are the byte lengths of the out-of-band array buffers, in
+    ``buffer_callback`` order — exactly the order :func:`decode_result`
+    must feed them back to ``pickle.loads``.
+    """
+
+    ref: SegmentRef
+    sizes: tuple
+
+
+def encode_result(value, *, token: str = "0",
+                  min_bytes: int = ZEROCOPY_MIN_BYTES):
+    """Worker side: park ``value`` in shared memory when it pays off.
+
+    Returns a :class:`ShardSegment` descriptor, or ``value`` unchanged
+    when the encoded size is below ``min_bytes`` or the platform has no
+    shared memory — the caller's pool then pickles it as before.
+    """
+    if not shm_available():
+        return value
+    buffers: list = []
+    payload = pickle.dumps(value, protocol=5,
+                           buffer_callback=buffers.append)
+    try:
+        raws = [buffer.raw() for buffer in buffers]
+    except BufferError:
+        # a non-contiguous out-of-band buffer (exotic): keep it in-band
+        payload, raws = pickle.dumps(value, protocol=5), []
+    if len(payload) + sum(len(raw) for raw in raws) < min_bytes:
+        return value
+    try:
+        # hash_parts=1: digest the pickle stream and the part layout,
+        # not the bulk array bytes — same trust domain as the pool pipe
+        # this replaces, and the hash would otherwise dominate the cost.
+        # Where segments cannot be mapped the consumer falls back to
+        # read_segment, whose whole-payload check needs a full digest.
+        ref = share_segment([payload, *raws], prefix=_PREFIX, owner=token,
+                            hash_parts=1 if map_available() else None)
+    except OSError:
+        return value          # /dev/shm full or unusable: pickle fallback
+    return ShardSegment(ref=ref,
+                        sizes=(len(payload),
+                               *(len(raw) for raw in raws)))
+
+
+def decode_result(obj):
+    """Parent side: reconstruct a shard result (pass-through otherwise).
+
+    Where POSIX shared memory is file-backed the segment is *mapped*,
+    not copied: the arrays ``pickle.loads`` rebuilds are writable views
+    straight over the shared pages, the payload is never re-hashed, and
+    the kernel frees the pages when the last view dies (the mapping
+    holds them after the name is unlinked).  Elsewhere the payload is
+    copied out once into a writable buffer and the views share that
+    allocation instead.
+    """
+    if not isinstance(obj, ShardSegment):
+        return obj
+    if map_available():
+        view = map_segment(obj.ref)
+    else:
+        view = memoryview(read_segment(obj.ref, mutable=True))
+    offset = obj.sizes[0]
+    buffers = []
+    for length in obj.sizes[1:]:
+        buffers.append(view[offset:offset + length])
+        offset += length
+    return pickle.loads(view[:obj.sizes[0]], buffers=buffers)
+
+
+def zerocopy_shard(packed):
+    """Pool-worker wrapper: run the real worker, encode its result.
+
+    ``packed`` is ``(worker, args, token, min_bytes)`` — the worker
+    must be a module-level callable exactly as :meth:`SweepRunner.map`
+    already requires.
+    """
+    worker, args, token, min_bytes = packed
+    return encode_result(worker(args), token=token, min_bytes=min_bytes)

@@ -57,6 +57,11 @@ _CLASS_VC = {PacketKind.REQUEST: 0, PacketKind.REPLY: 1}
 
 _ARBITER_KINDS = ("rr", "age")
 
+#: Shard count a ``jobs``-parallel :func:`sweep_vc_grid` splits its grid
+#: into (lanes per shard = ceil(points / this)).  Granularity is fixed
+#: before the worker count so results never depend on ``jobs``.
+_VC_SWEEP_SHARDS = 8
+
 
 def class_vc(packet: Packet, num_vcs: int) -> int:
     """VC assigned to a packet: its message class, folded into num_vcs."""
@@ -427,11 +432,35 @@ def run_shared_network_experiment(num_vcs: int, width: int = 6,
         window=window)
 
 
+def _vc_points_shard(args) -> list:
+    """Sweep-runner worker: one chunk of grid points, lockstep or scalar.
+
+    Lanes are mutually independent (each replays its own traffic
+    stream), so a chunk simulated on its own produces exactly the lanes
+    the full grid would — sharding cannot change a single flit.  The
+    results carry ``utilization`` ndarrays, which the pool's zero-copy
+    transport moves without re-encoding.
+    """
+    points, width, height, cycles, reply_flits, window, engine = args
+    if engine == "batched":
+        from repro.noc.mesh.vcmesh_batched import batched_vc_points
+        return batched_vc_points(points, width=width, height=height,
+                                 cycles=cycles, reply_flits=reply_flits,
+                                 window=window)
+    return [run_shared_network_experiment(
+                num_vcs, width=width, height=height, cycles=cycles,
+                reply_flits=reply_flits, seed=seed, buffer_flits=depth,
+                credit_latency=latency, window=window,
+                injection_rate=rate, engine="scalar")
+            for num_vcs, depth, latency, rate, seed in points]
+
+
 def sweep_vc_grid(vc_counts=(1, 2), buffer_depths=(4,),
                   credit_latencies=(1,), injection_rates=(None,),
                   seeds=(0,), width: int = 6,
                   height: int = 6, cycles: int = 8000, reply_flits: int = 5,
-                  window: int = 100, engine: str | None = None) -> list:
+                  window: int = 100, engine: str | None = None,
+                  jobs: int | None = None) -> list:
     """The full Fig 21/23-class VC sweep, one result per grid point.
 
     Grid order is ``vc_counts`` x ``buffer_depths`` x
@@ -441,24 +470,29 @@ def sweep_vc_grid(vc_counts=(1, 2), buffer_depths=(4,),
     ``"batched"`` engine simulates every grid point as one lane of a
     single lockstep :class:`~repro.noc.mesh.vcmesh_batched
     .BatchedVCMesh` run; ``"scalar"`` loops this module's golden model.
+
+    ``jobs`` shards the grid's *lanes* into fixed chunks run across a
+    process pool (each chunk still a lockstep batch under the batched
+    engine); lanes are independent, so ``jobs=1`` and ``jobs=N`` return
+    bit-identical results in the same row-major order.
     """
     from repro import engines as engine_registry
     engine = engine_registry.resolve("vcmesh", engine)
-    if engine == "batched":
-        from repro.noc.mesh.vcmesh_batched import batched_vc_grid
-        return batched_vc_grid(
-            vc_counts=vc_counts, buffer_depths=buffer_depths,
-            credit_latencies=credit_latencies,
-            injection_rates=injection_rates, seeds=seeds, width=width,
-            height=height, cycles=cycles, reply_flits=reply_flits,
-            window=window)
-    return [run_shared_network_experiment(
-                num_vcs, width=width, height=height, cycles=cycles,
-                reply_flits=reply_flits, seed=seed,
-                buffer_flits=depth, credit_latency=latency,
-                window=window, injection_rate=rate, engine="scalar")
+    grid = [(num_vcs, depth, latency, rate, seed)
             for num_vcs in vc_counts
             for depth in buffer_depths
             for latency in credit_latencies
             for rate in injection_rates
             for seed in seeds]
+    if jobs is None:
+        return _vc_points_shard((grid, width, height, cycles, reply_flits,
+                                 window, engine))
+    from repro.exec import SweepRunner, chunk
+    # fixed granularity BEFORE the worker count (the SweepRunner
+    # invariant): always _VC_SWEEP_SHARDS shards, so jobs only decides
+    # how many run at once, never what a shard contains
+    size = max(1, -(-len(grid) // _VC_SWEEP_SHARDS))
+    shards = [(points, width, height, cycles, reply_flits, window, engine)
+              for points in chunk(grid, size=size)]
+    shard_results = SweepRunner(jobs).map(_vc_points_shard, shards)
+    return [result for shard in shard_results for result in shard]

@@ -32,9 +32,11 @@ registry fuzz harness.  Traffic replays the scalar draws through
 
 Entry points mirror the scalar experiment APIs and return the same
 :class:`~repro.noc.mesh.vc.SharedNetworkResult`:
-:func:`batched_shared_network_experiment` and :func:`batched_vc_grid`.
-Engines resolve through the :mod:`repro.engines` registry (domain
-``"vcmesh"``, this kernel is ``"batched"``).
+:func:`batched_shared_network_experiment` and :func:`batched_vc_grid`
+(with :func:`batched_vc_points` taking an explicit lane list, the unit
+a ``jobs``-parallel sweep shards over).  Engines resolve through the
+:mod:`repro.engines` registry (domain ``"vcmesh"``, this kernel is
+``"batched"``).
 """
 
 from __future__ import annotations
@@ -578,6 +580,23 @@ def batched_vc_grid(vc_counts=(1, 2), buffer_depths=(4,),
             for v in vc_counts for d in buffer_depths
             for la in credit_latencies for ra in injection_rates
             for s in seeds]
+    return batched_vc_points(grid, width=width, height=height,
+                             cycles=cycles, reply_flits=reply_flits,
+                             window=window)
+
+
+def batched_vc_points(points, *, width: int = 6, height: int = 6,
+                      cycles: int = 8000, reply_flits: int = 5,
+                      window: int = 100) -> list:
+    """An explicit list of ``(num_vcs, buffer_flits, credit_latency,
+    injection_rate, seed)`` points as one lockstep run, one lane each.
+
+    This is :func:`batched_vc_grid` minus the cross-product: lanes are
+    mutually independent (each replays its own traffic stream), so any
+    sub-list of a grid — e.g. one shard of a ``jobs``-parallel sweep —
+    produces exactly the lanes the full grid would.
+    """
+    grid = [tuple(point) for point in points]
     if not grid:
         return []
     if cycles <= 0 or window <= 0 or cycles < window:

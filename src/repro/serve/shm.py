@@ -15,25 +15,18 @@ final wire format.  This module moves any payload above
   digest, then closes *and unlinks* the segment, so the kernel frees it
   the moment the response is built.
 
-Ownership protocol: the consumer always unlinks.  The producer
-unregisters the segment from its own ``resource_tracker`` (see
-:func:`_untrack`) because otherwise the tracker of the *creating*
-process would try to destroy the segment at exit — after the consumer
-already unlinked it — and log spurious leak warnings.  A worker that
-dies between creating a segment and its message being consumed leaks
-that one segment; :func:`cleanup_orphans` sweeps such segments by name
-prefix when a replacement worker spawns.
+The segment/digest machinery itself lives in :mod:`repro.ipc` — the
+same core the offline sweep path (:mod:`repro.exec.shm`) uses for
+array-valued shard results — and this module only binds the serve
+tier's policy to it: the ``repro-serve`` name prefix (worker-id scoped,
+so a respawning pool sweeps exactly the dead worker's leftovers) and
+the queue-inline size floor.
 """
 
 from __future__ import annotations
 
-import contextlib
-import hashlib
-import itertools
-import os
-from dataclasses import dataclass
-from pathlib import Path
-
+from repro.ipc import (SegmentError, SegmentRef, read_segment,
+                       share_segment, sweep_orphans)
 from repro.units import KIB
 
 #: Payloads at or above this size move through shared memory; smaller
@@ -45,85 +38,20 @@ SHM_MIN_BYTES = 32 * KIB
 #: pool sweep segments an earlier crashed worker left behind.
 _PREFIX = "repro-serve"
 
-#: Where Linux exposes POSIX shared memory as files (orphan sweeping is
-#: best-effort and skipped on platforms without it).
-_SHM_DIR = Path("/dev/shm")
-
-#: Distinguishes segments of one producer process (identical payloads
-#: would otherwise collide on a digest-derived name).
-_SEGMENT_COUNTER = itertools.count()
-
-
-def _shared_memory():
-    """The SharedMemory class (imported lazily: not on the hot path)."""
-    from multiprocessing import shared_memory
-    return shared_memory.SharedMemory
-
-
-def _untrack(shm) -> None:
-    """Unregister ``shm`` from this process's resource tracker.
-
-    The producer hands ownership to the consumer, who unlinks.  Without
-    this, the producer-side tracker would unlink the segment again at
-    process exit and warn about a leak that never happened.  Private
-    API, so failures are tolerated — the worst case is a harmless
-    warning at worker exit.
-    """
-    try:
-        from multiprocessing import resource_tracker
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except (ImportError, AttributeError, KeyError):
-        pass
-
-
-@dataclass(frozen=True)
-class ShmRef:
-    """A handle to payload bytes parked in a shared-memory segment."""
-
-    name: str
-    size: int
-    sha256: str
+#: The serve tier's descriptor/error vocabulary predates the factored
+#: core; the names are kept as aliases of the :mod:`repro.ipc` types.
+ShmRef = SegmentRef
+ShmTransportError = SegmentError
 
 
 def share_bytes(data: bytes, worker_id: int = 0) -> ShmRef:
     """Producer side: park ``data`` in a fresh segment, return its ref."""
-    if not data:
-        raise ValueError("cannot share an empty payload")
-    cls = _shared_memory()
-    segment = cls(create=True, size=len(data),
-                  name=f"{_PREFIX}-{worker_id}-{os.getpid()}-"
-                       f"{next(_SEGMENT_COUNTER)}")
-    try:
-        segment.buf[:len(data)] = data
-    finally:
-        segment.close()
-    _untrack(segment)
-    return ShmRef(name=segment.name, size=len(data),
-                  sha256=hashlib.sha256(data).hexdigest())
-
-
-class ShmTransportError(RuntimeError):
-    """The segment was missing or its content failed digest check."""
+    return share_segment(data, prefix=_PREFIX, owner=worker_id)
 
 
 def read_shared(ref: ShmRef) -> bytes:
     """Consumer side: read, verify, and *unlink* the segment."""
-    cls = _shared_memory()
-    try:
-        segment = cls(name=ref.name)
-    except FileNotFoundError:
-        raise ShmTransportError(
-            f"shared segment {ref.name!r} vanished before it was read")
-    try:
-        data = bytes(segment.buf[:ref.size])
-    finally:
-        segment.close()
-        with contextlib.suppress(FileNotFoundError):
-            segment.unlink()
-    if hashlib.sha256(data).hexdigest() != ref.sha256:
-        raise ShmTransportError(
-            f"shared segment {ref.name!r} failed its digest check")
-    return data
+    return read_segment(ref)
 
 
 def cleanup_orphans(worker_id: int) -> int:
@@ -133,11 +61,4 @@ def cleanup_orphans(worker_id: int) -> int:
     and Linux-only (``/dev/shm``); returns the number of segments
     removed.
     """
-    if not _SHM_DIR.is_dir():
-        return 0
-    removed = 0
-    for path in _SHM_DIR.glob(f"{_PREFIX}-{worker_id}-*"):
-        with contextlib.suppress(OSError):
-            path.unlink()
-            removed += 1
-    return removed
+    return sweep_orphans(_PREFIX, worker_id)

@@ -1,0 +1,40 @@
+"""Fixture: REP008 violations in the exec/ipc segment idioms."""
+
+import os
+from multiprocessing import shared_memory
+
+HEADER = 40
+
+
+def share_forgets_close(payload):
+    seg = shared_memory.SharedMemory(create=True, size=HEADER + len(payload))
+    seg.buf[HEADER:HEADER + len(payload)] = payload
+    return seg.name          # producer never detaches: seg leaks
+
+
+def read_swallows_digest_error(name, size):
+    seg = shared_memory.SharedMemory(name=name)
+    data = b""
+    try:
+        data = bytes(seg.buf[HEADER:HEADER + size])
+        seg.close()
+        seg.unlink()
+    except ValueError:
+        data = b""           # swallowed: seg may still be open here
+    return data
+
+
+def lock_fd_early_return(path, contended):
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    if contended:
+        return False         # early return: fd leaks
+    os.close(fd)
+    return True
+
+
+def sweep_closes_only_first(name_a, name_b):
+    first = shared_memory.SharedMemory(name=name_a)
+    second = shared_memory.SharedMemory(name=name_b)
+    first.close()
+    first.unlink()
+    return None              # `second` never closes

@@ -1,0 +1,40 @@
+"""Fixture: REP008-clean exec/ipc segment idioms."""
+
+import contextlib
+import os
+from multiprocessing import shared_memory
+
+HEADER = 40
+
+
+def share_closes_in_finally(payload):
+    seg = shared_memory.SharedMemory(create=True, size=HEADER + len(payload))
+    try:
+        seg.buf[HEADER:HEADER + len(payload)] = payload
+    finally:
+        seg.close()          # producer detaches; consumer unlinks
+    return seg.name
+
+
+def read_consumer_unlinks(name, size):
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(seg.buf[HEADER:HEADER + size])
+    finally:
+        seg.close()
+        with contextlib.suppress(FileNotFoundError):
+            seg.unlink()
+
+
+def lock_fd_closed_in_finally(path):
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    try:
+        return os.read(fd, 16)
+    finally:
+        os.close(fd)
+
+
+def descriptor_returned_to_caller(payload, registry):
+    seg = shared_memory.SharedMemory(create=True, size=len(payload))
+    registry.adopt(seg)      # ownership transfer: the registry closes it
+    return seg.name

@@ -288,3 +288,154 @@ def test_put_bytes_round_trips_canonical_payloads(cache):
     cache.put_bytes(key, canonical)
     assert cache.get(key) == value
     assert list(cache.directory.glob("*.tmp")) == []
+
+
+# ------------------------------------------------------------- binary tier
+
+def _big_matrix() -> np.ndarray:
+    return np.arange(4000, dtype=np.float64).reshape(80, 50)
+
+
+def test_large_arrays_go_to_npz_sidecar(cache):
+    big = _big_matrix()
+    cache.put("key-big", {"matrix": big, "meta": {"n": 1}})
+    envelope = json.loads((cache.directory / "key-big.json").read_text())
+    manifest = envelope["binary"]
+    assert (cache.directory / manifest["blob"]).is_file()
+    assert manifest["arrays"]["a0"] == {"dtype": "float64",
+                                        "shape": [80, 50]}
+    got = cache.get("key-big")
+    assert isinstance(got["matrix"], np.ndarray)
+    assert got["matrix"].tobytes() == big.tobytes()
+    assert got["meta"] == {"n": 1}
+
+
+def test_small_arrays_stay_pure_json(cache):
+    cache.put("key-small", {"matrix": np.eye(2)})
+    assert not (cache.directory / "key-small.npz").exists()
+    assert cache.get("key-small") == {"matrix": [[1.0, 0.0], [0.0, 1.0]]}
+
+
+def test_binary_entries_survive_nested_trees(cache):
+    big = _big_matrix()
+    value = {"rows": [big, big[:2]], "label": "x", "n": 7}
+    cache.put("key-nest", value)
+    got = cache.get("key-nest")
+    assert got["label"] == "x" and got["n"] == 7
+    assert got["rows"][0].tobytes() == big.tobytes()
+    assert np.array_equal(got["rows"][1], big[:2])
+
+
+def test_corrupted_sidecar_is_a_miss_and_recomputed(cache):
+    big = _big_matrix()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"matrix": big}
+
+    cache.get_or_compute("alg", {"p": 1}, compute)
+    blob = next(cache.directory.glob("*.npz"))
+    blob.write_bytes(blob.read_bytes()[:64])          # truncate
+    value = cache.get_or_compute("alg", {"p": 1}, compute)
+    assert len(calls) == 2                            # recomputed
+    assert value["matrix"].tobytes() == big.tobytes()
+
+
+def test_missing_sidecar_is_a_miss(cache):
+    cache.put("key-gone", {"matrix": _big_matrix()})
+    next(cache.directory.glob("*.npz")).unlink()
+    misses = cache.misses
+    assert cache.get("key-gone") is None
+    assert cache.misses == misses + 1
+    assert not (cache.directory / "key-gone.json").exists()  # both parts dropped
+
+
+def test_digest_mismatch_sidecar_is_a_miss(cache):
+    cache.put("key-swap", {"matrix": _big_matrix()})
+    blob = next(cache.directory.glob("*.npz"))
+    # a VALID npz with different content: only the digest check can tell
+    other = cache.directory / "other.bin"
+    with open(other, "wb") as handle:
+        np.savez(handle, a0=np.zeros((80, 50)))
+    blob.write_bytes(other.read_bytes())
+    other.unlink()
+    assert cache.get("key-swap") is None
+
+
+def test_overwriting_with_small_value_removes_sidecar(cache):
+    cache.put("key-shrink", {"matrix": _big_matrix()})
+    assert (cache.directory / "key-shrink.npz").exists()
+    cache.put("key-shrink", {"matrix": [1, 2]})
+    assert not (cache.directory / "key-shrink.npz").exists()
+    assert cache.get("key-shrink") == {"matrix": [1, 2]}
+
+
+def test_object_dtype_arrays_keep_legacy_path(cache):
+    # np.savez would pickle object arrays; they stay on the tolist path
+    cache.put("key-obj", {"mixed": np.array([1, 2.5], dtype=object),
+                          "big": _big_matrix()})
+    got = cache.get("key-obj")
+    assert got["mixed"] == [1, 2.5]
+    assert isinstance(got["big"], np.ndarray)
+
+
+# ----------------------------------------------------- stale locks + stats
+
+def test_len_and_stats_ignore_locks_and_sidecars(cache):
+    cache.put("key-a", {"matrix": _big_matrix()})
+    cache.put("key-b", {"x": 1})
+    (cache.directory / "stale.lock").touch()
+    assert len(cache) == 2
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["binary_blobs"] == 1
+    assert stats["lock_files"] == 1
+
+
+def test_sweep_stale_locks_is_bounded_and_age_keyed(cache):
+    import os
+    import time
+    old = time.time() - 7200
+    for i in range(5):
+        path = cache.directory / f"old-{i}.lock"
+        path.touch()
+        os.utime(path, (old, old))
+    fresh = cache.directory / "fresh.lock"
+    fresh.touch()
+    assert cache.sweep_stale_locks(limit=3) == 3      # bounded per call
+    assert cache.sweep_stale_locks() == 2
+    assert fresh.exists()                             # young lock kept
+
+
+def test_process_lock_refreshes_lock_mtime(cache):
+    import os
+    import time
+    cache.get_or_compute("alg", {"p": 9}, lambda: {"x": 1})
+    lock = next(cache.directory.glob("*.lock"))
+    old = time.time() - 7200
+    os.utime(lock, (old, old))
+    cache.get_or_compute("alg", {"p": 9}, lambda: {"x": 1})  # cache hit: no lock
+    cache.get_or_compute("alg", {"p": 10}, lambda: {"x": 2})
+    # the p=9 lock was not touched by unrelated keys and sweeps away
+    assert cache.sweep_stale_locks() == 1
+
+
+# ------------------------------------------------------ degraded platforms
+
+def test_fcntl_unavailable_yields_identical_results(cache, monkeypatch):
+    import repro.exec.cache as cache_mod
+    big = _big_matrix()
+    expected = cache.get_or_compute("alg", {"p": 1},
+                                    lambda: {"matrix": big})
+    monkeypatch.setattr(cache_mod, "fcntl", None)
+    degraded = ResultCache(cache.directory.parent / "degraded")
+    value = degraded.get_or_compute("alg", {"p": 1},
+                                    lambda: {"matrix": big})
+    assert value["matrix"].tobytes() == expected["matrix"].tobytes()
+    # and the stored bytes are identical too
+    a = (cache.directory / next(
+        p.name for p in cache.directory.glob("*.json"))).read_text()
+    b = (degraded.directory / next(
+        p.name for p in degraded.directory.glob("*.json"))).read_text()
+    assert a == b

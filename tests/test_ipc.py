@@ -1,0 +1,155 @@
+"""repro.ipc: the digest-verified shared-memory segment core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ipc import (HEADER_BYTES, SegmentError, SegmentRef, map_available,
+                       map_segment, read_segment, share_segment,
+                       shm_available, sweep_orphans)
+
+pytestmark = pytest.mark.skipif(not shm_available(),
+                                reason="platform has no shared memory")
+
+_PREFIX = "repro-ipc-test"
+
+
+@pytest.fixture(autouse=True)
+def _sweep_test_segments():
+    yield
+    sweep_orphans(_PREFIX)
+
+
+def test_round_trip_single_buffer():
+    payload = b"x" * 1000
+    ref = share_segment(payload, prefix=_PREFIX)
+    assert ref.size == len(payload)
+    assert ref.name.startswith(_PREFIX + "-")
+    assert read_segment(ref) == payload
+
+
+def test_round_trip_scatter_gather_parts():
+    parts = [b"head", bytearray(b"middle" * 50), memoryview(b"tail")]
+    ref = share_segment(parts, prefix=_PREFIX)
+    assert read_segment(ref) == b"".join(bytes(p) for p in parts)
+
+
+def test_mutable_read_returns_writable_bytearray():
+    ref = share_segment(b"abc", prefix=_PREFIX)
+    data = read_segment(ref, mutable=True)
+    assert isinstance(data, bytearray)
+    data[0] = 0
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(ValueError):
+        share_segment(b"", prefix=_PREFIX)
+    with pytest.raises(ValueError):
+        share_segment([b"", b""], prefix=_PREFIX)
+
+
+def test_consumer_unlinks_so_second_read_fails():
+    ref = share_segment(b"once", prefix=_PREFIX)
+    assert read_segment(ref) == b"once"
+    with pytest.raises(SegmentError):
+        read_segment(ref)
+
+
+def test_descriptor_digest_mismatch_detected():
+    ref = share_segment(b"payload", prefix=_PREFIX)
+    forged = SegmentRef(name=ref.name, size=ref.size, sha256="0" * 64)
+    with pytest.raises(SegmentError):
+        read_segment(forged)
+
+
+def test_descriptor_size_mismatch_detected():
+    ref = share_segment(b"payload", prefix=_PREFIX)
+    forged = SegmentRef(name=ref.name, size=ref.size + 1, sha256=ref.sha256)
+    with pytest.raises(SegmentError):
+        read_segment(forged)
+
+
+def test_segment_is_self_describing():
+    # the header repeats length and digest, so a leaked segment can be
+    # identified without its descriptor
+    from multiprocessing import shared_memory
+    ref = share_segment(b"hello", prefix=_PREFIX)
+    seg = shared_memory.SharedMemory(name=ref.name)
+    try:
+        header = bytes(seg.buf[:HEADER_BYTES])
+    finally:
+        seg.close()
+    assert int.from_bytes(header[:8], "big") == ref.size
+    assert header[8:].hex() == ref.sha256
+    read_segment(ref)                     # clean up via normal consume
+
+
+def test_map_segment_zero_copy_round_trip():
+    if not map_available():
+        pytest.skip("shared memory is not file-backed here")
+    parts = [b"head", b"x" * 5000, b"tail"]
+    ref = share_segment(parts, prefix=_PREFIX)
+    view = map_segment(ref)
+    assert bytes(view) == b"".join(parts)
+    view[0] = 0                           # mapped pages are writable
+    with pytest.raises(SegmentError):
+        map_segment(ref)                  # name consumed on first map
+
+
+def test_map_segment_survives_unlink():
+    # deferred free: the name goes away at map time, the pages only when
+    # the last view over the mapping is dropped
+    if not map_available():
+        pytest.skip("shared memory is not file-backed here")
+    from pathlib import Path
+    ref = share_segment(b"sticky" * 100, prefix=_PREFIX)
+    view = map_segment(ref)
+    assert not Path("/dev/shm", ref.name).exists()
+    assert bytes(view[:6]) == b"sticky"
+    view.release()
+
+
+def test_map_segment_rejects_forged_descriptor():
+    if not map_available():
+        pytest.skip("shared memory is not file-backed here")
+    ref = share_segment(b"payload", prefix=_PREFIX)
+    forged = SegmentRef(name=ref.name, size=ref.size, sha256="f" * 64)
+    with pytest.raises(SegmentError):
+        map_segment(forged)
+    with pytest.raises(SegmentError):     # corrupt segment was removed
+        map_segment(ref)
+
+
+def test_hash_parts_digests_stream_and_layout_only():
+    # partial-hash segments bind the descriptor to the leading parts
+    # plus the exact part lengths; the bulk bytes stay unhashed, so the
+    # whole-payload reader refuses them loudly while map_segment (which
+    # checks header <-> descriptor only) serves them fine
+    stream, bulk = b"skeleton", b"b" * 2048
+    ref_a = share_segment([stream, bulk], prefix=_PREFIX, hash_parts=1)
+    ref_b = share_segment([stream, b"c" * 2048], prefix=_PREFIX,
+                          hash_parts=1)
+    assert ref_a.sha256 == ref_b.sha256   # bulk bytes not in the digest
+    ref_c = share_segment([stream, b"d" * 2049], prefix=_PREFIX,
+                          hash_parts=1)
+    assert ref_c.sha256 != ref_a.sha256   # but lengths are
+    with pytest.raises(SegmentError):
+        read_segment(ref_a)
+    if map_available():
+        assert bytes(map_segment(ref_b)) == stream + b"c" * 2048
+
+
+def test_sweep_orphans_by_owner():
+    share_segment(b"a", prefix=_PREFIX, owner=1)
+    share_segment(b"b", prefix=_PREFIX, owner=1)
+    share_segment(b"c", prefix=_PREFIX, owner=2)
+    assert sweep_orphans(_PREFIX, 1) == 2
+    assert sweep_orphans(_PREFIX, 1) == 0
+    assert sweep_orphans(_PREFIX) == 1    # owner 2's segment
+
+
+def test_owner_token_does_not_match_prefix_siblings():
+    # owner "10" must not sweep owner "1"'s segments (and vice versa)
+    share_segment(b"a", prefix=_PREFIX, owner=1)
+    assert sweep_orphans(_PREFIX, 10) == 0
+    assert sweep_orphans(_PREFIX, 1) == 1

@@ -326,6 +326,34 @@ def test_rep008_swallowed_exception_path():
                for f in result.findings)
 
 
+def test_rep008_exec_segment_positive():
+    # the exec/ipc segment idioms (header write, consumer unlink, lock
+    # fd) leak in their own shapes; one finding per creation site
+    result = lint_fixture("src/repro/exec/rep008_bad.py", ("REP008",))
+    assert rules_found(result) == {"REP008"}
+    assert sorted(f.line for f in result.findings) == [10, 16, 28, 37]
+    messages = " ".join(f.message for f in result.findings)
+    assert "SharedMemory segment" in messages
+    assert "os.open descriptor" in messages
+
+
+def test_rep008_exec_segment_clean():
+    # close-in-finally producers, consumer-unlinks readers, lock fds
+    # closed in finally, and explicit ownership handoffs are all clean
+    result = lint_fixture("src/repro/exec/rep008_ok.py", ("REP008",))
+    assert result.findings == []
+
+
+def test_rep008_scope_covers_exec_and_ipc():
+    # the segment/digest core and the zero-copy transport are inside
+    # REP008's policed surface — the scope must keep covering them
+    from repro.analysis.lint.config import load_config
+    config = load_config(REPO_ROOT)
+    for module in ("repro.ipc", "repro.exec.shm", "repro.exec.cache",
+                   "repro.serve.shm"):
+        assert config.in_scope("REP008", module), module
+
+
 # ------------------------------------------------------------------ REP009
 
 def test_rep009_cross_file_positive():
